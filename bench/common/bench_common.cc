@@ -1,0 +1,145 @@
+#include "common/bench_common.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace bench
+{
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fast") == 0)
+            opts.fast = true;
+        else if (std::strcmp(argv[i], "--csv") == 0)
+            opts.csv = true;
+    }
+    return opts;
+}
+
+void
+banner(const std::string &title, const std::string &paper_claim)
+{
+    std::printf("==== %s ====\n", title.c_str());
+    std::printf("paper: %s\n\n", paper_claim.c_str());
+}
+
+unsigned
+strideFor(std::uint64_t output_tokens, const Options &opts)
+{
+    unsigned stride = 1;
+    if (output_tokens > 256)
+        stride = 32;
+    else if (output_tokens > 32)
+        stride = 8;
+    else if (output_tokens > 8)
+        stride = 2;
+    if (opts.fast)
+        stride *= 4;
+    return stride;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(const Options &opts) const
+{
+    if (opts.csv) {
+        auto emit = [](const std::vector<std::string> &cells) {
+            for (std::size_t i = 0; i < cells.size(); ++i)
+                std::printf("%s%s", cells[i].c_str(),
+                            i + 1 < cells.size() ? "," : "\n");
+        };
+        emit(headers_);
+        for (const auto &row : rows_)
+            emit(row);
+        return;
+    }
+    std::vector<std::size_t> width(headers_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size() && i < width.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(headers_);
+    for (const auto &row : rows_)
+        widen(row);
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < width.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            std::printf("%-*s ", static_cast<int>(width[i] + 1),
+                        cell.c_str());
+        }
+        std::printf("\n");
+    };
+    emit(headers_);
+    std::string rule;
+    for (std::size_t i = 0; i < width.size(); ++i)
+        rule += std::string(width[i] + 2, '-');
+    std::printf("%s\n", rule.c_str());
+    for (const auto &row : rows_)
+        emit(row);
+    std::printf("\n");
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    os << buf;
+    return os.str();
+}
+
+std::string
+Table::ratio(double v, int precision)
+{
+    return num(v, precision) + "x";
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += v;
+    return acc / static_cast<double>(values.size());
+}
+
+std::string
+shapeCheck(double measured, double paper, double lo, double hi)
+{
+    if (paper == 0.0)
+        return "n/a";
+    double r = measured / paper;
+    return (r >= lo && r <= hi) ? "ok" : "DIVERGES";
+}
+
+} // namespace bench

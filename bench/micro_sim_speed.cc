@@ -1,0 +1,117 @@
+/**
+ * @file
+ * google-benchmark micro suite: host-side throughput of the simulator's
+ * hot paths (event queue, bandwidth arbiter, DRAM replay, PIM timing,
+ * compiler, full decoder-block simulation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/workload_builder.hh"
+#include "dram/channel_arbiter.hh"
+#include "dram/dram_channel.hh"
+#include "ianus/ianus_system.hh"
+#include "pim/pim_channel.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using namespace ianus;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < n; ++i)
+            eq.schedule(static_cast<Tick>(i * 7 % 1000), [&] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void
+BM_ChannelArbiterFlows(benchmark::State &state)
+{
+    dram::Gddr6Config cfg;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        dram::ChannelArbiter arb(eq, cfg, 0.9);
+        for (int i = 0; i < 64; ++i)
+            arb.startFlow(1 << 16, 1u << (i % 8), false, [] {});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ChannelArbiterFlows);
+
+void
+BM_DramReplayStream(benchmark::State &state)
+{
+    dram::Gddr6Config cfg;
+    for (auto _ : state) {
+        dram::DramChannel ch(cfg);
+        benchmark::DoNotOptimize(ch.replayStreamRead(0, 1 << 20));
+    }
+    state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_DramReplayStream);
+
+void
+BM_PimMacroTiming(benchmark::State &state)
+{
+    dram::Gddr6Config cfg;
+    pim::PimChannelEngine engine(cfg);
+    pim::MacroCommand m;
+    m.rows = 1536;
+    m.cols = 6144;
+    m.channelMask = 0x3;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.macroTiming(m, 2).total);
+}
+BENCHMARK(BM_PimMacroTiming);
+
+void
+BM_CompileGenerationToken(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::ianusDefault();
+    workloads::ModelConfig xl = workloads::gpt2("xl");
+    compiler::WorkloadBuilder builder(cfg, xl);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            builder.buildGenerationToken(256).size());
+}
+BENCHMARK(BM_CompileGenerationToken);
+
+void
+BM_SimulateGenerationToken(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::ianusDefault();
+    workloads::ModelConfig xl = workloads::gpt2("xl");
+    compiler::WorkloadBuilder builder(cfg, xl);
+    isa::Program prog = builder.buildGenerationToken(256);
+    ExecutionEngine engine(cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.run(prog).wallTicks);
+    state.SetItemsProcessed(state.iterations() * prog.size());
+}
+BENCHMARK(BM_SimulateGenerationToken);
+
+void
+BM_EndToEndSmallRequest(benchmark::State &state)
+{
+    IanusSystem sys(SystemConfig::ianusDefault());
+    workloads::ModelConfig m = workloads::gpt2("m");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sys.run(m, {64, 4}).totalTicks());
+}
+BENCHMARK(BM_EndToEndSmallRequest);
+
+} // namespace
+
+BENCHMARK_MAIN();

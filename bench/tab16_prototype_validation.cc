@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Section 6.3 substitute: functional validation of the IANUS datapaths.
+ *
+ * The paper validates its FPGA prototype by running pretrained GPT-2
+ * models on WikiText-2 and matching full-precision perplexity. Neither
+ * the weights nor the dataset is available offline, so this harness
+ * validates the same property the prototype demonstrates — that the
+ * BF16 PIM/NPU datapaths compute transformer kernels correctly — on
+ * synthetic tensors against double-precision references (see DESIGN.md,
+ * Substitutions).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "common/bench_common.hh"
+#include "common/lut.hh"
+#include "ianus/pim_control_unit.hh"
+#include "npu/matrix_unit.hh"
+#include "npu/vector_unit.hh"
+#include "pim/pim_functional.hh"
+
+namespace
+{
+
+std::vector<float>
+randomVector(std::size_t n, std::mt19937 &rng, float scale)
+{
+    std::normal_distribution<float> dist(0.0f, scale);
+    std::vector<float> v(n);
+    for (float &x : v)
+        x = dist(rng);
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ianus;
+    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::banner("Section 6.3 substitute — BF16 datapath validation",
+                  "prototype achieved full-precision-equivalent "
+                  "perplexity (30.92/22.60/19.39/17.48); here: datapath "
+                  "error bounds vs FP64 references");
+
+    std::mt19937 rng(2024);
+    dram::Gddr6Config mem;
+    bench::Table table({"datapath", "shape", "max_rel_error", "bound",
+                        "verdict"});
+    bool all_ok = true;
+
+    // PIM GEMV over transformer FC shapes (one per generation-stage FC).
+    struct Shape
+    {
+        const char *what;
+        std::uint64_t rows, cols;
+        unsigned ch;
+    };
+    const Shape shapes[] = {{"pim-gemv qkv(head)", 64, 1536, 2},
+                            {"pim-gemv fc_attn", 384, 1536, 2},
+                            {"pim-gemv ffn1", 1536, 1536, 2},
+                            {"pim-gemv ffn2", 384, 6144, 2},
+                            {"pim-gemv lm_head", 12565, 1536, 2}};
+    for (const Shape &s : shapes) {
+        auto w = randomVector(s.rows * s.cols, rng, 0.04f);
+        auto x = randomVector(s.cols, rng, 1.0f);
+        auto tiling = pim::GemvTiling::compute(s.rows, s.cols, mem, s.ch);
+        auto got = pim::pimGemv(w, x, tiling);
+        auto want = pim::referenceGemv(w, x, s.rows, s.cols);
+        double err = pim::maxRelError(got, want, 1.0);
+        double bound = 0.02 + 0.005 * static_cast<double>(tiling.kTiles());
+        bool ok = err < bound;
+        all_ok &= ok;
+        table.addRow({s.what,
+                      std::to_string(s.rows) + "x" +
+                          std::to_string(s.cols),
+                      bench::Table::num(err, 4),
+                      bench::Table::num(bound, 4),
+                      ok ? "pass" : "FAIL"});
+    }
+
+    // Matrix unit GEMM (summarization-stage FC tile).
+    {
+        npu::MatrixUnit mu;
+        const std::uint64_t t = 16, k = 256, n = 128;
+        auto in = randomVector(t * k, rng, 0.5f);
+        auto w = randomVector(k * n, rng, 0.05f);
+        auto got = mu.gemm(in, w, t, k, n);
+        double worst = 0.0;
+        for (std::uint64_t r = 0; r < t; ++r) {
+            for (std::uint64_t c = 0; c < n; ++c) {
+                double acc = 0.0;
+                for (std::uint64_t i = 0; i < k; ++i)
+                    acc += static_cast<double>(in[r * k + i]) *
+                           w[i * n + c];
+                double denom = std::max(std::abs(acc), 1.0);
+                worst = std::max(
+                    worst, std::abs(got[r * n + c] - acc) / denom);
+            }
+        }
+        bool ok = worst < 0.02;
+        all_ok &= ok;
+        table.addRow({"mu-gemm", "16x256x128",
+                      bench::Table::num(worst, 4), "0.0200",
+                      ok ? "pass" : "FAIL"});
+    }
+
+    // Vector unit kernels.
+    {
+        npu::VectorUnit vu;
+        auto x = randomVector(1536, rng, 2.0f);
+        auto ln = vu.layerNorm(x);
+        double mean = 0, var = 0;
+        for (float v : ln)
+            mean += v;
+        mean /= static_cast<double>(ln.size());
+        for (float v : ln)
+            var += (v - mean) * (v - mean);
+        var /= static_cast<double>(ln.size());
+        bool ok = std::abs(mean) < 0.02 && std::abs(var - 1.0) < 0.05;
+        all_ok &= ok;
+        table.addRow({"vu-layernorm", "1536",
+                      bench::Table::num(std::abs(mean) +
+                                            std::abs(var - 1.0), 4),
+                      "0.0700", ok ? "pass" : "FAIL"});
+
+        double gelu_err = geluLut().maxAbsError(geluExact, 4096);
+        ok = gelu_err < 1e-2;
+        all_ok &= ok;
+        table.addRow({"gelu-lut (VU & PIM ACTAF)", "256 entries",
+                      bench::Table::num(gelu_err, 4), "0.0100",
+                      ok ? "pass" : "FAIL"});
+    }
+
+    // PCU decode agrees with the timing engine (hardware/compiler
+    // contract the FPGA prototype exercises over PCIe).
+    {
+        PimControlUnit pcu(mem);
+        pim::PimChannelEngine engine(mem);
+        pim::MacroCommand m;
+        m.rows = 1536;
+        m.cols = 6144;
+        m.hasBias = true;
+        m.fusedGelu = true;
+        m.channelMask = 0x3;
+        auto decoded = pcu.budget(m, 2);
+        auto timed = engine.macroTiming(m, 2).micro;
+        bool ok = decoded.macab == timed.macab &&
+                  decoded.actab == timed.actab &&
+                  decoded.wrgb == timed.wrgb;
+        all_ok &= ok;
+        table.addRow({"pcu-decode vs timing", "1536x6144",
+                      ok ? "0" : "1", "0", ok ? "pass" : "FAIL"});
+    }
+
+    table.print(opts);
+    std::printf("overall: %s\n", all_ok ? "PASS" : "FAIL");
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * BERT question-answering throughput study (the Fig 14 scenario as an
+ * application): sweep the BERT model zoo and input lengths, reporting
+ * latency, throughput and compute utilization of the NPU path (the PIM
+ * stays idle — encoders have no matrix-vector stage).
+ *
+ *   ./bert_qa_throughput [input_tokens...]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "baselines/gpu_model.hh"
+#include "ianus/ianus_system.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ianus;
+    std::vector<std::uint64_t> inputs;
+    for (int i = 1; i < argc; ++i)
+        inputs.push_back(std::strtoull(argv[i], nullptr, 10));
+    if (inputs.empty())
+        inputs = {128, 256, 512};
+
+    SystemConfig cfg = SystemConfig::ianusDefault();
+    IanusSystem sys(cfg);
+    baselines::GpuModel gpu;
+
+    std::printf("BERT QA on IANUS (NPU path only) vs A100\n\n");
+    std::printf("%-11s %6s %12s %12s %10s %12s %10s\n", "model", "input",
+                "ianus_ms", "ianus_TF", "util%", "a100_ms", "a100_TF");
+    for (const auto &model : workloads::allBert()) {
+        for (std::uint64_t in : inputs) {
+            InferenceReport r = sys.run(model, {in, 1});
+            double flops = model.forwardFlops(in);
+            double tflops = flops / (r.totalMs() / 1000.0) / 1e12;
+            double gpu_ms = gpu.summarizationMs(model, in);
+            std::printf("%-11s %6llu %12.2f %12.1f %10.1f %12.2f "
+                        "%10.1f\n",
+                        model.name.c_str(), (unsigned long long)in,
+                        r.totalMs(), tflops,
+                        100.0 * tflops / cfg.npuPeakTflops(), gpu_ms,
+                        flops / (gpu_ms / 1000.0) / 1e12);
+        }
+    }
+    std::printf("\nQA batch sizing hint: one question of 384 tokens on "
+                "BERT-L costs %.2f ms on IANUS.\n",
+                sys.run(workloads::bert("l"), {384, 1}).totalMs());
+    return 0;
+}

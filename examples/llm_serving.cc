@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Text-generation serving simulation: the paper's motivating datacenter
+ * scenario (Section 1/6.1 — non-batched requests with OpenAI-style
+ * input:output token ratios).
+ *
+ * Replays a synthetic request mix on IANUS and on NPU-MEM, reporting
+ * per-request latency, time-to-first-token, per-token latency and an
+ * SLO miss rate.
+ *
+ *   ./llm_serving [model] [requests] [slo_ms_per_token]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ianus/ianus_system.hh"
+
+namespace
+{
+
+struct RequestResult
+{
+    ianus::workloads::InferenceRequest req;
+    double totalMs;
+    double firstTokenMs;
+    double perTokenMs;
+};
+
+std::vector<RequestResult>
+replay(const ianus::IanusSystem &sys,
+       const ianus::workloads::ModelConfig &model,
+       const std::vector<ianus::workloads::InferenceRequest> &mix)
+{
+    std::vector<RequestResult> results;
+    for (const auto &req : mix) {
+        ianus::InferenceReport r = sys.run(model, req, {}, 8);
+        results.push_back({req, r.totalMs(), r.summarizationMs(),
+                           r.msPerGeneratedToken()});
+    }
+    return results;
+}
+
+void
+report(const char *name, const std::vector<RequestResult> &results,
+       double slo_ms)
+{
+    double total = 0, worst_token = 0;
+    unsigned misses = 0;
+    std::uint64_t tokens = 0;
+    for (const RequestResult &r : results) {
+        total += r.totalMs;
+        tokens += r.req.outputTokens;
+        worst_token = std::max(worst_token, r.perTokenMs);
+        if (r.perTokenMs > slo_ms)
+            ++misses;
+    }
+    std::printf("%-8s  requests %zu | tokens %llu | total %.1f ms | "
+                "throughput %.1f tok/s | worst ms/token %.2f | "
+                "SLO(<%.0fms/token) misses %u\n",
+                name, results.size(), (unsigned long long)tokens, total,
+                tokens / (total / 1000.0), worst_token, slo_ms, misses);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ianus;
+    std::string size = argc > 1 ? argv[1] : "xl";
+    unsigned n_requests =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 12;
+    double slo = argc > 3 ? std::atof(argv[3]) : 10.0;
+
+    workloads::ModelConfig model = workloads::gpt2(size);
+    std::printf("serving mix on %s, batch 1 (datacenter non-batched "
+                "regime)\n\n",
+                model.describe().c_str());
+
+    // Synthetic mix: prompt sizes and completion lengths drawn from the
+    // paper's evaluation ranges.
+    std::mt19937 rng(7);
+    const std::uint64_t ins[] = {128, 256, 512};
+    const std::uint64_t outs[] = {8, 16, 64, 128};
+    std::vector<workloads::InferenceRequest> mix;
+    for (unsigned i = 0; i < n_requests; ++i)
+        mix.push_back({ins[rng() % 3], outs[rng() % 4]});
+
+    IanusSystem ianus_sys(SystemConfig::ianusDefault());
+    IanusSystem npu_mem(SystemConfig::npuMem());
+
+    auto ianus_res = replay(ianus_sys, model, mix);
+    auto npu_res = replay(npu_mem, model, mix);
+
+    std::printf("%-10s %-10s %12s %14s %12s\n", "request", "system",
+                "total(ms)", "first-token", "ms/token");
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+        char tag[32];
+        std::snprintf(tag, sizeof(tag), "(%llu,%llu)",
+                      (unsigned long long)mix[i].inputTokens,
+                      (unsigned long long)mix[i].outputTokens);
+        std::printf("%-10s %-10s %12.1f %14.1f %12.2f\n", tag, "IANUS",
+                    ianus_res[i].totalMs, ianus_res[i].firstTokenMs,
+                    ianus_res[i].perTokenMs);
+        std::printf("%-10s %-10s %12.1f %14.1f %12.2f\n", "", "NPU-MEM",
+                    npu_res[i].totalMs, npu_res[i].firstTokenMs,
+                    npu_res[i].perTokenMs);
+    }
+    std::printf("\n");
+    report("IANUS", ianus_res, slo);
+    report("NPU-MEM", npu_res, slo);
+    return 0;
+}

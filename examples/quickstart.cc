@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: simulate one GPT-2 inference request on IANUS and on the
+ * same NPU without PIM, and print where the speedup comes from.
+ *
+ *   ./quickstart [model] [input] [output]
+ *   ./quickstart xl 128 64
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/gpu_model.hh"
+#include "energy/energy_model.hh"
+#include "ianus/ianus_system.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ianus;
+
+    std::string size = argc > 1 ? argv[1] : "xl";
+    workloads::InferenceRequest req;
+    req.inputTokens = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 128;
+    req.outputTokens = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 64;
+
+    workloads::ModelConfig model = workloads::gpt2(size);
+    std::printf("model: %s\n", model.describe().c_str());
+    std::printf("request: input=%llu output=%llu (batch 1)\n\n",
+                (unsigned long long)req.inputTokens,
+                (unsigned long long)req.outputTokens);
+
+    // IANUS: NPU whose main memory is GDDR6-AiM PIM (unified).
+    IanusSystem ianus_sys(SystemConfig::ianusDefault());
+    InferenceReport ianus_rep = ianus_sys.run(model, req);
+
+    // NPU-MEM: identical NPU, plain GDDR6.
+    IanusSystem npu_mem(SystemConfig::npuMem());
+    InferenceReport npu_rep = npu_mem.run(model, req);
+
+    // A100 GPU (analytical baseline).
+    baselines::GpuModel gpu;
+    double gpu_ms = gpu.latencyMs(model, req);
+
+    std::printf("%-10s %12s %14s %14s\n", "system", "total(ms)",
+                "summarize(ms)", "ms/gen-token");
+    std::printf("%-10s %12.2f %14.2f %14.3f\n", "IANUS",
+                ianus_rep.totalMs(), ianus_rep.summarizationMs(),
+                ianus_rep.msPerGeneratedToken());
+    std::printf("%-10s %12.2f %14.2f %14.3f\n", "NPU-MEM",
+                npu_rep.totalMs(), npu_rep.summarizationMs(),
+                npu_rep.msPerGeneratedToken());
+    std::printf("%-10s %12.2f\n\n", "A100", gpu_ms);
+
+    std::printf("IANUS speedup vs NPU-MEM: %.2fx\n",
+                npu_rep.totalMs() / ianus_rep.totalMs());
+    std::printf("IANUS speedup vs A100:    %.2fx\n\n",
+                gpu_ms / ianus_rep.totalMs());
+
+    energy::EnergyModel em;
+    energy::EnergyBreakdown ie = em.evaluate(ianus_rep.combined());
+    energy::EnergyBreakdown ne = em.evaluate(npu_rep.combined());
+    std::printf("dynamic energy (J): IANUS %.2f (dram %.2f, pim %.2f, "
+                "cores %.2f) | NPU-MEM %.2f\n",
+                ie.total(), ie.normalDramJ, ie.pimJ, ie.coreJ, ne.total());
+    return 0;
+}

@@ -1,0 +1,48 @@
+#include "baselines/dfx_model.hh"
+
+#include "common/logging.hh"
+
+namespace ianus::baselines
+{
+
+DfxModel::DfxModel(const DfxParams &p) : params_(p)
+{
+    IANUS_ASSERT(p.peakTflops > 0 && p.memGBs > 0, "degenerate DFX");
+}
+
+double
+DfxModel::summarizationMs(const workloads::ModelConfig &model,
+                          std::uint64_t input_tokens) const
+{
+    double flops = model.forwardFlops(input_tokens);
+    double ms = flops /
+                (params_.peakTflops * params_.summarizationEff) / 1e9;
+    ms += static_cast<double>(model.nBlocks) *
+          params_.perLayerOverheadUs / 1000.0;
+    return ms;
+}
+
+double
+DfxModel::generationStepMs(const workloads::ModelConfig &model) const
+{
+    double bytes = static_cast<double>(model.fcWeightElems()) * 2.0 +
+                   static_cast<double>(model.vocab) *
+                       static_cast<double>(model.embDim) * 2.0;
+    double ms = bytes / (params_.memGBs * params_.generationBwEff) / 1e6;
+    ms += static_cast<double>(model.nBlocks) *
+          params_.perLayerOverheadUs / 1000.0;
+    return ms;
+}
+
+double
+DfxModel::latencyMs(const workloads::ModelConfig &model,
+                    const workloads::InferenceRequest &request) const
+{
+    double ms = summarizationMs(model, request.inputTokens);
+    std::uint64_t steps =
+        request.outputTokens > 0 ? request.outputTokens - 1 : 0;
+    ms += static_cast<double>(steps) * generationStepMs(model);
+    return ms;
+}
+
+} // namespace ianus::baselines

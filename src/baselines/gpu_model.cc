@@ -1,0 +1,134 @@
+#include "baselines/gpu_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ianus::baselines
+{
+
+GpuModel::GpuModel(const GpuParams &p) : params_(p)
+{
+    IANUS_ASSERT(p.peakTflops > 0 && p.memGBs > 0, "degenerate GPU");
+}
+
+double
+GpuModel::opMs(const workloads::ModelConfig &model, double flops,
+               double bytes) const
+{
+    double compute_ms =
+        flops / (params_.peakTflops * params_.gemmEfficiency) / 1e9;
+    double memory_ms =
+        bytes / (params_.memGBs * params_.memEfficiency) / 1e6;
+    double launch_ms = (model.family == workloads::ModelFamily::Bert
+                            ? params_.bertLaunchOverheadUs
+                            : params_.launchOverheadUs) /
+                       1000.0;
+    return std::max({compute_ms, memory_ms, launch_ms});
+}
+
+double
+GpuModel::blockMs(const workloads::ModelConfig &model, std::uint64_t tokens,
+                  std::uint64_t kv_len) const
+{
+    const double n = static_cast<double>(tokens);
+    const double kv = static_cast<double>(kv_len);
+    const double e = static_cast<double>(model.embDim);
+    const double f = static_cast<double>(model.ffnDim());
+    const double h = static_cast<double>(model.nHeads);
+    const bool decoder = model.decoder();
+
+    double ms = 0.0;
+    auto op = [&](double flops, double bytes) {
+        ms += opMs(model, flops, bytes);
+    };
+
+    op(0, 4 * n * e);                                  // layernorm 1
+    op(2 * n * e * 3 * e, (3 * e * e + 4 * n * e) * 2); // QKV projection
+    op(0, 3 * n * e * 2 * 2);                          // split heads
+    if (decoder)
+        op(0, 2 * kv * e * 2 * 2);                     // KV-cache concat
+    op(2 * n * kv * e, ((n + kv) * e + n * kv * h) * 2); // QK^T
+    op(0, 2 * n * kv * h * 2);                         // scale + mask
+    op(0, 3 * n * kv * h * 2);                         // softmax
+    op(2 * n * kv * e, (kv * e + n * kv * h + n * e) * 2); // SV
+    op(0, 2 * n * e * 2);                              // merge heads
+    op(2 * n * e * e, (e * e + 2 * n * e) * 2);        // output projection
+    op(0, 3 * n * e * 2);                              // residual add 1
+    op(0, 4 * n * e);                                  // layernorm 2
+    op(2 * n * e * f, (e * f + n * (e + f)) * 2);      // FFN up
+    op(0, 2 * n * f * 2);                              // GELU
+    op(2 * n * f * e, (e * f + n * (e + f)) * 2);      // FFN down
+    op(0, 3 * n * e * 2);                              // residual add 2
+    for (unsigned i = 0; i < params_.extraOpsPerBlock; ++i)
+        op(0, 2 * n * e * 2);                          // reshape/copy
+    return ms;
+}
+
+double
+GpuModel::summarizationMs(const workloads::ModelConfig &model,
+                          std::uint64_t input_tokens) const
+{
+    double ms = opMs(model, 0,
+                     static_cast<double>(input_tokens) *
+                         static_cast<double>(model.embDim) * 2);
+    for (std::uint64_t b = 0; b < model.nBlocks; ++b)
+        ms += blockMs(model, input_tokens, input_tokens);
+    ms += opMs(model, 0,
+               4.0 * static_cast<double>(input_tokens) *
+                   static_cast<double>(model.embDim)); // final LN
+    if (model.decoder()) {
+        // LM head over the last token.
+        double e = static_cast<double>(model.embDim);
+        double v = static_cast<double>(model.vocab);
+        ms += opMs(model, 2 * e * v, (e * v + v) * 2);
+    } else {
+        ms += opMs(model, 0, 0); // QA span head (launch-bound)
+    }
+    return ms;
+}
+
+double
+GpuModel::generationStepMs(const workloads::ModelConfig &model,
+                           std::uint64_t kv_len) const
+{
+    double ms = 0.0;
+    for (std::uint64_t b = 0; b < model.nBlocks; ++b)
+        ms += blockMs(model, 1, kv_len);
+    double e = static_cast<double>(model.embDim);
+    double v = static_cast<double>(model.vocab);
+    ms += opMs(model, 2 * e * v, (e * v + v) * 2); // LM head
+    ms += opMs(model, 0, 0);                       // sampling kernel
+    return ms;
+}
+
+double
+GpuModel::latencyMs(const workloads::ModelConfig &model,
+                    const workloads::InferenceRequest &request) const
+{
+    double ms = summarizationMs(model, request.inputTokens);
+    if (!model.decoder())
+        return ms;
+    std::uint64_t steps =
+        request.outputTokens > 0 ? request.outputTokens - 1 : 0;
+    for (std::uint64_t t = 0; t < steps; ++t)
+        ms += generationStepMs(model, request.inputTokens + 1 + t);
+    return ms;
+}
+
+double
+GpuModel::throughputTflops(const workloads::ModelConfig &model,
+                           std::uint64_t input_tokens) const
+{
+    double ms = summarizationMs(model, input_tokens);
+    return model.forwardFlops(input_tokens) / (ms / 1000.0) / 1e12;
+}
+
+double
+GpuModel::utilization(const workloads::ModelConfig &model,
+                      std::uint64_t input_tokens) const
+{
+    return throughputTflops(model, input_tokens) / params_.peakTflops;
+}
+
+} // namespace ianus::baselines

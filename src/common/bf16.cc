@@ -1,0 +1,63 @@
+#include "common/bf16.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace ianus
+{
+
+namespace
+{
+
+std::uint32_t
+floatBits(float v)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+float
+bitsToFloat(std::uint32_t u)
+{
+    float v;
+    std::memcpy(&v, &u, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+Bf16::Bf16(float v)
+{
+    std::uint32_t u = floatBits(v);
+    if (std::isnan(v)) {
+        // Quiet NaN with a nonzero mantissa surviving truncation.
+        bits_ = static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+        return;
+    }
+    // Round to nearest even on the 16 discarded mantissa bits.
+    std::uint32_t lsb = (u >> 16) & 1u;
+    std::uint32_t rounding_bias = 0x7FFFu + lsb;
+    bits_ = static_cast<std::uint16_t>((u + rounding_bias) >> 16);
+}
+
+float
+Bf16::toFloat() const
+{
+    return bitsToFloat(static_cast<std::uint32_t>(bits_) << 16);
+}
+
+float
+bf16Round(float v)
+{
+    return Bf16(v).toFloat();
+}
+
+void
+bf16Quantize(std::vector<float> &v)
+{
+    for (float &x : v)
+        x = bf16Round(x);
+}
+
+} // namespace ianus

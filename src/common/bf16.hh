@@ -1,0 +1,65 @@
+/**
+ * @file
+ * BF16 (bfloat16) arithmetic.
+ *
+ * IANUS runs every datapath — PIM MAC units, the NPU matrix unit, and the
+ * vector unit — in BF16 (Table 2 / Section 6.1). This is a bit-exact
+ * software model: round-to-nearest-even truncation of the low 16 mantissa
+ * bits of an IEEE-754 binary32, the conversion commercial BF16 hardware
+ * implements. Accumulation inside MAC trees is performed in binary32, as
+ * in GDDR6-AiM and the SAPEON matrix unit.
+ */
+
+#ifndef IANUS_COMMON_BF16_HH
+#define IANUS_COMMON_BF16_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ianus
+{
+
+/** A bfloat16 value stored as its 16-bit pattern. */
+class Bf16
+{
+  public:
+    constexpr Bf16() : bits_(0) {}
+
+    /** Construct from float with round-to-nearest-even. */
+    explicit Bf16(float v);
+
+    /** Reinterpret a raw 16-bit pattern. */
+    static constexpr Bf16
+    fromBits(std::uint16_t bits)
+    {
+        Bf16 b;
+        b.bits_ = bits;
+        return b;
+    }
+
+    /** Widen to binary32 (exact). */
+    float toFloat() const;
+
+    constexpr std::uint16_t bits() const { return bits_; }
+
+    bool operator==(const Bf16 &o) const { return bits_ == o.bits_; }
+
+  private:
+    std::uint16_t bits_;
+};
+
+/** Round-trip a float through BF16 (the quantization every tensor sees). */
+float bf16Round(float v);
+
+/** Quantize a vector in place. */
+void bf16Quantize(std::vector<float> &v);
+
+/**
+ * Worst-case relative error of a BF16 rounding of a normal value
+ * (half ULP of an 8-bit mantissa).
+ */
+constexpr double bf16MaxRelError = 1.0 / 256.0;
+
+} // namespace ianus
+
+#endif // IANUS_COMMON_BF16_HH

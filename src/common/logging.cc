@@ -1,0 +1,68 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ianus
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> warnCounter{0};
+std::atomic<bool> quietMode{false};
+
+} // namespace
+
+std::uint64_t
+warnCount()
+{
+    return warnCounter.load();
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode.store(quiet);
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    // Thrown (rather than exit(1)) so that library users and the test
+    // suite can observe user-error conditions; main()s that do not catch
+    // still terminate with a nonzero status.
+    throw std::runtime_error(std::string("fatal: ") + msg + " (" + file +
+                             ":" + std::to_string(line) + ")");
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    warnCounter.fetch_add(1);
+    if (!quietMode.load())
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quietMode.load())
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace ianus

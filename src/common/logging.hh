@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition.
+ *
+ * panic()  — an internal simulator invariant was violated (a bug in this
+ *            library); aborts so the condition is debuggable.
+ * fatal()  — the user asked for something unsatisfiable (bad configuration,
+ *            model that does not fit memory); exits with an error code.
+ * warn()   — behaviour is approximated but the run continues.
+ * inform() — plain status output.
+ */
+
+#ifndef IANUS_COMMON_LOGGING_HH
+#define IANUS_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace ianus
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Fold a mixed argument pack into one string via operator<<. */
+template <typename... Args>
+std::string
+fold(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Number of warnings emitted so far (tests assert on this). */
+std::uint64_t warnCount();
+
+/** Suppress or re-enable warn()/inform() output (quiet benches). */
+void setQuiet(bool quiet);
+
+#define IANUS_PANIC(...) \
+    ::ianus::detail::panicImpl(__FILE__, __LINE__, \
+                               ::ianus::detail::fold(__VA_ARGS__))
+
+#define IANUS_FATAL(...) \
+    ::ianus::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::ianus::detail::fold(__VA_ARGS__))
+
+#define IANUS_WARN(...) \
+    ::ianus::detail::warnImpl(::ianus::detail::fold(__VA_ARGS__))
+
+#define IANUS_INFORM(...) \
+    ::ianus::detail::informImpl(::ianus::detail::fold(__VA_ARGS__))
+
+/** panic() unless @p cond holds. */
+#define IANUS_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            IANUS_PANIC("assertion '", #cond, "' failed: ", \
+                        ::ianus::detail::fold(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace ianus
+
+#endif // IANUS_COMMON_LOGGING_HH

@@ -1,0 +1,74 @@
+#include "common/lut.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ianus
+{
+
+InterpolatedLut::InterpolatedLut(const std::function<double(double)> &fn,
+                                 double lo, double hi, std::size_t entries)
+    : lo_(lo), hi_(hi)
+{
+    IANUS_ASSERT(entries >= 2, "LUT needs at least two entries");
+    IANUS_ASSERT(hi > lo, "LUT domain must be non-empty");
+    step_ = (hi - lo) / static_cast<double>(entries - 1);
+    table_.resize(entries);
+    for (std::size_t i = 0; i < entries; ++i)
+        table_[i] = fn(lo + step_ * static_cast<double>(i));
+}
+
+double
+InterpolatedLut::operator()(double x) const
+{
+    if (x <= lo_)
+        return table_.front();
+    if (x >= hi_)
+        return table_.back();
+    double pos = (x - lo_) / step_;
+    auto idx = static_cast<std::size_t>(pos);
+    if (idx >= table_.size() - 1)
+        return table_.back();
+    double frac = pos - static_cast<double>(idx);
+    return table_[idx] + frac * (table_[idx + 1] - table_[idx]);
+}
+
+double
+InterpolatedLut::maxAbsError(const std::function<double(double)> &fn,
+                             std::size_t probes) const
+{
+    double worst = 0.0;
+    for (std::size_t i = 0; i < probes; ++i) {
+        double x = lo_ + (hi_ - lo_) * (static_cast<double>(i) + 0.5) /
+                             static_cast<double>(probes);
+        worst = std::max(worst, std::abs((*this)(x) - fn(x)));
+    }
+    return worst;
+}
+
+double
+geluExact(double x)
+{
+    return 0.5 * x * (1.0 + std::erf(x / std::sqrt(2.0)));
+}
+
+const InterpolatedLut &
+geluLut()
+{
+    static const InterpolatedLut lut(geluExact, -8.0, 8.0, 256);
+    return lut;
+}
+
+const InterpolatedLut &
+expLut()
+{
+    // Softmax subtracts the running max first (Section 4.2.2), so the
+    // exponent argument is always <= 0; 512 entries over [-16, 0].
+    static const InterpolatedLut lut([](double x) { return std::exp(x); },
+                                     -16.0, 0.0, 512);
+    return lut;
+}
+
+} // namespace ianus

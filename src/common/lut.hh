@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Lookup-table function approximation with linear interpolation.
+ *
+ * Both the vector unit's GELU kernel (Section 4.2.2) and the PIM's in-DRAM
+ * GELU (LUT rows reserved inside the PIM, interpolated in the processing
+ * unit) approximate non-linear activations this way. One implementation
+ * serves both, parameterized by sample count and domain, so tests can bound
+ * the approximation error the real hardware would exhibit.
+ */
+
+#ifndef IANUS_COMMON_LUT_HH
+#define IANUS_COMMON_LUT_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ianus
+{
+
+/** A sampled scalar function with linear interpolation between samples. */
+class InterpolatedLut
+{
+  public:
+    /**
+     * Sample @p fn uniformly over [lo, hi].
+     *
+     * @param fn      Function to approximate.
+     * @param lo      Domain lower bound.
+     * @param hi      Domain upper bound.
+     * @param entries Number of table entries (>= 2).
+     */
+    InterpolatedLut(const std::function<double(double)> &fn, double lo,
+                    double hi, std::size_t entries);
+
+    /** Evaluate with interpolation; clamps outside [lo, hi]. */
+    double operator()(double x) const;
+
+    std::size_t entries() const { return table_.size(); }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    /** Max |lut(x) - fn(x)| sampled on @p probes midpoints (testing). */
+    double maxAbsError(const std::function<double(double)> &fn,
+                       std::size_t probes) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double step_;
+    std::vector<double> table_;
+};
+
+/** Exact GELU (Gaussian error linear unit), the reference function. */
+double geluExact(double x);
+
+/**
+ * The GELU LUT both the VU and the PIM processing units use:
+ * 256 entries over [-8, 8], matching DRAM-row-sized tables (Section 4.2.2).
+ */
+const InterpolatedLut &geluLut();
+
+/** exp() LUT used by the VU softmax kernel. */
+const InterpolatedLut &expLut();
+
+} // namespace ianus
+
+#endif // IANUS_COMMON_LUT_HH

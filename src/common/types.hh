@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fundamental units and small helpers shared by every module.
+ *
+ * The simulator's global time base is the Tick, one picosecond. All
+ * microarchitectural latencies (DRAM timing constraints, systolic array
+ * fill, VLIW issue) are converted to ticks at the point where a frequency
+ * is known, so heterogeneous clock domains (700 MHz NPU, 1 GHz PIM PU,
+ * 2 GHz GDDR6 command clock) coexist without rounding ambiguity.
+ */
+
+#ifndef IANUS_COMMON_TYPES_HH
+#define IANUS_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ianus
+{
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** An integral number of clock cycles in some named clock domain. */
+using Cycles = std::uint64_t;
+
+/** Sentinel for "never" / "not scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Ticks per common wall-clock units. */
+constexpr Tick tickPerPs = 1;
+constexpr Tick tickPerNs = 1000;
+constexpr Tick tickPerUs = 1000 * tickPerNs;
+constexpr Tick tickPerMs = 1000 * tickPerUs;
+constexpr Tick tickPerSec = 1000 * tickPerMs;
+
+/** Convert ticks to floating-point milliseconds (reporting only). */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerMs);
+}
+
+/** Convert ticks to floating-point microseconds (reporting only). */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerUs);
+}
+
+/** Convert ticks to floating-point seconds (reporting only). */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerSec);
+}
+
+/**
+ * A fixed clock domain: converts cycle counts to ticks.
+ *
+ * Periods are kept in double picoseconds internally and rounded once per
+ * conversion, so a 700 MHz domain (1428.57 ps period) does not accumulate
+ * drift over multi-million-cycle conversions.
+ */
+class ClockDomain
+{
+  public:
+    /** @param freq_ghz Domain frequency in GHz. */
+    constexpr explicit ClockDomain(double freq_ghz)
+        : periodPs_(1000.0 / freq_ghz), freqGhz_(freq_ghz)
+    {}
+
+    /** Ticks spanned by @p cycles whole cycles (rounded to nearest ps). */
+    constexpr Tick
+    cyclesToTicks(double cycles) const
+    {
+        return static_cast<Tick>(cycles * periodPs_ + 0.5);
+    }
+
+    /** Whole cycles elapsed after @p t ticks (floor). */
+    constexpr Cycles
+    ticksToCycles(Tick t) const
+    {
+        return static_cast<Cycles>(static_cast<double>(t) / periodPs_);
+    }
+
+    constexpr double periodPs() const { return periodPs_; }
+    constexpr double freqGhz() const { return freqGhz_; }
+
+  private:
+    double periodPs_;
+    double freqGhz_;
+};
+
+/** Integer ceiling division. */
+template <typename T>
+constexpr T
+ceilDiv(T num, T den)
+{
+    return (num + den - 1) / den;
+}
+
+/** Round @p v up to the next multiple of @p align. */
+template <typename T>
+constexpr T
+alignUp(T v, T align)
+{
+    return ceilDiv(v, align) * align;
+}
+
+/** Sizes in bytes. */
+constexpr std::uint64_t KiB = 1024ull;
+constexpr std::uint64_t MiB = 1024ull * KiB;
+constexpr std::uint64_t GiB = 1024ull * MiB;
+
+} // namespace ianus
+
+#endif // IANUS_COMMON_TYPES_HH

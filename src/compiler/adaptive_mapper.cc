@@ -1,0 +1,69 @@
+#include "compiler/adaptive_mapper.hh"
+
+#include "common/logging.hh"
+
+namespace ianus::compiler
+{
+
+const char *
+toString(FcUnit unit)
+{
+    switch (unit) {
+      case FcUnit::MatrixUnit: return "mu";
+      case FcUnit::Pim: return "pim";
+    }
+    return "?";
+}
+
+AdaptiveMapper::AdaptiveMapper(const AnalyticalModel &model,
+                               unsigned pim_channels,
+                               FcPlacement placement)
+    : model_(&model), pimChannels_(pim_channels), placement_(placement)
+{
+}
+
+FcMappingDecision
+AdaptiveMapper::decide(const FcDescriptor &fc) const
+{
+    FcMappingDecision d;
+
+    // Prefetch credit: a preceding VU command leaves the DMA engines idle
+    // for its duration, hiding that much of the weight load (lines 4-6).
+    Tick credit = 0;
+    if (fc.precedingVuElems)
+        credit = model_->vuTime(isa::VuOpKind::LayerNorm,
+                                *fc.precedingVuElems);
+
+    d.muTime = model_->muFcTime(fc.tokens, fc.k, fc.n, credit);
+    d.pimTime = pimChannels_ > 0
+                    ? model_->pimFcTime(fc.tokens, fc.k, fc.n,
+                                        pimChannels_)
+                    : maxTick;
+
+    switch (placement_) {
+      case FcPlacement::ForceMu:
+        d.unit = FcUnit::MatrixUnit;
+        break;
+      case FcPlacement::ForcePim:
+        IANUS_ASSERT(pimChannels_ > 0, "ForcePim without PIM channels");
+        d.unit = FcUnit::Pim;
+        break;
+      case FcPlacement::Adaptive:
+        d.unit = d.pimTime < d.muTime ? FcUnit::Pim : FcUnit::MatrixUnit;
+        break;
+    }
+    d.geluOnPim = fc.firstOfFfn && d.unit == FcUnit::Pim;
+    return d;
+}
+
+std::vector<FcMappingDecision>
+AdaptiveMapper::decideSequence(const std::vector<FcDescriptor> &fcs) const
+{
+    std::vector<FcMappingDecision> out;
+    out.reserve(fcs.size());
+    for (const FcDescriptor &fc : fcs)
+        out.push_back(decide(fc));
+    return out;
+}
+
+} // namespace ianus::compiler

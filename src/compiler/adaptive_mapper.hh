@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Algorithm 1: adaptive mapping of FC layers to the matrix unit or PIM.
+ *
+ * The compiler starts from a command sequence in which every FC targets
+ * the matrix unit. For each FC it estimates the MU time (tiled, weight
+ * loading pipelined with compute, and credited with prefetch when the
+ * preceding command is a vector-unit op) and the PIM time (one GEMV per
+ * input token), then retargets the FC to whichever completes sooner.
+ * When the first FC of an FFN moves to PIM, its GELU moves with it
+ * (fused ACTAF), as the paper specifies.
+ */
+
+#ifndef IANUS_COMPILER_ADAPTIVE_MAPPER_HH
+#define IANUS_COMPILER_ADAPTIVE_MAPPER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "compiler/analytical_model.hh"
+
+namespace ianus::compiler
+{
+
+/** Where an FC should execute. */
+enum class FcUnit : std::uint8_t { MatrixUnit, Pim };
+
+const char *toString(FcUnit unit);
+
+/** Forced placements (Fig 12/13 ablations) vs Algorithm 1. */
+enum class FcPlacement : std::uint8_t { Adaptive, ForceMu, ForcePim };
+
+/** One FC in the compiler's command sequence. */
+struct FcDescriptor
+{
+    std::uint64_t tokens = 1;
+    std::uint64_t k = 0;          ///< reduction dim
+    std::uint64_t n = 0;          ///< output dim
+    bool firstOfFfn = false;      ///< GELU follows (fuses when on PIM)
+    /** Elements of a preceding VU op, if any (prefetch window). */
+    std::optional<std::uint64_t> precedingVuElems;
+};
+
+/** Algorithm 1's verdict for one FC. */
+struct FcMappingDecision
+{
+    FcUnit unit = FcUnit::MatrixUnit;
+    Tick muTime = 0;
+    Tick pimTime = 0;
+    bool geluOnPim = false;
+};
+
+/** Adaptive mapper over the analytical models. */
+class AdaptiveMapper
+{
+  public:
+    AdaptiveMapper(const AnalyticalModel &model, unsigned pim_channels,
+                   FcPlacement placement = FcPlacement::Adaptive);
+
+    /** Decide one FC (lines 2-15 of Algorithm 1). */
+    FcMappingDecision decide(const FcDescriptor &fc) const;
+
+    /** Decide a whole command sequence (the algorithm's actual input). */
+    std::vector<FcMappingDecision>
+    decideSequence(const std::vector<FcDescriptor> &fcs) const;
+
+    unsigned pimChannels() const { return pimChannels_; }
+    FcPlacement placement() const { return placement_; }
+
+  private:
+    const AnalyticalModel *model_;
+    unsigned pimChannels_;
+    FcPlacement placement_;
+};
+
+} // namespace ianus::compiler
+
+#endif // IANUS_COMPILER_ADAPTIVE_MAPPER_HH

@@ -1,0 +1,75 @@
+#include "compiler/analytical_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ianus::compiler
+{
+
+AnalyticalModel::AnalyticalModel(const SystemConfig &cfg)
+    : cfg_(cfg), mu_(cfg.mu), vu_(cfg.vu), pim_(cfg.mem, cfg.pimUnit)
+{
+}
+
+Tick
+AnalyticalModel::vuTime(isa::VuOpKind op, std::uint64_t elems) const
+{
+    return vu_.opTicks(op, elems);
+}
+
+Tick
+AnalyticalModel::dmaWeightTime(std::uint64_t bytes) const
+{
+    // Every core streams its column slice concurrently, so one core's
+    // effective share of the external bandwidth is 1/cores of the
+    // system aggregate.
+    double rate = cfg_.mem.channelPeakBytesPerTick() * cfg_.mem.channels *
+                  cfg_.dmaEfficiency / cfg_.cores;
+    return static_cast<Tick>(static_cast<double>(bytes) / rate) +
+           cfg_.mem.timing.tRCDRD + cfg_.noc.hopLatency;
+}
+
+Tick
+AnalyticalModel::muComputeTime(std::uint64_t tokens, std::uint64_t k,
+                               std::uint64_t n) const
+{
+    return mu_.gemmTicks(tokens, k, n);
+}
+
+Tick
+AnalyticalModel::pipeTotal(Tick a, Tick b, std::uint64_t tiles)
+{
+    if (tiles == 0)
+        return 0;
+    Tick hi = std::max(a, b);
+    Tick lo = std::min(a, b);
+    return hi + lo / tiles;
+}
+
+Tick
+AnalyticalModel::muFcTime(std::uint64_t tokens, std::uint64_t k,
+                          std::uint64_t n, Tick prefetch_credit) const
+{
+    std::uint64_t weight_bytes = k * n * pim::elemBytes;
+    Tick load = dmaWeightTime(weight_bytes);
+    Tick compute = muComputeTime(tokens, k, n);
+    std::uint64_t tiles =
+        ceilDiv(k, std::uint64_t{cfg_.mu.tileK()}) *
+        ceilDiv(n, std::uint64_t{cfg_.mu.tileN()});
+    Tick total = pipeTotal(load, compute, std::max<std::uint64_t>(tiles, 1));
+    return total > prefetch_credit ? total - prefetch_credit : 0;
+}
+
+Tick
+AnalyticalModel::pimFcTime(std::uint64_t tokens, std::uint64_t k,
+                           std::uint64_t n, unsigned pim_channels) const
+{
+    IANUS_ASSERT(pim_channels > 0, "PIM estimate with zero channels");
+    pim::GemvTiling tiling =
+        pim::GemvTiling::compute(n, k, cfg_.mem, pim_channels);
+    pim::MacroTiming mt = pim_.gemvTiming(tiling, false, false);
+    return tokens * (mt.total + cfg_.pcuDispatch);
+}
+
+} // namespace ianus::compiler

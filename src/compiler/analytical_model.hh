@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Compile-time analytical models of the execution units (Algorithm 1).
+ *
+ * The adaptive mapping algorithm estimates, at compile time, how long an
+ * FC would take on the matrix unit (with weight loading pipelined against
+ * compute and a prefetch credit when a vector-unit op precedes it) versus
+ * on the PIM (which repeats a matrix-vector product once per input
+ * token). These are the VU/MU/PIM/DMA models of Algorithm 1's "Define"
+ * line, built on the same parameter set the cycle-level engine uses.
+ */
+
+#ifndef IANUS_COMPILER_ANALYTICAL_MODEL_HH
+#define IANUS_COMPILER_ANALYTICAL_MODEL_HH
+
+#include "ianus/system_config.hh"
+#include "isa/command.hh"
+
+namespace ianus::compiler
+{
+
+/** Analytical timing estimates for Algorithm 1. */
+class AnalyticalModel
+{
+  public:
+    explicit AnalyticalModel(const SystemConfig &cfg);
+
+    /** Estimated time of a vector op over @p elems elements. */
+    Tick vuTime(isa::VuOpKind op, std::uint64_t elems) const;
+
+    /**
+     * Estimated time to stream @p bytes of weights from DRAM from one
+     * core's perspective: column-partitioned FCs load concurrently on
+     * all cores, so each core sustains 1/cores of the aggregate
+     * external bandwidth.
+     */
+    Tick dmaWeightTime(std::uint64_t bytes) const;
+
+    /** Pure matrix-unit compute time of a (tokens × k × n) GEMM. */
+    Tick muComputeTime(std::uint64_t tokens, std::uint64_t k,
+                       std::uint64_t n) const;
+
+    /**
+     * FC time on the matrix unit with weight streaming pipelined against
+     * compute in T tiles: max(load, compute) + min(load, compute)/T
+     * (lines 7-11 of Algorithm 1), minus @p prefetch_credit when a
+     * preceding VU op hides part of the load (lines 4-6).
+     */
+    Tick muFcTime(std::uint64_t tokens, std::uint64_t k, std::uint64_t n,
+                  Tick prefetch_credit = 0) const;
+
+    /**
+     * FC time on the PIM: the macro GEMV repeated once per token
+     * (line 13; PIM has no token batching).
+     */
+    Tick pimFcTime(std::uint64_t tokens, std::uint64_t k, std::uint64_t n,
+                   unsigned pim_channels) const;
+
+    /** Pipelining helper shared with the engine. */
+    static Tick pipeTotal(Tick a, Tick b, std::uint64_t tiles);
+
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    SystemConfig cfg_;
+    npu::MatrixUnit mu_;
+    npu::VectorUnit vu_;
+    pim::PimChannelEngine pim_;
+};
+
+} // namespace ianus::compiler
+
+#endif // IANUS_COMPILER_ANALYTICAL_MODEL_HH

@@ -1,0 +1,785 @@
+#include "compiler/workload_builder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ianus::compiler
+{
+
+using isa::OpClass;
+using isa::UnitKind;
+using isa::VuOpKind;
+
+const char *
+toString(SchedulingPolicy policy)
+{
+    switch (policy) {
+      case SchedulingPolicy::Naive: return "naive";
+      case SchedulingPolicy::Pas: return "pas";
+    }
+    return "?";
+}
+
+const char *
+toString(AttnMapping mapping)
+{
+    switch (mapping) {
+      case AttnMapping::MatrixUnit: return "mu";
+      case AttnMapping::Pim: return "pim";
+    }
+    return "?";
+}
+
+/** Build-time emission state. */
+struct WorkloadBuilder::Ctx
+{
+    isa::Program prog;
+    std::vector<std::optional<std::uint32_t>> tail; ///< per-core last cmd
+    std::optional<std::uint32_t> gate;              ///< last barrier
+    std::uint64_t blockIndex = 0;
+
+    explicit Ctx(unsigned cores) : tail(cores) {}
+};
+
+WorkloadBuilder::WorkloadBuilder(const SystemConfig &sys,
+                                 const workloads::ModelConfig &model,
+                                 const BuildOptions &opts)
+    : sys_(sys), model_(model), opts_(opts), analytical_(sys)
+{
+    sys_.validate();
+    IANUS_ASSERT(opts_.devices >= 1, "need at least one device");
+
+    // Partitioned memory: weights that cannot be duplicated across both
+    // halves live only in the NPU's DRAM half and run on the matrix unit
+    // (Section 6.2, Fig 13's GPT-2 2.5B case).
+    if (sys_.memoryMode == MemoryMode::Partitioned && sys_.pimEnabled) {
+        double w = static_cast<double>(model_.weightBytes()) /
+                   static_cast<double>(opts_.devices);
+        double cap = static_cast<double>(sys_.mem.capacityBytes);
+        double non_dup = std::max(0.0, 2.0 * w - cap);
+        nonDupFraction_ = std::min(1.0, non_dup / w);
+    }
+
+    if (opts_.attnMapping == AttnMapping::Pim && !sys_.pimEnabled)
+        IANUS_FATAL("PIM attention mapping requires PIM");
+}
+
+// ---------------------------------------------------------------------
+// Emission helpers
+// ---------------------------------------------------------------------
+
+std::uint32_t
+WorkloadBuilder::emit(Ctx &ctx, std::uint16_t core, UnitKind unit,
+                      OpClass cls, isa::Payload payload,
+                      std::vector<std::uint32_t> deps) const
+{
+    if (ctx.gate)
+        deps.push_back(*ctx.gate);
+    // Naive scheduling: the compiler emits a serial per-core chain —
+    // no prefetch, no unit-level overlap (the Fig 13 baseline).
+    if (opts_.policy == SchedulingPolicy::Naive && ctx.tail[core])
+        deps.push_back(*ctx.tail[core]);
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    std::uint32_t id =
+        ctx.prog.add(core, unit, cls, std::move(payload), std::move(deps));
+    ctx.tail[core] = id;
+    return id;
+}
+
+void
+WorkloadBuilder::barrier(Ctx &ctx, OpClass cls,
+                         std::uint64_t inter_device_bytes) const
+{
+    std::vector<std::uint32_t> deps;
+    for (const auto &t : ctx.tail)
+        if (t)
+            deps.push_back(*t);
+    isa::SyncArgs args;
+    args.interDeviceBytes = opts_.devices > 1 ? inter_device_bytes : 0;
+    std::uint32_t id = ctx.prog.add(0, UnitKind::Sync, cls, args,
+                                    std::move(deps));
+    ctx.gate = id;
+    for (auto &t : ctx.tail)
+        t = id;
+}
+
+std::uint32_t
+WorkloadBuilder::emitGather(Ctx &ctx, std::uint16_t core,
+                            std::uint64_t full_bytes, OpClass cls,
+                            std::vector<std::uint32_t> deps) const
+{
+    // Allgather of column-partitioned activations over the on-chip NoC:
+    // each core already holds 1/ways of the vector.
+    std::uint64_t bytes = full_bytes - full_bytes / ways();
+    isa::DmaArgs dma;
+    dma.bytes = bytes;
+    dma.offChip = false;
+    return emit(ctx, core, UnitKind::DmaIn, cls, dma, std::move(deps));
+}
+
+std::uint32_t
+WorkloadBuilder::emitFc(Ctx &ctx, std::uint16_t core, OpClass cls,
+                        const FcMappingDecision &decision,
+                        std::uint64_t tokens, std::uint64_t k,
+                        std::uint64_t n_slice, bool gelu_after,
+                        bool weights_on_pim_side,
+                        std::vector<std::uint32_t> deps) const
+{
+    if (decision.unit == FcUnit::Pim) {
+        pim::MacroCommand macro;
+        macro.rows = n_slice;
+        macro.cols = k;
+        macro.hasBias = true;
+        macro.fusedGelu = gelu_after; // GELU follows the FC into PIM
+        macro.channelMask = sys_.pimChipMaskForCore(core);
+        isa::PimArgs args{macro, tokens};
+        std::uint32_t id = emit(ctx, core, UnitKind::Pim, cls, args,
+                                std::move(deps));
+        pim::GemvTiling tiling = pim::GemvTiling::compute(
+            n_slice, k, sys_.mem, sys_.mem.channelsPerChip);
+        if (tiling.kTiles() > 1) {
+            // Multi-slice K: per-slice partials summed on the VU.
+            isa::VuArgs acc{VuOpKind::Accumulate, n_slice};
+            id = emit(ctx, core, UnitKind::VectorUnit, cls, acc, {id});
+        }
+        return id;
+    }
+
+    isa::MuGemmArgs gemm;
+    gemm.tokens = tokens;
+    gemm.k = k;
+    gemm.n = n_slice;
+    gemm.weightBytes = k * n_slice * pim::elemBytes;
+    gemm.weightChannels = weightMask(weights_on_pim_side);
+    std::uint32_t id = emit(ctx, core, UnitKind::MatrixUnit, cls, gemm,
+                            std::move(deps));
+    if (gelu_after) {
+        isa::VuArgs gelu{VuOpKind::Gelu, tokens * n_slice};
+        id = emit(ctx, core, UnitKind::VectorUnit, cls, gelu, {id});
+    }
+    return id;
+}
+
+// ---------------------------------------------------------------------
+// Placement
+// ---------------------------------------------------------------------
+
+FcMappingDecision
+WorkloadBuilder::decideFc(std::uint64_t tokens, std::uint64_t k,
+                          std::uint64_t n_slice, bool first_of_ffn,
+                          std::optional<std::uint64_t> prev_vu) const
+{
+    if (!sys_.pimEnabled) {
+        AnalyticalModel const &m = analytical_;
+        FcMappingDecision d;
+        d.unit = FcUnit::MatrixUnit;
+        d.muTime = m.muFcTime(tokens, k, n_slice);
+        d.pimTime = maxTick;
+        return d;
+    }
+    AdaptiveMapper mapper(analytical_, sys_.mem.channelsPerChip,
+                          opts_.fcPlacement);
+    FcDescriptor fc;
+    fc.tokens = tokens;
+    fc.k = k;
+    fc.n = n_slice;
+    fc.firstOfFfn = first_of_ffn;
+    fc.precedingVuElems = prev_vu;
+    return mapper.decide(fc);
+}
+
+bool
+WorkloadBuilder::ffn2NonDuplicated(std::uint64_t block) const
+{
+    if (nonDupFraction_ <= 0.0)
+        return false;
+    // FFN2 is one third of a block's FC weights; spill FFN2 weights first.
+    double covered = std::min(nonDupFraction_, 1.0 / 3.0) * 3.0;
+    return block < static_cast<std::uint64_t>(
+                       covered * static_cast<double>(model_.nBlocks) + 0.5);
+}
+
+dram::ChannelSet
+WorkloadBuilder::weightMask(bool on_pim_side) const
+{
+    // Unified system: one copy of the weights, Fig-5 striped over every
+    // channel (the same rows PIM computes on). Partitioned: the
+    // duplicated copy sits in the DRAM half, spilled weights only in
+    // the PIM half.
+    if (sys_.memoryMode == MemoryMode::Unified)
+        return sys_.dramChannelMask();
+    return on_pim_side ? sys_.pimChannelMask() : sys_.dramChannelMask();
+}
+
+dram::ChannelSet
+WorkloadBuilder::kvMask(std::uint16_t core) const
+{
+    // Head-wise placement: each core's KV cache lives on its memory chip
+    // so the cores reach the memory in parallel (Fig 6). Without PIM (or
+    // in the partitioned system) KV lives in the plain-DRAM pool.
+    if (sys_.pimEnabled && sys_.memoryMode == MemoryMode::Unified)
+        return sys_.memoryChipMaskForCore(core);
+    return sys_.dramChannelMask();
+}
+
+void
+WorkloadBuilder::checkCapacity(std::uint64_t tokens) const
+{
+    std::uint64_t per_device_weights =
+        model_.weightBytes() / opts_.devices;
+    if (per_device_weights > sys_.mem.capacityBytes)
+        IANUS_FATAL(model_.name, " needs ",
+                    per_device_weights / (1024 * 1024), " MiB per device ",
+                    "but each device has ",
+                    sys_.mem.capacityBytes / (1024 * 1024),
+                    " MiB of memory — use more devices");
+
+    const std::uint64_t e = model_.embDim;
+    std::uint64_t am_need =
+        (3 * tokens * e + tokens * tokens +
+         2 * tokens * model_.headDim) * pim::elemBytes;
+    if (am_need > sys_.coreMem.actScratchpadBytes)
+        IANUS_FATAL("activation working set (", am_need,
+                    " B) exceeds the activation scratchpad");
+    // The WM double-buffers one head weight matrix (Q, K and V loads
+    // reuse the buffers; the next head's matrix prefetches into the
+    // spare) or a pair of MU tiles for streamed FCs, whichever is
+    // larger.
+    std::uint64_t wm_need =
+        std::max<std::uint64_t>(2 * model_.headDim * e * pim::elemBytes,
+                                2ull * sys_.mu.tileK() * sys_.mu.tileN() *
+                                    pim::elemBytes);
+    if (wm_need > sys_.coreMem.weightScratchpadBytes)
+        IANUS_FATAL("weight working set (", wm_need,
+                    " B) exceeds the weight scratchpad");
+}
+
+// ---------------------------------------------------------------------
+// Generation stage
+// ---------------------------------------------------------------------
+
+void
+WorkloadBuilder::attentionGenerationMu(Ctx &ctx, std::uint16_t core,
+                                       std::uint64_t kv_len,
+                                       std::uint32_t ln_dep) const
+{
+    // Fig 7c: QKᵀ/SV on the matrix unit. Key concatenation on the VU
+    // overlaps PIM query generation; KV stores and the V_cat load land
+    // during softmax; K_pre of the next head prefetches during SV.
+    const std::uint64_t e = model_.embDim;
+    const std::uint64_t hd = model_.headDim;
+    const std::uint64_t heads = headsPerCore();
+    const dram::ChannelSet kv = kvMask(core);
+    const std::uint64_t kv_bytes = kv_len * hd * pim::elemBytes;
+    const std::uint64_t kpre_bytes = (kv_len - 1) * hd * pim::elemBytes;
+
+    FcMappingDecision qkv_dec = decideFc(1, e, hd, false, e);
+
+    // K_pre prefetch for the first head.
+    isa::DmaArgs kpre0;
+    kpre0.bytes = kpre_bytes;
+    kpre0.channels = kv;
+    std::uint32_t kpre = emit(ctx, core, UnitKind::DmaIn,
+                              OpClass::SelfAttention, kpre0, {});
+
+    std::uint32_t prev_vcat = 0, prev_store = 0;
+    bool have_prev = false;
+    for (std::uint64_t h = 0; h < heads; ++h) {
+        // PAS orders head h's PIM work after head h-1's off-chip DMAs so
+        // PIM bursts and normal accesses interleave without conflict.
+        std::vector<std::uint32_t> pim_deps{ln_dep, kpre};
+        if (have_prev) {
+            pim_deps.push_back(prev_vcat);
+            pim_deps.push_back(prev_store);
+        }
+
+        std::uint32_t k_gen =
+            emitFc(ctx, core, OpClass::FcQkv, qkv_dec, 1, e, hd, false,
+                   false, pim_deps);
+        isa::VuArgs cat{VuOpKind::Concat, hd};
+        std::uint32_t k_cat = emit(ctx, core, UnitKind::VectorUnit,
+                                   OpClass::SelfAttention, cat,
+                                   {k_gen, kpre});
+        isa::DmaArgs tr;
+        tr.bytes = kv_bytes;
+        tr.offChip = false;
+        tr.transpose = true;
+        std::uint32_t k_trans = emit(ctx, core, UnitKind::DmaOut,
+                                     OpClass::SelfAttention, tr, {k_cat});
+
+        std::uint32_t q_gen =
+            emitFc(ctx, core, OpClass::FcQkv, qkv_dec, 1, e, hd, false,
+                   false, pim_deps);
+        isa::MuGemmArgs qkt_args;
+        qkt_args.tokens = 1;
+        qkt_args.k = hd;
+        qkt_args.n = kv_len;
+        std::uint32_t qkt = emit(ctx, core, UnitKind::MatrixUnit,
+                                 OpClass::SelfAttention, qkt_args,
+                                 {q_gen, k_trans});
+        isa::VuArgs sm{VuOpKind::MaskedSoftmax, kv_len};
+        std::uint32_t smax = emit(ctx, core, UnitKind::VectorUnit,
+                                  OpClass::SelfAttention, sm, {qkt});
+
+        std::uint32_t v_gen =
+            emitFc(ctx, core, OpClass::FcQkv, qkv_dec, 1, e, hd, false,
+                   false, pim_deps);
+        isa::DmaArgs st;
+        st.bytes = 2 * hd * pim::elemBytes;
+        st.channels = kv;
+        st.isWrite = true;
+        std::uint32_t kv_store = emit(ctx, core, UnitKind::DmaOut,
+                                      OpClass::SelfAttention, st,
+                                      {k_gen, v_gen});
+        isa::DmaArgs vl;
+        vl.bytes = kv_bytes;
+        vl.channels = kv;
+        std::uint32_t v_cat = emit(ctx, core, UnitKind::DmaIn,
+                                   OpClass::SelfAttention, vl,
+                                   {v_gen, qkt});
+
+        if (h + 1 < heads) {
+            isa::DmaArgs pf;
+            pf.bytes = kpre_bytes;
+            pf.channels = kv;
+            kpre = emit(ctx, core, UnitKind::DmaIn,
+                        OpClass::SelfAttention, pf, {smax});
+        }
+
+        isa::MuGemmArgs sv_args;
+        sv_args.tokens = 1;
+        sv_args.k = kv_len;
+        sv_args.n = hd;
+        emit(ctx, core, UnitKind::MatrixUnit, OpClass::SelfAttention,
+             sv_args, {smax, v_cat});
+
+        prev_vcat = v_cat;
+        prev_store = kv_store;
+        have_prev = true;
+    }
+}
+
+void
+WorkloadBuilder::attentionGenerationPim(Ctx &ctx, std::uint16_t core,
+                                        std::uint64_t kv_len,
+                                        std::uint32_t ln_dep) const
+{
+    // Fig 7b: QKᵀ and SV on the PIM. No V_cat/K_pre loads (the PIM reads
+    // keys/values in place), but head-dim-wide MACs waste 93.75% of each
+    // DRAM row and the NPU idles while the PIM serializes.
+    const std::uint64_t e = model_.embDim;
+    const std::uint64_t hd = model_.headDim;
+    const std::uint64_t heads = headsPerCore();
+    const dram::ChannelSet kv = kvMask(core);
+    const dram::ChannelSet chip = sys_.pimChipMaskForCore(core);
+
+    FcMappingDecision qkv_dec = decideFc(1, e, hd, false, e);
+    FcMappingDecision force_pim;
+    force_pim.unit = FcUnit::Pim;
+
+    std::uint32_t prev_k_store = 0, prev_v_store = 0;
+    bool have_prev = false;
+    for (std::uint64_t h = 0; h < heads; ++h) {
+        std::vector<std::uint32_t> pim_deps{ln_dep};
+        if (have_prev) {
+            pim_deps.push_back(prev_k_store);
+            pim_deps.push_back(prev_v_store);
+        }
+
+        std::uint32_t k_gen =
+            emitFc(ctx, core, OpClass::FcQkv, qkv_dec, 1, e, hd, false,
+                   false, pim_deps);
+        isa::VuArgs cat{VuOpKind::Concat, hd};
+        std::uint32_t k_cat = emit(ctx, core, UnitKind::VectorUnit,
+                                   OpClass::SelfAttention, cat, {k_gen});
+        isa::DmaArgs kst;
+        kst.bytes = hd * pim::elemBytes;
+        kst.channels = kv;
+        kst.isWrite = true;
+        std::uint32_t k_store = emit(ctx, core, UnitKind::DmaOut,
+                                     OpClass::SelfAttention, kst, {k_cat});
+
+        std::uint32_t q_gen =
+            emitFc(ctx, core, OpClass::FcQkv, qkv_dec, 1, e, hd, false,
+                   false, pim_deps);
+
+        pim::MacroCommand qkt_m;
+        qkt_m.rows = kv_len;
+        qkt_m.cols = hd;
+        qkt_m.channelMask = chip;
+        std::uint32_t qkt = emit(ctx, core, UnitKind::Pim,
+                                 OpClass::SelfAttention,
+                                 isa::PimArgs{qkt_m, 1}, {q_gen, k_store});
+        isa::VuArgs sm{VuOpKind::MaskedSoftmax, kv_len};
+        std::uint32_t smax = emit(ctx, core, UnitKind::VectorUnit,
+                                  OpClass::SelfAttention, sm, {qkt});
+
+        std::uint32_t v_gen =
+            emitFc(ctx, core, OpClass::FcQkv, qkv_dec, 1, e, hd, false,
+                   false, pim_deps);
+        // SV on PIM consumes V transposed (rows = head dim, cols = KV
+        // length), so appending one value vector scatters its hd
+        // elements across hd distinct DRAM rows — a row-granular write
+        // per element, not a 128 B sequential append. This layout cost
+        // is one of the reasons the paper rejects the PIM mapping
+        // (Section 5.3).
+        isa::DmaArgs vst;
+        vst.bytes = hd * sys_.mem.rowBytes;
+        vst.channels = kv;
+        vst.isWrite = true;
+        std::uint32_t v_store = emit(ctx, core, UnitKind::DmaOut,
+                                     OpClass::SelfAttention, vst, {v_gen});
+
+        pim::MacroCommand sv_m;
+        sv_m.rows = hd;
+        sv_m.cols = kv_len;
+        sv_m.channelMask = chip;
+        emit(ctx, core, UnitKind::Pim, OpClass::SelfAttention,
+             isa::PimArgs{sv_m, 1}, {smax, v_store});
+
+        prev_k_store = k_store;
+        prev_v_store = v_store;
+        have_prev = true;
+    }
+}
+
+void
+WorkloadBuilder::blockGeneration(Ctx &ctx, std::uint64_t kv_len) const
+{
+    const std::uint64_t e = model_.embDim;
+    const std::uint64_t ffn = model_.ffnDim();
+
+    // LN1 + multi-head attention (head-parallel across cores).
+    std::vector<std::uint32_t> ln(sys_.cores);
+    for (std::uint16_t c = 0; c < sys_.cores; ++c) {
+        isa::VuArgs args{VuOpKind::LayerNorm, e};
+        ln[c] = emit(ctx, c, UnitKind::VectorUnit, OpClass::LayerNorm,
+                     args, {});
+    }
+    for (std::uint16_t c = 0; c < sys_.cores; ++c) {
+        if (opts_.attnMapping == AttnMapping::MatrixUnit)
+            attentionGenerationMu(ctx, c, kv_len, ln[c]);
+        else
+            attentionGenerationPim(ctx, c, kv_len, ln[c]);
+    }
+    barrier(ctx, OpClass::SelfAttention, e * pim::elemBytes); // sync 1
+
+    // Attention output FC (column-split) + residual add.
+    FcMappingDecision attn_dec = decideFc(1, e, colSlice(e), false, {});
+    for (std::uint16_t c = 0; c < sys_.cores; ++c) {
+        std::uint32_t g = emitGather(ctx, c, e * pim::elemBytes,
+                                     OpClass::FcAttnAdd, {});
+        std::uint32_t fc = emitFc(ctx, c, OpClass::FcAttnAdd, attn_dec, 1,
+                                  e, colSlice(e), false, false, {g});
+        isa::VuArgs add{VuOpKind::Add, colSlice(e)};
+        emit(ctx, c, UnitKind::VectorUnit, OpClass::FcAttnAdd, add, {fc});
+    }
+    barrier(ctx, OpClass::FcAttnAdd, e * pim::elemBytes); // sync 2
+
+    // LN2 + FFN1 (+GELU).
+    FcMappingDecision ffn1_dec = decideFc(1, e, colSlice(ffn), true, e);
+    for (std::uint16_t c = 0; c < sys_.cores; ++c) {
+        std::uint32_t g = emitGather(ctx, c, e * pim::elemBytes,
+                                     OpClass::LayerNorm, {});
+        isa::VuArgs lnv{VuOpKind::LayerNorm, e};
+        std::uint32_t ln2 = emit(ctx, c, UnitKind::VectorUnit,
+                                 OpClass::LayerNorm, lnv, {g});
+        emitFc(ctx, c, OpClass::FfnAdd, ffn1_dec, 1, e, colSlice(ffn),
+               true, false, {ln2});
+    }
+    barrier(ctx, OpClass::FfnAdd, ffn * pim::elemBytes); // sync 3 (GELU)
+
+    // FFN2 + residual add.
+    bool non_dup = ffn2NonDuplicated(ctx.blockIndex);
+    FcMappingDecision ffn2_dec;
+    if (non_dup) {
+        // Non-duplicated weights exist only on the PIM half; the matrix
+        // unit computes them, streaming from the PIM channels where the
+        // stream collides with PIM compute (Section 6.2).
+        ffn2_dec.unit = FcUnit::MatrixUnit;
+    } else {
+        ffn2_dec = decideFc(1, ffn, colSlice(e), false, {});
+    }
+    for (std::uint16_t c = 0; c < sys_.cores; ++c) {
+        std::uint32_t g = emitGather(ctx, c, ffn * pim::elemBytes,
+                                     OpClass::FfnAdd, {});
+        std::uint32_t fc = emitFc(ctx, c, OpClass::FfnAdd, ffn2_dec, 1,
+                                  ffn, colSlice(e), false, non_dup, {g});
+        isa::VuArgs add{VuOpKind::Add, colSlice(e)};
+        emit(ctx, c, UnitKind::VectorUnit, OpClass::FfnAdd, add, {fc});
+    }
+    barrier(ctx, OpClass::FfnAdd, e * pim::elemBytes); // sync 4
+
+    ++ctx.blockIndex;
+}
+
+// ---------------------------------------------------------------------
+// Summarization stage
+// ---------------------------------------------------------------------
+
+void
+WorkloadBuilder::blockSummarization(Ctx &ctx, std::uint64_t n) const
+{
+    // Fig 7a: FCs on the matrix unit with weights streamed by the load
+    // DMA; key transpose via the on-chip path overlaps value generation;
+    // values move to the weight scratchpad during softmax; weight loads
+    // for later heads queue early (inter-head prefetch).
+    const std::uint64_t e = model_.embDim;
+    const std::uint64_t hd = model_.headDim;
+    const std::uint64_t ffn = model_.ffnDim();
+    const std::uint64_t heads = headsPerCore();
+    const std::uint64_t w_head_bytes = hd * e * pim::elemBytes;
+    const bool decoder = model_.decoder();
+
+    std::vector<std::uint32_t> ln(sys_.cores);
+    for (std::uint16_t c = 0; c < sys_.cores; ++c) {
+        isa::VuArgs args{VuOpKind::LayerNorm, n * e};
+        ln[c] = emit(ctx, c, UnitKind::VectorUnit, OpClass::LayerNorm,
+                     args, {});
+    }
+
+    for (std::uint16_t c = 0; c < sys_.cores; ++c) {
+        for (std::uint64_t h = 0; h < heads; ++h) {
+            // Head-wise QKV weights live on the core's memory chip in
+            // the unified system (Fig 6); in the partitioned system the
+            // NPU reads the duplicated copy from the DRAM half.
+            dram::ChannelSet w_channels =
+                (sys_.pimEnabled &&
+                 sys_.memoryMode == MemoryMode::Unified)
+                    ? sys_.memoryChipMaskForCore(c)
+                    : sys_.dramChannelMask();
+            auto w_load = [&](void) {
+                isa::DmaArgs a;
+                a.bytes = w_head_bytes;
+                a.channels = w_channels;
+                return emit(ctx, c, UnitKind::DmaIn, OpClass::FcQkv, a,
+                            {});
+            };
+            std::uint32_t wk = w_load();
+            std::uint32_t wv = w_load();
+            std::uint32_t wq = w_load();
+
+            isa::MuGemmArgs fc;
+            fc.tokens = n;
+            fc.k = e;
+            fc.n = hd;
+            std::uint32_t k_gen = emit(ctx, c, UnitKind::MatrixUnit,
+                                       OpClass::FcQkv, fc, {wk, ln[c]});
+            std::uint32_t v_gen = emit(ctx, c, UnitKind::MatrixUnit,
+                                       OpClass::FcQkv, fc, {wv, k_gen});
+            isa::DmaArgs tr;
+            tr.bytes = n * hd * pim::elemBytes;
+            tr.offChip = false;
+            tr.transpose = true;
+            std::uint32_t k_trans =
+                emit(ctx, c, UnitKind::DmaOut, OpClass::SelfAttention, tr,
+                     {k_gen});
+            std::uint32_t q_gen = emit(ctx, c, UnitKind::MatrixUnit,
+                                       OpClass::FcQkv, fc, {wq, v_gen});
+            if (decoder) {
+                isa::DmaArgs st;
+                st.bytes = 2 * n * hd * pim::elemBytes;
+                st.channels = kvMask(c);
+                st.isWrite = true;
+                emit(ctx, c, UnitKind::DmaOut, OpClass::SelfAttention, st,
+                     {k_gen, v_gen});
+            }
+            isa::MuGemmArgs qkt_args;
+            qkt_args.tokens = n;
+            qkt_args.k = hd;
+            qkt_args.n = n;
+            std::uint32_t qkt =
+                emit(ctx, c, UnitKind::MatrixUnit, OpClass::SelfAttention,
+                     qkt_args, {q_gen, k_trans});
+            isa::VuArgs sm{VuOpKind::MaskedSoftmax, n * n};
+            std::uint32_t smax = emit(ctx, c, UnitKind::VectorUnit,
+                                      OpClass::SelfAttention, sm, {qkt});
+            isa::DmaArgs mv;
+            mv.bytes = n * hd * pim::elemBytes;
+            mv.offChip = false;
+            std::uint32_t v_move =
+                emit(ctx, c, UnitKind::DmaOut, OpClass::SelfAttention, mv,
+                     {v_gen, qkt});
+            isa::MuGemmArgs sv_args;
+            sv_args.tokens = n;
+            sv_args.k = n;
+            sv_args.n = hd;
+            emit(ctx, c, UnitKind::MatrixUnit, OpClass::SelfAttention,
+                 sv_args, {smax, v_move});
+        }
+    }
+    barrier(ctx, OpClass::SelfAttention, n * e * pim::elemBytes);
+
+    // Attention output FC + residual.
+    FcMappingDecision attn_dec = decideFc(n, e, colSlice(e), false, {});
+    for (std::uint16_t c = 0; c < sys_.cores; ++c) {
+        std::uint32_t g = emitGather(ctx, c, n * e * pim::elemBytes,
+                                     OpClass::FcAttnAdd, {});
+        std::uint32_t fc = emitFc(ctx, c, OpClass::FcAttnAdd, attn_dec, n,
+                                  e, colSlice(e), false, false, {g});
+        isa::VuArgs add{VuOpKind::Add, n * colSlice(e)};
+        emit(ctx, c, UnitKind::VectorUnit, OpClass::FcAttnAdd, add, {fc});
+    }
+    barrier(ctx, OpClass::FcAttnAdd, n * e * pim::elemBytes);
+
+    // LN2 + FFN.
+    FcMappingDecision ffn1_dec = decideFc(n, e, colSlice(ffn), true,
+                                          n * e);
+    for (std::uint16_t c = 0; c < sys_.cores; ++c) {
+        std::uint32_t g = emitGather(ctx, c, n * e * pim::elemBytes,
+                                     OpClass::LayerNorm, {});
+        isa::VuArgs lnv{VuOpKind::LayerNorm, n * e};
+        std::uint32_t ln2 = emit(ctx, c, UnitKind::VectorUnit,
+                                 OpClass::LayerNorm, lnv, {g});
+        emitFc(ctx, c, OpClass::FfnAdd, ffn1_dec, n, e, colSlice(ffn),
+               true, false, {ln2});
+    }
+    barrier(ctx, OpClass::FfnAdd, n * ffn * pim::elemBytes);
+
+    bool non_dup = ffn2NonDuplicated(ctx.blockIndex);
+    FcMappingDecision ffn2_dec;
+    if (non_dup)
+        ffn2_dec.unit = FcUnit::MatrixUnit;
+    else
+        ffn2_dec = decideFc(n, ffn, colSlice(e), false, {});
+    for (std::uint16_t c = 0; c < sys_.cores; ++c) {
+        std::uint32_t g = emitGather(ctx, c, n * ffn * pim::elemBytes,
+                                     OpClass::FfnAdd, {});
+        std::uint32_t fc = emitFc(ctx, c, OpClass::FfnAdd, ffn2_dec, n,
+                                  ffn, colSlice(e), false, non_dup, {g});
+        isa::VuArgs add{VuOpKind::Add, n * colSlice(e)};
+        emit(ctx, c, UnitKind::VectorUnit, OpClass::FfnAdd, add, {fc});
+    }
+    barrier(ctx, OpClass::FfnAdd, n * e * pim::elemBytes);
+
+    ++ctx.blockIndex;
+}
+
+// ---------------------------------------------------------------------
+// Heads and full stages
+// ---------------------------------------------------------------------
+
+void
+WorkloadBuilder::lmHead(Ctx &ctx) const
+{
+    // Logits for one token: a matrix-vector product over the vocabulary —
+    // the one summarization-stage operation that runs on PIM (Fig 9's
+    // "PIM operates as standard GDDR6 except for the LM head").
+    const std::uint64_t e = model_.embDim;
+    std::uint64_t slice = colSlice(model_.vocab);
+    FcMappingDecision dec = decideFc(1, e, slice, false, e);
+    for (std::uint16_t c = 0; c < sys_.cores; ++c) {
+        isa::VuArgs lnv{VuOpKind::LayerNorm, e};
+        std::uint32_t ln = emit(ctx, c, UnitKind::VectorUnit,
+                                OpClass::LayerNorm, lnv, {});
+        emitFc(ctx, c, OpClass::LmHead, dec, 1, e, slice, false, false,
+               {ln});
+    }
+    barrier(ctx, OpClass::LmHead);
+}
+
+isa::Program
+WorkloadBuilder::buildSummarization(std::uint64_t input_tokens) const
+{
+    IANUS_ASSERT(input_tokens > 0, "empty input");
+    checkCapacity(input_tokens);
+    Ctx ctx(sys_.cores);
+
+    for (std::uint16_t c = 0; c < sys_.cores; ++c) {
+        isa::DmaArgs emb;
+        emb.bytes = input_tokens * model_.embDim * pim::elemBytes;
+        emb.channels = sys_.dramChannelMask();
+        emit(ctx, c, UnitKind::DmaIn, OpClass::Embedding, emb, {});
+    }
+    for (std::uint64_t b = 0; b < model_.nBlocks; ++b)
+        blockSummarization(ctx, input_tokens);
+
+    if (model_.decoder()) {
+        lmHead(ctx);
+    } else {
+        // BERT QA head: span start/end logits from the final states.
+        isa::MuGemmArgs qa;
+        qa.tokens = input_tokens;
+        qa.k = model_.embDim;
+        qa.n = 2;
+        qa.weightBytes = model_.embDim * 2 * pim::elemBytes;
+        qa.weightChannels = sys_.dramChannelMask();
+        emit(ctx, 0, UnitKind::MatrixUnit, OpClass::Other, qa, {});
+        barrier(ctx, OpClass::Other);
+    }
+    ctx.prog.validate();
+    return std::move(ctx.prog);
+}
+
+isa::Program
+WorkloadBuilder::buildGenerationToken(std::uint64_t kv_len) const
+{
+    IANUS_ASSERT(model_.decoder(), "generation needs a decoder model");
+    IANUS_ASSERT(kv_len > 0, "generation with empty KV cache");
+    checkCapacity(1);
+    Ctx ctx(sys_.cores);
+
+    for (std::uint16_t c = 0; c < sys_.cores; ++c) {
+        isa::DmaArgs emb;
+        emb.bytes = model_.embDim * pim::elemBytes;
+        emb.channels = sys_.dramChannelMask();
+        emit(ctx, c, UnitKind::DmaIn, OpClass::Embedding, emb, {});
+    }
+    for (std::uint64_t b = 0; b < model_.nBlocks; ++b)
+        blockGeneration(ctx, kv_len);
+    lmHead(ctx);
+    ctx.prog.validate();
+    return std::move(ctx.prog);
+}
+
+isa::Program
+WorkloadBuilder::buildFcSweep(std::uint64_t tokens) const
+{
+    // All FC layers of the model, in sequence, at the requested token
+    // count — the Fig 12 adaptive-mapping study.
+    Ctx ctx(sys_.cores);
+    const std::uint64_t e = model_.embDim;
+    const std::uint64_t ffn = model_.ffnDim();
+    struct Shape { std::uint64_t k, n; bool ffn1; };
+    const Shape shapes[] = {
+        {e, colSlice(3 * e), false}, // QKV
+        {e, colSlice(e), false},     // attention output
+        {e, colSlice(ffn), true},    // FFN1
+        {ffn, colSlice(e), false},   // FFN2
+    };
+    for (std::uint64_t b = 0; b < model_.nBlocks; ++b) {
+        for (const Shape &s : shapes) {
+            FcMappingDecision dec =
+                decideFc(tokens, s.k, s.n, s.ffn1, {});
+            for (std::uint16_t c = 0; c < sys_.cores; ++c)
+                emitFc(ctx, c, OpClass::Other, dec, tokens, s.k, s.n,
+                       false, false, {});
+            barrier(ctx, OpClass::Other);
+        }
+    }
+    ctx.prog.validate();
+    return std::move(ctx.prog);
+}
+
+std::vector<FcPlan>
+WorkloadBuilder::generationFcPlans() const
+{
+    const std::uint64_t e = model_.embDim;
+    const std::uint64_t ffn = model_.ffnDim();
+    std::vector<FcPlan> plans;
+    auto push = [&](const char *what, std::uint64_t k, std::uint64_t n,
+                    bool ffn1) {
+        FcMappingDecision d = decideFc(1, k, n, ffn1, {});
+        plans.push_back(FcPlan{what, 1, k, n, d.unit, d.geluOnPim});
+    };
+    push("qkv(head)", e, model_.headDim, false);
+    push("fc_attn", e, colSlice(e), false);
+    push("ffn1", e, colSlice(ffn), true);
+    push("ffn2", ffn, colSlice(e), false);
+    push("lm_head", e, colSlice(model_.vocab), false);
+    return plans;
+}
+
+} // namespace ianus::compiler

@@ -1,0 +1,64 @@
+#include "dram/address_mapping.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace ianus::dram
+{
+
+namespace
+{
+
+unsigned
+log2Exact(std::uint64_t v, const char *what)
+{
+    if (v == 0 || (v & (v - 1)) != 0)
+        IANUS_FATAL(what, " (", v, ") must be a power of two for the "
+                    "Fig-5 address mapping");
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+} // namespace
+
+AddressMapping::AddressMapping(const Gddr6Config &cfg) : cfg_(cfg)
+{
+    cfg.validate();
+    offsetBits_ = log2Exact(cfg.burstBytes, "burst size");
+    columnBits_ = log2Exact(cfg.rowBytes / cfg.burstBytes,
+                            "bursts per row");
+    bankBits_ = log2Exact(cfg.banksPerChannel, "banks per channel");
+    channelBits_ = log2Exact(cfg.channels, "channel count");
+    std::uint64_t per_bank_bytes =
+        cfg.capacityBytes / (cfg.channels * cfg.banksPerChannel);
+    rowsPerBank_ = per_bank_bytes / cfg.rowBytes;
+}
+
+DecodedAddress
+AddressMapping::decode(std::uint64_t addr) const
+{
+    DecodedAddress d{};
+    d.offset = addr & ((1ull << offsetBits_) - 1);
+    addr >>= offsetBits_;
+    d.column = addr & ((1ull << columnBits_) - 1);
+    addr >>= columnBits_;
+    d.bank = static_cast<unsigned>(addr & ((1ull << bankBits_) - 1));
+    addr >>= bankBits_;
+    d.channel = static_cast<unsigned>(addr & ((1ull << channelBits_) - 1));
+    addr >>= channelBits_;
+    d.row = addr;
+    return d;
+}
+
+std::uint64_t
+AddressMapping::encode(const DecodedAddress &d) const
+{
+    std::uint64_t addr = d.row;
+    addr = (addr << channelBits_) | d.channel;
+    addr = (addr << bankBits_) | d.bank;
+    addr = (addr << columnBits_) | d.column;
+    addr = (addr << offsetBits_) | d.offset;
+    return addr;
+}
+
+} // namespace ianus::dram

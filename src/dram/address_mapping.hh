@@ -1,0 +1,72 @@
+/**
+ * @file
+ * IANUS DRAM address mapping (Figure 5).
+ *
+ * Physical addresses decompose, MSB to LSB, as
+ * Row – Channel – Bank – Column – Offset. The row index doubles as the
+ * PIM tile index: every burst of one tile shares a row address, rows of a
+ * tile spread over all (channel, bank) pairs, and the column index walks
+ * the 1024 BF16 elements of one DRAM row, so an all-bank PIM MAC consumes
+ * one tile with zero row conflicts (Section 4.3).
+ */
+
+#ifndef IANUS_DRAM_ADDRESS_MAPPING_HH
+#define IANUS_DRAM_ADDRESS_MAPPING_HH
+
+#include <cstdint>
+
+#include "dram/dram_params.hh"
+
+namespace ianus::dram
+{
+
+/** A decoded physical address. */
+struct DecodedAddress
+{
+    std::uint64_t row;      ///< DRAM row == PIM tile index
+    unsigned channel;
+    unsigned bank;
+    std::uint64_t column;   ///< burst-granular column index
+    std::uint64_t offset;   ///< byte offset inside the burst
+
+    bool
+    operator==(const DecodedAddress &o) const
+    {
+        return row == o.row && channel == o.channel && bank == o.bank &&
+               column == o.column && offset == o.offset;
+    }
+};
+
+/** Encoder/decoder for the Fig-5 Row-Channel-Bank-Column mapping. */
+class AddressMapping
+{
+  public:
+    explicit AddressMapping(const Gddr6Config &cfg);
+
+    /** Split a physical byte address into device coordinates. */
+    DecodedAddress decode(std::uint64_t addr) const;
+
+    /** Inverse of decode(). */
+    std::uint64_t encode(const DecodedAddress &d) const;
+
+    /** Bits consumed by each field (testing/inspection). */
+    unsigned offsetBits() const { return offsetBits_; }
+    unsigned columnBits() const { return columnBits_; }
+    unsigned bankBits() const { return bankBits_; }
+    unsigned channelBits() const { return channelBits_; }
+
+    /** Number of addressable rows per bank for the configured capacity. */
+    std::uint64_t rowsPerBank() const { return rowsPerBank_; }
+
+  private:
+    unsigned offsetBits_;
+    unsigned columnBits_;
+    unsigned bankBits_;
+    unsigned channelBits_;
+    std::uint64_t rowsPerBank_;
+    Gddr6Config cfg_;
+};
+
+} // namespace ianus::dram
+
+#endif // IANUS_DRAM_ADDRESS_MAPPING_HH

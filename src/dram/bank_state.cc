@@ -1,0 +1,55 @@
+#include "dram/bank_state.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ianus::dram
+{
+
+Tick
+BankState::activate(std::uint64_t row, Tick at)
+{
+    IANUS_ASSERT(!openRow_, "ACT to an already-active bank");
+    Tick issue = std::max(at, actReadyAt_);
+    openRow_ = row;
+    readReadyAt_ = issue + timing_.tRCDRD;
+    writeReadyAt_ = issue + timing_.tRCDWR;
+    preReadyAt_ = issue + timing_.tRAS;
+    actReadyAt_ = issue + timing_.rowCycle();
+    return issue;
+}
+
+Tick
+BankState::read(Tick at)
+{
+    IANUS_ASSERT(openRow_, "RD with no open row");
+    Tick start = std::max({at, readReadyAt_, lastColumnEnd_});
+    Tick end = start + timing_.tCCDL;
+    lastColumnEnd_ = end;
+    return end;
+}
+
+Tick
+BankState::write(Tick at)
+{
+    IANUS_ASSERT(openRow_, "WR with no open row");
+    Tick start = std::max({at, writeReadyAt_, lastColumnEnd_});
+    Tick end = start + timing_.tCCDL;
+    lastColumnEnd_ = end;
+    // Write recovery delays the next precharge.
+    preReadyAt_ = std::max(preReadyAt_, end + timing_.tWR);
+    return end;
+}
+
+Tick
+BankState::precharge(Tick at)
+{
+    IANUS_ASSERT(openRow_, "PRE on an idle bank");
+    Tick issue = std::max({at, preReadyAt_, lastColumnEnd_});
+    openRow_.reset();
+    actReadyAt_ = std::max(actReadyAt_, issue + timing_.tRP);
+    return issue + timing_.tRP;
+}
+
+} // namespace ianus::dram

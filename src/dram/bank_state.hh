@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-bank DRAM state machine.
+ *
+ * Tracks the open row and the earliest legal issue time of each command
+ * class given the Table-1 constraints. Used directly by the per-burst
+ * replay path (tests and the PIM engine's row bookkeeping) and as the
+ * ground truth against which closed-form channel timing is verified.
+ */
+
+#ifndef IANUS_DRAM_BANK_STATE_HH
+#define IANUS_DRAM_BANK_STATE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "dram/dram_params.hh"
+
+namespace ianus::dram
+{
+
+/** One DRAM bank's row-buffer and timing state. */
+class BankState
+{
+  public:
+    explicit BankState(const DramTiming &timing) : timing_(timing) {}
+
+    /** Open row, if the bank is active. */
+    std::optional<std::uint64_t> openRow() const { return openRow_; }
+
+    /**
+     * Issue an ACTIVATE for @p row no earlier than @p at.
+     * @return the tick the activate command actually issues.
+     */
+    Tick activate(std::uint64_t row, Tick at);
+
+    /**
+     * Issue a column READ no earlier than @p at; the row must be open.
+     * @return the tick the read's data burst completes.
+     */
+    Tick read(Tick at);
+
+    /** Issue a column WRITE; analogous to read(). */
+    Tick write(Tick at);
+
+    /**
+     * Issue a PRECHARGE no earlier than @p at.
+     * @return the tick the bank becomes idle (precharge complete).
+     */
+    Tick precharge(Tick at);
+
+    /** Earliest tick a READ data burst could start if the row is open. */
+    Tick readReadyAt() const { return readReadyAt_; }
+
+    /** Earliest tick an ACTIVATE may issue (row cycle constraint). */
+    Tick activateReadyAt() const { return actReadyAt_; }
+
+  private:
+    DramTiming timing_;
+    std::optional<std::uint64_t> openRow_;
+    Tick actReadyAt_ = 0;      ///< tRC/tRP gate on the next ACT
+    Tick readReadyAt_ = 0;     ///< tRCDRD gate on the next RD
+    Tick writeReadyAt_ = 0;    ///< tRCDWR gate on the next WR
+    Tick preReadyAt_ = 0;      ///< tRAS/tWR gate on the next PRE
+    Tick lastColumnEnd_ = 0;   ///< tCCDL gate on the next column access
+};
+
+} // namespace ianus::dram
+
+#endif // IANUS_DRAM_BANK_STATE_HH

@@ -1,0 +1,213 @@
+#include "dram/channel_arbiter.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ianus::dram
+{
+
+namespace
+{
+
+constexpr double kBytesEpsilon = 1e-6;
+
+} // namespace
+
+ChannelSet
+allChannels(const Gddr6Config &cfg)
+{
+    return cfg.channels >= 32 ? ~0u : ((1u << cfg.channels) - 1u);
+}
+
+ChannelSet
+chipChannels(const Gddr6Config &cfg, unsigned chip)
+{
+    IANUS_ASSERT(chip < cfg.chips(), "chip index out of range");
+    ChannelSet mask = 0;
+    for (unsigned c = 0; c < cfg.channelsPerChip; ++c)
+        mask |= 1u << (chip * cfg.channelsPerChip + c);
+    return mask;
+}
+
+ChannelArbiter::ChannelArbiter(sim::EventQueue &eq, const Gddr6Config &cfg,
+                               double efficiency)
+    : eq_(eq), cfg_(cfg), efficiency_(efficiency)
+{
+    IANUS_ASSERT(efficiency > 0.0 && efficiency <= 1.0,
+                 "efficiency must be in (0, 1]");
+    perChannelRate_ = cfg.channelPeakBytesPerTick() * efficiency;
+    exclusive_.assign(cfg.channels, 0);
+}
+
+unsigned
+ChannelArbiter::flowsOnChannel(unsigned ch) const
+{
+    unsigned n = 0;
+    for (const Flow &f : flows_)
+        if (f.channels & (1u << ch))
+            ++n;
+    return n;
+}
+
+void
+ChannelArbiter::advanceTo(Tick now)
+{
+    IANUS_ASSERT(now >= lastUpdate_, "arbiter time went backwards");
+    double dt = static_cast<double>(now - lastUpdate_);
+    if (dt > 0.0) {
+        for (Flow &f : flows_)
+            f.bytesLeft = std::max(0.0, f.bytesLeft - f.rate * dt);
+    }
+    lastUpdate_ = now;
+}
+
+void
+ChannelArbiter::recomputeRates()
+{
+    // Per-channel share: capacity / flows on it; zero when exclusively
+    // reserved by a PIM macro command.
+    std::vector<double> share(cfg_.channels, 0.0);
+    for (unsigned ch = 0; ch < cfg_.channels; ++ch) {
+        if (exclusive_[ch] > 0)
+            continue;
+        unsigned n = flowsOnChannel(ch);
+        if (n > 0)
+            share[ch] = perChannelRate_ / static_cast<double>(n);
+    }
+    for (Flow &f : flows_) {
+        f.rate = 0.0;
+        for (unsigned ch = 0; ch < cfg_.channels; ++ch)
+            if (f.channels & (1u << ch))
+                f.rate += share[ch];
+    }
+}
+
+void
+ChannelArbiter::rescheduleCompletion()
+{
+    if (pendingEvent_ != 0) {
+        eq_.deschedule(pendingEvent_);
+        pendingEvent_ = 0;
+    }
+    double earliest = -1.0;
+    for (const Flow &f : flows_) {
+        if (f.rate <= 0.0)
+            continue;
+        double eta = f.bytesLeft / f.rate;
+        if (earliest < 0.0 || eta < earliest)
+            earliest = eta;
+    }
+    if (earliest < 0.0)
+        return; // all flows stalled (or none live)
+    Tick when = eq_.now() + static_cast<Tick>(std::ceil(earliest));
+    pendingEvent_ = eq_.schedule(when, [this] {
+        pendingEvent_ = 0;
+        advanceTo(eq_.now());
+        completeFinished();
+        recomputeRates();
+        rescheduleCompletion();
+    });
+}
+
+void
+ChannelArbiter::completeFinished()
+{
+    std::vector<std::function<void()>> callbacks;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        if (it->bytesLeft <= kBytesEpsilon) {
+            callbacks.push_back(std::move(it->onComplete));
+            it = flows_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (auto &cb : callbacks)
+        if (cb)
+            cb();
+}
+
+ChannelArbiter::FlowId
+ChannelArbiter::startFlow(std::uint64_t bytes, ChannelSet channels,
+                          bool is_write, std::function<void()> on_complete)
+{
+    IANUS_ASSERT((channels & allChannels(cfg_)) == channels,
+                 "flow uses channels outside the memory system");
+    IANUS_ASSERT(channels != 0, "flow must use at least one channel");
+
+    if (is_write)
+        writeBytes_ += bytes;
+    else
+        readBytes_ += bytes;
+
+    advanceTo(eq_.now());
+    FlowId id = nextId_++;
+    if (bytes == 0) {
+        // Degenerate transfer: complete on the next event boundary so the
+        // callback still runs from event context.
+        eq_.scheduleIn(0, std::move(on_complete));
+        return id;
+    }
+    flows_.push_back(Flow{id, static_cast<double>(bytes), channels,
+                          is_write, 0.0, std::move(on_complete)});
+    recomputeRates();
+    rescheduleCompletion();
+    return id;
+}
+
+void
+ChannelArbiter::acquireExclusive(ChannelSet channels)
+{
+    advanceTo(eq_.now());
+    bool was_idle = exclusiveChannels_ == 0;
+    for (unsigned ch = 0; ch < cfg_.channels; ++ch) {
+        if (channels & (1u << ch)) {
+            if (exclusive_[ch]++ == 0)
+                ++exclusiveChannels_;
+        }
+    }
+    if (was_idle && exclusiveChannels_ > 0)
+        exclusiveSince_ = eq_.now();
+    recomputeRates();
+    rescheduleCompletion();
+}
+
+void
+ChannelArbiter::releaseExclusive(ChannelSet channels)
+{
+    advanceTo(eq_.now());
+    for (unsigned ch = 0; ch < cfg_.channels; ++ch) {
+        if (channels & (1u << ch)) {
+            IANUS_ASSERT(exclusive_[ch] > 0,
+                         "release of non-reserved channel ", ch);
+            if (--exclusive_[ch] == 0)
+                --exclusiveChannels_;
+        }
+    }
+    if (exclusiveChannels_ == 0 && exclusiveSince_ <= eq_.now())
+        exclusiveAccum_ += eq_.now() - exclusiveSince_;
+    recomputeRates();
+    rescheduleCompletion();
+}
+
+bool
+ChannelArbiter::anyFlowOn(ChannelSet channels) const
+{
+    for (const Flow &f : flows_)
+        if (f.channels & channels)
+            return true;
+    return false;
+}
+
+Tick
+ChannelArbiter::exclusiveTicks() const
+{
+    Tick t = exclusiveAccum_;
+    if (exclusiveChannels_ > 0)
+        t += eq_.now() - exclusiveSince_;
+    return t;
+}
+
+} // namespace ianus::dram

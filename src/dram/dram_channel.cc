@@ -1,0 +1,84 @@
+#include "dram/dram_channel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ianus::dram
+{
+
+DramChannel::DramChannel(const Gddr6Config &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    banks_.assign(cfg_.banksPerChannel, BankState(cfg_.timing));
+}
+
+Tick
+DramChannel::streamReadLatency(std::uint64_t bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    std::uint64_t n = ceilDiv(bytes, cfg_.burstBytes);
+    return cfg_.timing.tRCDRD + n * cfg_.burstTicks();
+}
+
+Tick
+DramChannel::streamWriteLatency(std::uint64_t bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    std::uint64_t n = ceilDiv(bytes, cfg_.burstBytes);
+    return cfg_.timing.tRCDWR + n * cfg_.burstTicks();
+}
+
+Tick
+DramChannel::replayStream(Tick start, std::uint64_t bytes, bool is_write)
+{
+    if (bytes == 0)
+        return start;
+
+    const std::uint64_t bursts_total = ceilDiv(bytes, cfg_.burstBytes);
+    const std::uint64_t per_row = cfg_.burstsPerRow();
+    const unsigned n_banks = cfg_.banksPerChannel;
+
+    Tick bus_free = start;
+    std::uint64_t burst = 0;
+    std::uint64_t segment = 0;
+    while (burst < bursts_total) {
+        unsigned bank_idx = static_cast<unsigned>(segment % n_banks);
+        std::uint64_t row = segment / n_banks;
+        BankState &bank = banks_[bank_idx];
+
+        if (bank.openRow() && *bank.openRow() != row)
+            bank.precharge(start);
+        if (!bank.openRow()) {
+            bank.activate(row, start);
+            ++activates_;
+        }
+
+        std::uint64_t in_segment =
+            std::min(per_row, bursts_total - burst);
+        for (std::uint64_t i = 0; i < in_segment; ++i) {
+            bus_free = is_write ? bank.write(bus_free)
+                                : bank.read(bus_free);
+            ++bursts_;
+        }
+        burst += in_segment;
+        ++segment;
+    }
+    return bus_free;
+}
+
+Tick
+DramChannel::replayStreamRead(Tick start, std::uint64_t bytes)
+{
+    return replayStream(start, bytes, false);
+}
+
+Tick
+DramChannel::replayStreamWrite(Tick start, std::uint64_t bytes)
+{
+    return replayStream(start, bytes, true);
+}
+
+} // namespace ianus::dram

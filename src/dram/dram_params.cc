@@ -1,0 +1,25 @@
+#include "dram/dram_params.hh"
+
+#include "common/logging.hh"
+
+namespace ianus::dram
+{
+
+void
+Gddr6Config::validate() const
+{
+    if (channels == 0 || banksPerChannel == 0)
+        IANUS_FATAL("memory system needs at least one channel and bank");
+    if (rowBytes % burstBytes != 0)
+        IANUS_FATAL("row size (", rowBytes,
+                    ") must be a multiple of the burst size (", burstBytes,
+                    ")");
+    if (channels % channelsPerChip != 0)
+        IANUS_FATAL("channel count (", channels,
+                    ") must be divisible by channels per chip (",
+                    channelsPerChip, ")");
+    if (timing.tRAS == 0 || timing.tRP == 0 || timing.tRCDRD == 0)
+        IANUS_FATAL("DRAM timing parameters must be nonzero");
+}
+
+} // namespace ianus::dram

@@ -1,0 +1,29 @@
+#include "energy/energy_model.hh"
+
+namespace ianus::energy
+{
+
+EnergyBreakdown
+EnergyModel::evaluate(const RunStats &stats) const
+{
+    constexpr double pj = 1e-12;
+    constexpr double nj = 1e-9;
+    const EnergyParams &p = params_;
+
+    EnergyBreakdown e;
+    double normal_bytes = stats.dramReadBytes + stats.dramWriteBytes;
+    // WRGB/RDMAC bursts cross the external bus like normal accesses.
+    double gb_bytes = (stats.pimGbBursts + stats.pimRdBursts) * 32.0;
+    e.normalDramJ = (normal_bytes + gb_bytes) * p.extDramPjPerByte * pj;
+
+    e.pimJ = stats.pimWeightBytes * p.pimMacPjPerByte * pj +
+             stats.pimActivates * p.pimActivateNj * nj;
+
+    e.coreJ = stats.muFlops * p.muPjPerFlop * pj +
+              stats.vuElems * p.vuPjPerElem * pj +
+              normal_bytes * p.scratchPjPerByte * pj +
+              stats.commands * p.commandNj * nj;
+    return e;
+}
+
+} // namespace ianus::energy

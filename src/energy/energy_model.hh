@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dynamic energy model (Fig 11 methodology, Section 6.1).
+ *
+ * The paper measures dynamic energy of (a) normal DRAM operations,
+ * (b) PIM operations — assumed 3× the energy of a DRAM array read, per
+ * the AiM analysis — and (c) the NPU cores. Static energy is excluded,
+ * as in the paper.
+ *
+ * Coefficients: an external GDDR6 access pays array + I/O/PHY/controller
+ * energy; a PIM MAC touches the array and the in-bank datapath but never
+ * drives the external bus, which is where the net saving comes from.
+ * WRGB/RDMAC bursts do cross the external bus and are charged as normal
+ * operations. Absolute values are literature-typical and documented in
+ * EXPERIMENTS.md; the figure reproduces relative energy, as the paper's
+ * Fig 11 does (normalized to IANUS GPT-2 M).
+ */
+
+#ifndef IANUS_ENERGY_ENERGY_MODEL_HH
+#define IANUS_ENERGY_ENERGY_MODEL_HH
+
+#include "ianus/report.hh"
+
+namespace ianus::energy
+{
+
+/** Energy coefficients. */
+struct EnergyParams
+{
+    double extDramPjPerByte = 280.0; ///< external access (array+I/O+PHY)
+    double pimMacPjPerByte = 60.0;   ///< 3x array read, per weight byte
+    double pimActivateNj = 2.0;      ///< per-bank row activation
+    double muPjPerFlop = 1.0;        ///< systolic datapath
+    double vuPjPerElem = 2.0;        ///< VLIW lanes
+    double scratchPjPerByte = 2.4;   ///< scratchpad write+read per byte
+    double commandNj = 50.0;         ///< scheduler/control per command
+};
+
+/** Joules by Fig-11 category. */
+struct EnergyBreakdown
+{
+    double normalDramJ = 0.0;
+    double pimJ = 0.0;
+    double coreJ = 0.0;
+
+    double total() const { return normalDramJ + pimJ + coreJ; }
+};
+
+/** Evaluates run statistics into joules. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &p = EnergyParams{})
+        : params_(p)
+    {}
+
+    EnergyBreakdown evaluate(const RunStats &stats) const;
+
+    const EnergyParams &params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace ianus::energy
+
+#endif // IANUS_ENERGY_ENERGY_MODEL_HH

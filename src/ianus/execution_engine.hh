@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The cycle-derived event-driven execution engine.
+ *
+ * Runs one Program over the device model: per-core matrix/vector units
+ * and DMA pairs, the fluid-flow channel arbiter (unified memory
+ * contention), and the PIM control unit path. Dispatch policy implements
+ * the PIM Access Scheduling runtime rules:
+ *
+ *  - a macro PIM command is admitted only when its channels carry no
+ *    normal memory flows and no other macro command;
+ *  - while a macro PIM command is running *or waiting for admission*,
+ *    off-chip commands touching its channels are held (the paper's
+ *    "DMA commands into wait state");
+ *  - matrix-unit GEMMs with streamed weights overlap the weight flow
+ *    with compute (Algorithm 1's pipelined model) and are subject to the
+ *    same hold, since their flows use the off-chip memory.
+ *
+ * Every command's duration comes from the Table-1-derived unit models;
+ * events fire at command granularity.
+ */
+
+#ifndef IANUS_IANUS_EXECUTION_ENGINE_HH
+#define IANUS_IANUS_EXECUTION_ENGINE_HH
+
+#include "ianus/report.hh"
+#include "ianus/system_config.hh"
+#include "isa/program.hh"
+
+namespace ianus
+{
+
+/** Executes Programs on one device model. */
+class ExecutionEngine
+{
+  public:
+    /**
+     * @param cfg     Device configuration.
+     * @param devices Devices in the (symmetric) multi-device system;
+     *                only affects inter-device barrier costs.
+     */
+    explicit ExecutionEngine(const SystemConfig &cfg, unsigned devices = 1);
+
+    /** Run @p prog to completion; panics on deadlock (a compiler bug). */
+    RunStats run(const isa::Program &prog);
+
+    const SystemConfig &config() const { return cfg_; }
+    unsigned devices() const { return devices_; }
+
+  private:
+    SystemConfig cfg_;
+    unsigned devices_;
+};
+
+} // namespace ianus
+
+#endif // IANUS_IANUS_EXECUTION_ENGINE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The public entry point: an IANUS device running end-to-end inference.
+ *
+ * IanusSystem glues together the compiler (WorkloadBuilder), the
+ * execution engine, and the report plumbing: one run() simulates the
+ * summarization stage over the input tokens, then one generation step
+ * per output token (the first output token falls out of summarization's
+ * LM head, as in the paper's (x,1) configurations).
+ *
+ * For long generations a token stride can sample generation steps and
+ * integrate between samples (token latency varies smoothly with KV
+ * length); stride 1 simulates every step exactly.
+ */
+
+#ifndef IANUS_IANUS_IANUS_SYSTEM_HH
+#define IANUS_IANUS_IANUS_SYSTEM_HH
+
+#include "compiler/workload_builder.hh"
+#include "ianus/execution_engine.hh"
+#include "ianus/report.hh"
+#include "ianus/system_config.hh"
+#include "workloads/model_config.hh"
+
+namespace ianus
+{
+
+/** One IANUS device (or NPU-MEM / partitioned variant, per config). */
+class IanusSystem
+{
+  public:
+    explicit IanusSystem(const SystemConfig &cfg);
+
+    /**
+     * Simulate one inference request end to end.
+     *
+     * @param model        Transformer configuration.
+     * @param request      (input tokens, output tokens), batch 1.
+     * @param opts         Compiler options (scheduling policy, attention
+     *                     mapping, FC placement, devices).
+     * @param token_stride Generation-step sampling stride (1 = exact).
+     */
+    InferenceReport run(const workloads::ModelConfig &model,
+                        const workloads::InferenceRequest &request,
+                        const compiler::BuildOptions &opts =
+                            compiler::BuildOptions{},
+                        unsigned token_stride = 1) const;
+
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    SystemConfig cfg_;
+};
+
+/**
+ * Symmetric multi-device system (Section 7.1): weights and heads are
+ * partitioned across devices x cores; activations allgather over PCIe at
+ * the per-block sync points. Device 0 is simulated; the others are
+ * symmetric by construction.
+ */
+class MultiDeviceSystem
+{
+  public:
+    MultiDeviceSystem(const SystemConfig &per_device, unsigned devices);
+
+    InferenceReport run(const workloads::ModelConfig &model,
+                        const workloads::InferenceRequest &request,
+                        compiler::BuildOptions opts =
+                            compiler::BuildOptions{},
+                        unsigned token_stride = 1) const;
+
+    unsigned devices() const { return devices_; }
+
+    /** Aggregate TDP of the appliance (Section 7.2). */
+    double
+    totalTdpWatts() const
+    {
+        return static_cast<double>(devices_) * cfg_.tdpWatts;
+    }
+
+    /** Generation throughput of a report, tokens per second (Fig 18). */
+    static double tokensPerSecond(const InferenceReport &report);
+
+  private:
+    SystemConfig cfg_;
+    unsigned devices_;
+};
+
+} // namespace ianus
+
+#endif // IANUS_IANUS_IANUS_SYSTEM_HH

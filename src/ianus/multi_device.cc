@@ -1,0 +1,37 @@
+#include "ianus/ianus_system.hh"
+
+#include "common/logging.hh"
+
+namespace ianus
+{
+
+MultiDeviceSystem::MultiDeviceSystem(const SystemConfig &per_device,
+                                     unsigned devices)
+    : cfg_(per_device), devices_(devices)
+{
+    IANUS_ASSERT(devices_ >= 1, "need at least one device");
+    cfg_.validate();
+}
+
+InferenceReport
+MultiDeviceSystem::run(const workloads::ModelConfig &model,
+                       const workloads::InferenceRequest &request,
+                       compiler::BuildOptions opts,
+                       unsigned token_stride) const
+{
+    opts.devices = devices_;
+    IanusSystem sys(cfg_);
+    return sys.run(model, request, opts, token_stride);
+}
+
+double
+MultiDeviceSystem::tokensPerSecond(const InferenceReport &report)
+{
+    if (report.generationSteps == 0)
+        return 0.0;
+    double sec = ticksToSec(report.generation.wallTicks);
+    return sec > 0.0 ? static_cast<double>(report.generationSteps) / sec
+                     : 0.0;
+}
+
+} // namespace ianus

@@ -1,0 +1,77 @@
+#include "ianus/pim_control_unit.hh"
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "pim/pim_tiling.hh"
+
+namespace ianus
+{
+
+PimControlUnit::PimControlUnit(const dram::Gddr6Config &mem) : mem_(mem)
+{
+    mem_.validate();
+}
+
+std::vector<MicroCommandStep>
+PimControlUnit::decode(const pim::MacroCommand &macro,
+                       unsigned channel_count) const
+{
+    ++decoded_;
+    pim::GemvTiling tiling = pim::GemvTiling::compute(
+        macro.rows, macro.cols, mem_, channel_count);
+
+    std::vector<MicroCommandStep> seq;
+    const std::uint64_t k_tiles = tiling.kTiles();
+    const std::uint64_t row_tiles = tiling.rowTiles();
+    const unsigned elems_per_burst =
+        static_cast<unsigned>(mem_.burstBytes / pim::elemBytes);
+
+    // K-slice outer, row-tile inner (see pim_channel.hh): the global
+    // buffer is filled once per slice and reused across row tiles.
+    for (std::uint64_t kt = 0; kt < k_tiles; ++kt) {
+        std::uint64_t k_elems = tiling.kSliceElems(kt);
+        std::uint64_t gb_bursts =
+            ceilDiv(k_elems * pim::elemBytes, mem_.burstBytes);
+        for (std::uint64_t i = 0; i < gb_bursts; ++i)
+            seq.push_back({pim::MicroOp::WRGB, 0, kt});
+
+        std::uint64_t mac_bursts =
+            ceilDiv(k_elems, std::uint64_t{elems_per_burst});
+        for (std::uint64_t rt = 0; rt < row_tiles; ++rt) {
+            seq.push_back({pim::MicroOp::ACTAB, rt, kt});
+            if (macro.hasBias && kt == 0)
+                seq.push_back({pim::MicroOp::WRBIAS, rt, kt});
+            for (std::uint64_t m = 0; m < mac_bursts; ++m)
+                seq.push_back({pim::MicroOp::MACAB, rt, kt});
+            seq.push_back({pim::MicroOp::RDMAC, rt, kt});
+            if (macro.fusedGelu && kt == k_tiles - 1)
+                seq.push_back({pim::MicroOp::ACTAF, rt, kt});
+            seq.push_back({pim::MicroOp::PREAB, rt, kt});
+        }
+    }
+    seq.push_back({pim::MicroOp::EOC, 0, 0});
+    return seq;
+}
+
+pim::MicroBudget
+PimControlUnit::budget(const pim::MacroCommand &macro,
+                       unsigned channel_count) const
+{
+    pim::MicroBudget b;
+    for (const MicroCommandStep &s : decode(macro, channel_count)) {
+        switch (s.op) {
+          case pim::MicroOp::WRGB: ++b.wrgb; break;
+          case pim::MicroOp::ACTAB: ++b.actab; break;
+          case pim::MicroOp::MACAB: ++b.macab; break;
+          case pim::MicroOp::ACTAF: ++b.actaf; break;
+          case pim::MicroOp::RDMAC: ++b.rdmac; break;
+          case pim::MicroOp::PREAB: ++b.preab; break;
+          case pim::MicroOp::WRBIAS: ++b.wrbias; break;
+          case pim::MicroOp::EOC: break;
+        }
+    }
+    --decoded_; // budget() is an inspection, not a decode
+    return b;
+}
+
+} // namespace ianus

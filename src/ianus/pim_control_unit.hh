@@ -1,0 +1,67 @@
+/**
+ * @file
+ * PIM control unit (Section 4.3).
+ *
+ * The PCU receives macro PIM commands from the command scheduler and
+ * decodes each into the micro PIM command sequence the PIM memory
+ * controllers execute (WRGB trains, all-bank activates, MAC streams,
+ * accumulator readouts, precharges, an EOC completion marker). The NoC
+ * broadcasts the sequence to every participating channel, so one decode
+ * drives all channels in lockstep.
+ *
+ * The execution engine consumes decode *timing* through
+ * pim::PimChannelEngine; this class materializes the actual sequence for
+ * verification (the micro counts must match the timing engine's budget)
+ * and for the FPGA-prototype-style traces of the examples.
+ */
+
+#ifndef IANUS_IANUS_PIM_CONTROL_UNIT_HH
+#define IANUS_IANUS_PIM_CONTROL_UNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/dram_params.hh"
+#include "pim/pim_channel.hh"
+#include "pim/pim_command.hh"
+
+namespace ianus
+{
+
+/** One decoded micro command (per-channel view). */
+struct MicroCommandStep
+{
+    pim::MicroOp op;
+    std::uint64_t rowTile;  ///< tile-row index (ACTAB/MACAB/... context)
+    std::uint64_t kTile;    ///< K-slice index
+};
+
+/** Macro-to-micro decoder. */
+class PimControlUnit
+{
+  public:
+    explicit PimControlUnit(const dram::Gddr6Config &mem);
+
+    /**
+     * Decode @p macro for @p channel_count lockstep channels.
+     * The sequence ends with EOC (the completion signal the command
+     * scheduler waits for before re-enabling off-chip DMA commands).
+     */
+    std::vector<MicroCommandStep> decode(const pim::MacroCommand &macro,
+                                         unsigned channel_count) const;
+
+    /** Micro-command counts of a decode (must equal the timing budget). */
+    pim::MicroBudget budget(const pim::MacroCommand &macro,
+                            unsigned channel_count) const;
+
+    /** Macro commands decoded so far. */
+    std::uint64_t decoded() const { return decoded_; }
+
+  private:
+    dram::Gddr6Config mem_;
+    mutable std::uint64_t decoded_ = 0;
+};
+
+} // namespace ianus
+
+#endif // IANUS_IANUS_PIM_CONTROL_UNIT_HH

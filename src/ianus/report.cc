@@ -1,0 +1,103 @@
+#include "ianus/report.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ianus
+{
+
+double &
+RunStats::busy(isa::OpClass cls)
+{
+    return classBusy[static_cast<std::size_t>(cls)];
+}
+
+double
+RunStats::busy(isa::OpClass cls) const
+{
+    return classBusy[static_cast<std::size_t>(cls)];
+}
+
+double &
+RunStats::busy(isa::UnitKind unit)
+{
+    return unitBusy[static_cast<std::size_t>(unit)];
+}
+
+double
+RunStats::busy(isa::UnitKind unit) const
+{
+    return unitBusy[static_cast<std::size_t>(unit)];
+}
+
+double &
+RunStats::span(isa::OpClass cls)
+{
+    return classSpan[static_cast<std::size_t>(cls)];
+}
+
+double
+RunStats::span(isa::OpClass cls) const
+{
+    return classSpan[static_cast<std::size_t>(cls)];
+}
+
+double
+RunStats::exclusive(isa::OpClass cls) const
+{
+    return classExclusive[static_cast<std::size_t>(cls)];
+}
+
+void
+RunStats::scaleAdd(const RunStats &o, double w)
+{
+    wallTicks += static_cast<Tick>(static_cast<double>(o.wallTicks) * w);
+    for (std::size_t i = 0; i < numClasses; ++i) {
+        classBusy[i] += o.classBusy[i] * w;
+        classSpan[i] += o.classSpan[i] * w;
+        classExclusive[i] += o.classExclusive[i] * w;
+    }
+    for (std::size_t i = 0; i < numUnits; ++i)
+        unitBusy[i] += o.unitBusy[i] * w;
+    commands += o.commands * w;
+    muFlops += o.muFlops * w;
+    vuElems += o.vuElems * w;
+    dramReadBytes += o.dramReadBytes * w;
+    dramWriteBytes += o.dramWriteBytes * w;
+    pimWeightBytes += o.pimWeightBytes * w;
+    pimMacros += o.pimMacros * w;
+    pimActivates += o.pimActivates * w;
+    pimGbBursts += o.pimGbBursts * w;
+    pimRdBursts += o.pimRdBursts * w;
+}
+
+RunStats
+InferenceReport::combined() const
+{
+    RunStats s = summarization;
+    s.merge(generation);
+    return s;
+}
+
+double
+InferenceReport::achievedTflops() const
+{
+    RunStats s = combined();
+    double flops = s.muFlops + 2.0 * s.pimWeightBytes / 2.0;
+    double sec = ticksToSec(totalTicks());
+    return sec > 0.0 ? flops / sec / 1e12 : 0.0;
+}
+
+std::string
+InferenceReport::summary() const
+{
+    std::ostringstream os;
+    os << "(" << inputTokens << "," << outputTokens << ") total "
+       << totalMs() << " ms (summarization " << summarizationMs()
+       << " ms, generation " << generationMs() << " ms over "
+       << generationSteps << " steps)";
+    return os.str();
+}
+
+} // namespace ianus

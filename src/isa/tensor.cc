@@ -1,0 +1,27 @@
+#include "isa/tensor.hh"
+
+#include <sstream>
+
+namespace ianus::isa
+{
+
+const char *
+toString(MemSpace space)
+{
+    switch (space) {
+      case MemSpace::Dram: return "dram";
+      case MemSpace::ActScratchpad: return "am";
+      case MemSpace::WeightScratchpad: return "wm";
+    }
+    return "?";
+}
+
+std::string
+TensorDesc::describe() const
+{
+    std::ostringstream os;
+    os << rows << 'x' << cols << '@' << toString(space);
+    return os.str();
+}
+
+} // namespace ianus::isa

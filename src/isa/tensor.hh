@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tensor descriptors used by the command IR.
+ *
+ * The simulator is a timing model: tensors describe shapes, residency and
+ * footprints, not payload data. Functional verification happens at unit
+ * level (pim_functional, matrix/vector unit kernels) where real buffers
+ * exist.
+ */
+
+#ifndef IANUS_ISA_TENSOR_HH
+#define IANUS_ISA_TENSOR_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ianus::isa
+{
+
+/** Where a tensor currently lives. */
+enum class MemSpace : std::uint8_t
+{
+    Dram,           ///< off-chip (PIM) memory
+    ActScratchpad,  ///< on-chip activation scratchpad (AM)
+    WeightScratchpad ///< on-chip weight scratchpad (WM)
+};
+
+const char *toString(MemSpace space);
+
+/** A 2-D BF16 tensor descriptor. */
+struct TensorDesc
+{
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    MemSpace space = MemSpace::Dram;
+
+    std::uint64_t elems() const { return rows * cols; }
+    std::uint64_t bytes() const { return elems() * 2; }
+
+    std::string describe() const;
+};
+
+} // namespace ianus::isa
+
+#endif // IANUS_ISA_TENSOR_HH

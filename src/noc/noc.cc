@@ -1,0 +1,3 @@
+#include "noc/noc.hh"
+
+// Header-only timing helpers; this translation unit anchors the module.

@@ -1,0 +1,3 @@
+#include "npu/dma_engine.hh"
+
+// Header-only timing helpers; this translation unit anchors the module.

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * DMA engine timing helpers.
+ *
+ * Each core owns a load DMA and a store DMA attached to its scratchpads.
+ * Off-chip transfers are arbitrated by dram::ChannelArbiter (the unified
+ * memory system's contention point); this class provides the fixed
+ * per-transfer costs around the flow — NoC traversal and first-word DRAM
+ * latency — plus the on-chip streaming path used for the key transpose
+ * (Section 4.2.1), which deliberately avoids off-chip access so PIM
+ * operations are not delayed.
+ */
+
+#ifndef IANUS_NPU_DMA_ENGINE_HH
+#define IANUS_NPU_DMA_ENGINE_HH
+
+#include <cstdint>
+
+#include "dram/dram_params.hh"
+#include "noc/noc.hh"
+
+namespace ianus::npu
+{
+
+/** Per-transfer fixed-cost model for one core's DMA pair. */
+class DmaEngine
+{
+  public:
+    DmaEngine(const noc::Noc &noc, const dram::Gddr6Config &mem)
+        : noc_(&noc), mem_(mem)
+    {}
+
+    /** Fixed latency before the first byte of an off-chip load arrives. */
+    Tick
+    loadStartLatency() const
+    {
+        return noc_->memoryTraversal() + mem_.timing.tRCDRD;
+    }
+
+    /** Fixed latency before an off-chip store's first write lands. */
+    Tick
+    storeStartLatency() const
+    {
+        return noc_->memoryTraversal() + mem_.timing.tRCDWR;
+    }
+
+    /**
+     * Duration of an on-chip AM->WM stream of @p bytes. The streaming
+     * buffer reconciles the 2:1 entry-size mismatch between the
+     * scratchpads; with weight interleaving in the matrix unit this
+     * completes the transpose without touching DRAM.
+     */
+    Tick
+    onChipStreamTicks(std::uint64_t bytes) const
+    {
+        return noc_->onChipStream(bytes);
+    }
+
+  private:
+    const noc::Noc *noc_;
+    dram::Gddr6Config mem_;
+};
+
+} // namespace ianus::npu
+
+#endif // IANUS_NPU_DMA_ENGINE_HH

@@ -1,0 +1,82 @@
+#include "npu/matrix_unit.hh"
+
+#include "common/bf16.hh"
+#include "common/logging.hh"
+
+namespace ianus::npu
+{
+
+MatrixUnit::MatrixUnit(const MatrixUnitParams &p)
+    : params_(p), clock_(p.freqGhz)
+{
+    IANUS_ASSERT(p.rows > 0 && p.cols > 0 && p.macsPerPe > 0,
+                 "degenerate matrix unit");
+}
+
+Cycles
+MatrixUnit::gemmCycles(std::uint64_t tokens, std::uint64_t k,
+                       std::uint64_t n) const
+{
+    if (tokens == 0 || k == 0 || n == 0)
+        return 0;
+    std::uint64_t kt = ceilDiv(k, std::uint64_t{params_.tileK()});
+    std::uint64_t nt = ceilDiv(n, std::uint64_t{params_.tileN()});
+    // Per tile: load/fill the array (rows + cols cycles) then stream one
+    // token per cycle through it.
+    std::uint64_t fill = params_.rows + params_.cols;
+    return kt * nt * (fill + tokens);
+}
+
+Tick
+MatrixUnit::gemmTicks(std::uint64_t tokens, std::uint64_t k,
+                      std::uint64_t n) const
+{
+    return clock_.cyclesToTicks(
+        static_cast<double>(gemmCycles(tokens, k, n)));
+}
+
+Tick
+MatrixUnit::tileFillTicks() const
+{
+    return clock_.cyclesToTicks(
+        static_cast<double>(params_.rows + params_.cols));
+}
+
+double
+MatrixUnit::utilization(std::uint64_t tokens, std::uint64_t k,
+                        std::uint64_t n) const
+{
+    Cycles cycles = gemmCycles(tokens, k, n);
+    if (cycles == 0)
+        return 0.0;
+    double flops = 2.0 * static_cast<double>(tokens) *
+                   static_cast<double>(k) * static_cast<double>(n);
+    double peak_per_cycle =
+        2.0 * params_.rows * params_.cols * params_.macsPerPe;
+    return flops / (static_cast<double>(cycles) * peak_per_cycle);
+}
+
+std::vector<float>
+MatrixUnit::gemm(const std::vector<float> &in, const std::vector<float> &w,
+                 std::uint64_t tokens, std::uint64_t k, std::uint64_t n,
+                 const std::vector<float> &bias, float out_scale) const
+{
+    IANUS_ASSERT(in.size() == tokens * k, "input shape mismatch");
+    IANUS_ASSERT(w.size() == k * n, "weight shape mismatch");
+    IANUS_ASSERT(bias.empty() || bias.size() == n, "bias shape mismatch");
+    std::vector<float> out(tokens * n, 0.0f);
+    for (std::uint64_t t = 0; t < tokens; ++t) {
+        for (std::uint64_t j = 0; j < n; ++j) {
+            float acc = 0.0f; // FP32 accumulation along the array column
+            for (std::uint64_t i = 0; i < k; ++i)
+                acc += bf16Round(in[t * k + i]) * bf16Round(w[i * n + j]);
+            acc *= out_scale; // fused output scaling
+            if (!bias.empty())
+                acc += bf16Round(bias[j]); // fused bias addition
+            out[t * n + j] = bf16Round(acc);
+        }
+    }
+    return out;
+}
+
+} // namespace ianus::npu

@@ -1,0 +1,3 @@
+#include "npu/npu_core.hh"
+
+// Aggregate type; this translation unit anchors the module.

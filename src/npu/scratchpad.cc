@@ -1,0 +1,36 @@
+#include "npu/scratchpad.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ianus::npu
+{
+
+Scratchpad::Scratchpad(std::string name, std::uint64_t capacity,
+                       std::uint64_t entry_bytes)
+    : name_(std::move(name)), capacity_(capacity), entryBytes_(entry_bytes)
+{
+    IANUS_ASSERT(capacity_ > 0 && entryBytes_ > 0, "degenerate scratchpad");
+}
+
+void
+Scratchpad::reserve(std::uint64_t bytes)
+{
+    if (used_ + bytes > capacity_)
+        IANUS_FATAL("scratchpad '", name_, "' overflow: ", used_, " + ",
+                    bytes, " > ", capacity_,
+                    " — the workload tile does not fit on chip");
+    used_ += bytes;
+    peak_ = std::max(peak_, used_);
+}
+
+void
+Scratchpad::release(std::uint64_t bytes)
+{
+    IANUS_ASSERT(bytes <= used_, "scratchpad '", name_,
+                 "' release underflow");
+    used_ -= bytes;
+}
+
+} // namespace ianus::npu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * On-chip scratchpad memories (Section 4.1).
+ *
+ * Each core has an activation scratchpad (AM, 12 MB) feeding both compute
+ * units and a weight scratchpad (WM, 4 MB) feeding the matrix unit. The
+ * AM uses a transposed addressing layout relative to the WM and its entry
+ * size is twice the WM's — the mismatch that motivates the streaming
+ * buffer on the transpose path (Section 4.2.1).
+ *
+ * The simulator tracks capacity (allocation high-water marks, overflow
+ * detection) rather than payload bytes.
+ */
+
+#ifndef IANUS_NPU_SCRATCHPAD_HH
+#define IANUS_NPU_SCRATCHPAD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace ianus::npu
+{
+
+/** Capacity/entry-geometry model of one scratchpad. */
+class Scratchpad
+{
+  public:
+    /**
+     * @param name        For diagnostics ("am"/"wm").
+     * @param capacity    Bytes of storage.
+     * @param entry_bytes Bytes read per address (row of the systolic
+     *                    dimension it feeds).
+     */
+    Scratchpad(std::string name, std::uint64_t capacity,
+               std::uint64_t entry_bytes);
+
+    /** Reserve @p bytes; fatal() if the working set cannot fit. */
+    void reserve(std::uint64_t bytes);
+
+    /** Release @p bytes previously reserved. */
+    void release(std::uint64_t bytes);
+
+    std::uint64_t used() const { return used_; }
+    std::uint64_t peak() const { return peak_; }
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t entryBytes() const { return entryBytes_; }
+    const std::string &name() const { return name_; }
+
+    /** Entries needed to hold @p bytes. */
+    std::uint64_t
+    entriesFor(std::uint64_t bytes) const
+    {
+        return ceilDiv(bytes, entryBytes_);
+    }
+
+  private:
+    std::string name_;
+    std::uint64_t capacity_;
+    std::uint64_t entryBytes_;
+    std::uint64_t used_ = 0;
+    std::uint64_t peak_ = 0;
+};
+
+} // namespace ianus::npu
+
+#endif // IANUS_NPU_SCRATCHPAD_HH

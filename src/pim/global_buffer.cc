@@ -1,0 +1,23 @@
+#include "pim/global_buffer.hh"
+
+#include "common/logging.hh"
+
+namespace ianus::pim
+{
+
+bool
+GlobalBuffer::needsFill(std::uint64_t tag) const
+{
+    return !resident_ || *resident_ != tag;
+}
+
+void
+GlobalBuffer::fill(std::uint64_t tag, std::uint64_t bytes)
+{
+    IANUS_ASSERT(bytes <= capacityBytes_, "global buffer overflow: ",
+                 bytes, " > ", capacityBytes_);
+    resident_ = tag;
+    ++fills_;
+}
+
+} // namespace ianus::pim

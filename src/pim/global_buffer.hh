@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-channel PIM global buffer (Section 4.1).
+ *
+ * One 2 KB SRAM per channel, shared by the 16 per-bank processing units.
+ * It holds the current K-slice of the input vector; MACAB commands stream
+ * weights out of the banks and multiply them against buffer contents. The
+ * buffer is refilled (WRGB burst train, broadcast over the NoC to every
+ * participating channel) only when the K-slice changes — the tracking here
+ * is what makes k-outer GEMV loops cheap.
+ */
+
+#ifndef IANUS_PIM_GLOBAL_BUFFER_HH
+#define IANUS_PIM_GLOBAL_BUFFER_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hh"
+
+namespace ianus::pim
+{
+
+/** Occupancy tracker for one channel's global buffer. */
+class GlobalBuffer
+{
+  public:
+    explicit GlobalBuffer(std::uint64_t capacity_bytes = 2048)
+        : capacityBytes_(capacity_bytes)
+    {}
+
+    std::uint64_t capacityBytes() const { return capacityBytes_; }
+
+    /**
+     * Would loading slice (@p tag, @p bytes) require a WRGB train?
+     * True when the tag differs from the resident slice.
+     */
+    bool needsFill(std::uint64_t tag) const;
+
+    /** Record that slice @p tag of @p bytes is now resident. */
+    void fill(std::uint64_t tag, std::uint64_t bytes);
+
+    /** Invalidate (e.g., the NPU overwrote the source vector). */
+    void invalidate() { resident_.reset(); }
+
+    std::uint64_t fills() const { return fills_; }
+
+  private:
+    std::uint64_t capacityBytes_;
+    std::optional<std::uint64_t> resident_;
+    std::uint64_t fills_ = 0;
+};
+
+} // namespace ianus::pim
+
+#endif // IANUS_PIM_GLOBAL_BUFFER_HH

@@ -1,0 +1,37 @@
+#include "pim/pim_command.hh"
+
+#include <sstream>
+
+namespace ianus::pim
+{
+
+const char *
+toString(MicroOp op)
+{
+    switch (op) {
+      case MicroOp::WRGB: return "WRGB";
+      case MicroOp::ACTAB: return "ACTAB";
+      case MicroOp::MACAB: return "MACAB";
+      case MicroOp::ACTAF: return "ACTAF";
+      case MicroOp::RDMAC: return "RDMAC";
+      case MicroOp::PREAB: return "PREAB";
+      case MicroOp::WRBIAS: return "WRBIAS";
+      case MicroOp::EOC: return "EOC";
+    }
+    return "?";
+}
+
+std::string
+MacroCommand::describe() const
+{
+    std::ostringstream os;
+    os << "GEMV[" << rows << "x" << cols << "]";
+    if (hasBias)
+        os << "+bias";
+    if (fusedGelu)
+        os << "+gelu";
+    os << " chmask=0x" << std::hex << channelMask;
+    return os.str();
+}
+
+} // namespace ianus::pim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * PIM command set, modeled after GDDR6-AiM (Section 4.1/4.3).
+ *
+ * One *macro* PIM command represents a whole operation (a matrix-vector
+ * product, optionally fused with GELU). The PIM control unit decodes it
+ * into *micro* commands — global-buffer writes, all-bank activates,
+ * all-bank MACs, accumulator readouts, activation-function evaluations,
+ * all-bank precharges — which the PIM memory controllers execute under
+ * DRAM timing constraints. Keeping scheduling at macro granularity is what
+ * lets the command scheduler hold normal memory traffic out of the middle
+ * of a PIM operation (the paper's PIM Access Scheduling hook).
+ */
+
+#ifndef IANUS_PIM_PIM_COMMAND_HH
+#define IANUS_PIM_PIM_COMMAND_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ianus::pim
+{
+
+/** Micro PIM command opcodes (AiM-style ISA subset). */
+enum class MicroOp : std::uint8_t
+{
+    WRGB,   ///< write a burst of the input vector into the global buffer
+    ACTAB,  ///< activate the same row in all banks
+    MACAB,  ///< one all-bank MAC step (one burst per bank)
+    ACTAF,  ///< apply the activation function (LUT interpolation) in the PU
+    RDMAC,  ///< read the MAC accumulators out of the PUs
+    PREAB,  ///< precharge all banks
+    WRBIAS, ///< preload accumulators with a bias vector
+    EOC     ///< end of macro command (completion signal to the scheduler)
+};
+
+/** Human-readable opcode name. */
+const char *toString(MicroOp op);
+
+/**
+ * A macro PIM command: one GEMV (y = W·x [+bias] [then GELU]) executed
+ * across all participating channels in lockstep.
+ */
+struct MacroCommand
+{
+    std::uint64_t rows = 0;      ///< N: output length (weight matrix rows)
+    std::uint64_t cols = 0;      ///< K: input length (weight matrix cols)
+    bool fusedGelu = false;      ///< apply GELU in the PU after MAC
+    bool hasBias = false;        ///< preload accumulators with a bias
+    std::uint32_t channelMask = 0; ///< channels that hold this weight
+
+    std::string describe() const;
+};
+
+/** Static micro-command counts for one macro command on one channel. */
+struct MicroBudget
+{
+    std::uint64_t wrgb = 0;
+    std::uint64_t actab = 0;
+    std::uint64_t macab = 0;
+    std::uint64_t actaf = 0;
+    std::uint64_t rdmac = 0;
+    std::uint64_t preab = 0;
+    std::uint64_t wrbias = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return wrgb + actab + macab + actaf + rdmac + preab + wrbias + 1;
+    }
+};
+
+} // namespace ianus::pim
+
+#endif // IANUS_PIM_PIM_COMMAND_HH

@@ -1,0 +1,82 @@
+#include "pim/pim_functional.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bf16.hh"
+#include "common/logging.hh"
+#include "common/lut.hh"
+
+namespace ianus::pim
+{
+
+std::vector<float>
+pimGemv(const std::vector<float> &weights, const std::vector<float> &x,
+        const GemvTiling &tiling, const std::vector<float> &bias,
+        bool fused_gelu)
+{
+    const std::uint64_t n = tiling.rows;
+    const std::uint64_t k = tiling.cols;
+    IANUS_ASSERT(weights.size() == n * k, "weight shape mismatch");
+    IANUS_ASSERT(x.size() == k, "input length mismatch");
+    IANUS_ASSERT(bias.empty() || bias.size() == n, "bias length mismatch");
+
+    std::vector<float> y(n, 0.0f);
+    const std::uint64_t k_tiles = tiling.kTiles();
+    for (std::uint64_t row = 0; row < n; ++row) {
+        // Per-slice FP32 accumulators model the PU's adder tree +
+        // accumulator; slices are read out and summed externally, so the
+        // partials are BF16-quantized at slice boundaries like RDMAC data.
+        float out = bias.empty() ? 0.0f : bf16Round(bias[row]);
+        for (std::uint64_t kt = 0; kt < k_tiles; ++kt) {
+            std::uint64_t begin = kt * tiling.rowElems;
+            std::uint64_t end = std::min(begin + tiling.rowElems, k);
+            float acc = 0.0f;
+            for (std::uint64_t c = begin; c < end; ++c) {
+                float w = bf16Round(weights[row * k + c]);
+                float v = bf16Round(x[c]);
+                acc += w * v; // FP32 MAC tree
+            }
+            out += bf16Round(acc); // RDMAC readout is BF16
+        }
+        if (fused_gelu)
+            out = static_cast<float>(geluLut()(out));
+        y[row] = bf16Round(out);
+    }
+    return y;
+}
+
+std::vector<double>
+referenceGemv(const std::vector<float> &weights, const std::vector<float> &x,
+              std::uint64_t rows, std::uint64_t cols,
+              const std::vector<float> &bias, bool exact_gelu)
+{
+    IANUS_ASSERT(weights.size() == rows * cols, "weight shape mismatch");
+    IANUS_ASSERT(x.size() == cols, "input length mismatch");
+    std::vector<double> y(rows, 0.0);
+    for (std::uint64_t r = 0; r < rows; ++r) {
+        double acc = bias.empty() ? 0.0 : static_cast<double>(bias[r]);
+        for (std::uint64_t c = 0; c < cols; ++c)
+            acc += static_cast<double>(weights[r * cols + c]) *
+                   static_cast<double>(x[c]);
+        y[r] = exact_gelu ? geluExact(acc) : acc;
+    }
+    return y;
+}
+
+double
+maxRelError(const std::vector<float> &got, const std::vector<double> &want,
+            double floor)
+{
+    IANUS_ASSERT(got.size() == want.size(), "length mismatch");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        double denom = std::max(std::abs(want[i]), floor);
+        worst = std::max(worst,
+                         std::abs(static_cast<double>(got[i]) - want[i]) /
+                             denom);
+    }
+    return worst;
+}
+
+} // namespace ianus::pim

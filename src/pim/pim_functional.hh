@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Functional (bit-faithful) model of the PIM GEMV datapath.
+ *
+ * Stands in for the paper's FPGA prototype validation (Section 6.3):
+ * pretrained GPT-2 weights and WikiText-2 are not available offline, so
+ * instead of perplexity we verify that the PIM datapath — BF16 multiplies,
+ * per-bank FP32 adder-tree accumulation, per-slice partial readout and
+ * external accumulation, LUT-interpolated GELU — computes transformer
+ * kernels to within BF16 error bounds of an FP64 reference. See DESIGN.md
+ * ("Substitutions").
+ */
+
+#ifndef IANUS_PIM_PIM_FUNCTIONAL_HH
+#define IANUS_PIM_PIM_FUNCTIONAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pim/pim_tiling.hh"
+
+namespace ianus::pim
+{
+
+/**
+ * Execute y = W·x (+bias) (then GELU) exactly as the PIM banks would.
+ *
+ * @param weights  Row-major N×K matrix, already BF16-quantized by the
+ *                 caller or quantized here on the fly.
+ * @param x        Input vector of length K.
+ * @param tiling   The Fig-4 decomposition (drives the slice-order
+ *                 accumulation, which changes rounding vs a naive dot
+ *                 product).
+ * @param bias     Optional length-N bias (empty = none).
+ * @param fused_gelu Apply the PIM's LUT GELU to each output.
+ * @return length-N output, BF16-quantized like the RDMAC readout.
+ */
+std::vector<float> pimGemv(const std::vector<float> &weights,
+                           const std::vector<float> &x,
+                           const GemvTiling &tiling,
+                           const std::vector<float> &bias = {},
+                           bool fused_gelu = false);
+
+/** FP64 reference for the same operation (exact math + exact GELU). */
+std::vector<double> referenceGemv(const std::vector<float> &weights,
+                                  const std::vector<float> &x,
+                                  std::uint64_t rows, std::uint64_t cols,
+                                  const std::vector<float> &bias = {},
+                                  bool exact_gelu = false);
+
+/** Max relative error |a-b| / max(|b|, floor) between the two. */
+double maxRelError(const std::vector<float> &got,
+                   const std::vector<double> &want, double floor = 1.0);
+
+} // namespace ianus::pim
+
+#endif // IANUS_PIM_PIM_FUNCTIONAL_HH

@@ -1,0 +1,72 @@
+#include "pim/pim_tiling.hh"
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace ianus::pim
+{
+
+std::uint64_t
+GemvTiling::rowsPerTile() const
+{
+    return static_cast<std::uint64_t>(banksPerChannel) * channels;
+}
+
+std::uint64_t
+GemvTiling::rowTiles() const
+{
+    return ceilDiv(rows, rowsPerTile());
+}
+
+std::uint64_t
+GemvTiling::kTiles() const
+{
+    return ceilDiv(cols, rowElems);
+}
+
+std::uint64_t
+GemvTiling::kSliceElems(std::uint64_t kt) const
+{
+    IANUS_ASSERT(kt < kTiles(), "k-tile index out of range");
+    std::uint64_t begin = kt * rowElems;
+    std::uint64_t end = begin + rowElems;
+    if (end > cols)
+        end = cols;
+    return end - begin;
+}
+
+double
+GemvTiling::rowUtilization() const
+{
+    double used = static_cast<double>(cols);
+    double provisioned =
+        static_cast<double>(kTiles()) * static_cast<double>(rowElems);
+    return used / provisioned;
+}
+
+std::uint64_t
+GemvTiling::footprintBytes() const
+{
+    // Every (output row, k-slice) pair occupies a full DRAM row worth of
+    // column space in its bank, padded when partial.
+    return rows * kTiles() * rowElems * elemBytes;
+}
+
+GemvTiling
+GemvTiling::compute(std::uint64_t rows, std::uint64_t cols,
+                    const dram::Gddr6Config &cfg, unsigned channel_count)
+{
+    IANUS_ASSERT(rows > 0 && cols > 0, "empty GEMV");
+    if (channel_count == 0 || channel_count > cfg.channels)
+        IANUS_FATAL("GEMV mapped to ", channel_count,
+                    " channels but the system has ", cfg.channels);
+    GemvTiling t;
+    t.rows = rows;
+    t.cols = cols;
+    t.channels = channel_count;
+    t.banksPerChannel = cfg.banksPerChannel;
+    t.rowElems = cfg.rowBytes / elemBytes;
+    return t;
+}
+
+} // namespace ianus::pim

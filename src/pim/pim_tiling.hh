@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Weight-matrix tiling for PIM GEMV (Figure 4).
+ *
+ * A weight matrix of N rows × K columns is cut into tiles of
+ * (banksPerChannel × channels) rows by up to rowBytes/2 (=1024 BF16)
+ * columns. Each tile row sits at the same DRAM row address in a distinct
+ * (channel, bank) pair — the Fig-5 address mapping guarantees this — so a
+ * tile is consumed by one ACTAB / MACAB… / PREAB sequence with all banks
+ * and channels computing in parallel and no row conflicts.
+ */
+
+#ifndef IANUS_PIM_PIM_TILING_HH
+#define IANUS_PIM_PIM_TILING_HH
+
+#include <cstdint>
+
+#include "dram/dram_params.hh"
+
+namespace ianus::pim
+{
+
+/** Element width of every tensor in the system (BF16). */
+constexpr std::uint64_t elemBytes = 2;
+
+/** The Fig-4 decomposition of one GEMV's weight matrix. */
+struct GemvTiling
+{
+    std::uint64_t rows;         ///< N
+    std::uint64_t cols;         ///< K
+    unsigned channels;          ///< channels participating
+    unsigned banksPerChannel;
+    std::uint64_t rowElems;     ///< BF16 elements per DRAM row (1024)
+
+    /** Output rows produced per tile (= banks × channels). */
+    std::uint64_t rowsPerTile() const;
+
+    /** Tiles along the output dimension. */
+    std::uint64_t rowTiles() const;
+
+    /** Tiles along the K dimension (global-buffer slices). */
+    std::uint64_t kTiles() const;
+
+    /** Elements of the K slice @p kt (last slice may be partial). */
+    std::uint64_t kSliceElems(std::uint64_t kt) const;
+
+    /** Total (row-tile, k-tile) pairs == all-bank row activations. */
+    std::uint64_t tilePairs() const { return rowTiles() * kTiles(); }
+
+    /**
+     * Fraction of the DRAM-row elements a MACAB stream actually uses,
+     * averaged over slices. 1.0 when K is a multiple of 1024; the paper's
+     * 6.25% QKᵀ example is kSliceElems=64 / 1024.
+     */
+    double rowUtilization() const;
+
+    /** Bytes of DRAM rows occupied, including padding of partial rows. */
+    std::uint64_t footprintBytes() const;
+
+    /** Construct for a weight of @p rows × @p cols over @p channel_count
+     *  channels of @p cfg. */
+    static GemvTiling compute(std::uint64_t rows, std::uint64_t cols,
+                              const dram::Gddr6Config &cfg,
+                              unsigned channel_count);
+};
+
+} // namespace ianus::pim
+
+#endif // IANUS_PIM_PIM_TILING_HH

@@ -1,0 +1,89 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ianus::sim
+{
+
+EventId
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    IANUS_ASSERT(when >= now_, "event scheduled in the past: ", when,
+                 " < ", now_);
+    EventId id = nextId_++;
+    queue_.push(Entry{when, id, std::move(fn)});
+    ++liveEvents_;
+    return id;
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    // Lazy deletion: remember the id, skip it when popped. The cancelled
+    // list stays small because ids are dropped when their entries surface.
+    if (id == 0 || id >= nextId_)
+        return false;
+    if (isCancelled(id))
+        return false;
+    cancelled_.push_back(id);
+    if (liveEvents_ > 0)
+        --liveEvents_;
+    return true;
+}
+
+bool
+EventQueue::isCancelled(EventId id) const
+{
+    return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+           cancelled_.end();
+}
+
+void
+EventQueue::dropCancelled(EventId id)
+{
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+    if (it != cancelled_.end())
+        cancelled_.erase(it);
+}
+
+bool
+EventQueue::step()
+{
+    while (!queue_.empty()) {
+        Entry top = queue_.top();
+        queue_.pop();
+        if (isCancelled(top.id)) {
+            dropCancelled(top.id);
+            continue;
+        }
+        IANUS_ASSERT(top.when >= now_, "time went backwards");
+        now_ = top.when;
+        --liveEvents_;
+        ++executed_;
+        top.fn();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!queue_.empty()) {
+        const Entry &top = queue_.top();
+        if (isCancelled(top.id)) {
+            EventId id = top.id;
+            queue_.pop();
+            dropCancelled(id);
+            continue;
+        }
+        if (top.when > limit)
+            break;
+        step();
+    }
+    return now_;
+}
+
+} // namespace ianus::sim

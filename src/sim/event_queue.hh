@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single-threaded event queue keyed by (tick, insertion order). All timing
+ * models in the library are driven from one EventQueue owned by the system
+ * under simulation; insertion order ties guarantee determinism.
+ */
+
+#ifndef IANUS_SIM_EVENT_QUEUE_HH
+#define IANUS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ianus::sim
+{
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/**
+ * Deterministic single-threaded event queue.
+ *
+ * Events at the same tick fire in scheduling order. Callbacks may schedule
+ * further events (including at the current tick, which fire before time
+ * advances).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn at absolute time @p when (>= now()).
+     * @return an id usable with deschedule().
+     */
+    EventId schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn @p delay ticks from now. */
+    EventId
+    scheduleIn(Tick delay, std::function<void()> fn)
+    {
+        return schedule(now_ + delay, std::move(fn));
+    }
+
+    /** Cancel a pending event. Returns false if already fired/cancelled. */
+    bool deschedule(EventId id);
+
+    /** True when no runnable events remain. */
+    bool empty() const { return liveEvents_ == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return liveEvents_; }
+
+    /**
+     * Run until the queue drains or @p limit is reached.
+     * @return the final simulated time.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Pop and execute exactly one event. Returns false if drained. */
+    bool step();
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : id > o.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        queue_;
+    std::vector<EventId> cancelled_;
+    Tick now_ = 0;
+    EventId nextId_ = 1;
+    std::size_t liveEvents_ = 0;
+    std::uint64_t executed_ = 0;
+
+    bool isCancelled(EventId id) const;
+    void dropCancelled(EventId id);
+};
+
+} // namespace ianus::sim
+
+#endif // IANUS_SIM_EVENT_QUEUE_HH

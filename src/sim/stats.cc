@@ -1,0 +1,17 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace ianus::sim
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : stats_) {
+        os << name_ << '.' << kv.first << ' ' << std::setprecision(12)
+           << kv.second.value() << ' ' << kv.second.samples() << '\n';
+    }
+}
+
+} // namespace ianus::sim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Lightweight statistics framework.
+ *
+ * Components register named scalars/accumulators with a StatGroup; the
+ * system dumps them after a run. Deliberately minimal: the heavy lifting
+ * (figure regeneration) lives in bench harnesses that read structured
+ * reports, while StatGroup serves debugging and tests.
+ */
+
+#ifndef IANUS_SIM_STATS_HH
+#define IANUS_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace ianus::sim
+{
+
+/** A monotonically accumulating named quantity. */
+class Stat
+{
+  public:
+    Stat() = default;
+
+    void add(double v) { value_ += v; ++samples_; }
+    void inc() { add(1.0); }
+    void set(double v) { value_ = v; samples_ = 1; }
+
+    double value() const { return value_; }
+    std::uint64_t samples() const { return samples_; }
+    double
+    mean() const
+    {
+        return samples_ ? value_ / static_cast<double>(samples_) : 0.0;
+    }
+
+    void reset() { value_ = 0.0; samples_ = 0; }
+
+  private:
+    double value_ = 0.0;
+    std::uint64_t samples_ = 0;
+};
+
+/** A hierarchical registry of stats, keyed by dotted names. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "sim") : name_(std::move(name)) {}
+
+    /** Look up or create a stat. */
+    Stat &stat(const std::string &key) { return stats_[key]; }
+
+    /** Read-only lookup; panics if missing (a test/tooling error). */
+    const Stat &
+    at(const std::string &key) const
+    {
+        auto it = stats_.find(key);
+        IANUS_ASSERT(it != stats_.end(), "unknown stat '", key, "'");
+        return it->second;
+    }
+
+    bool has(const std::string &key) const { return stats_.count(key) > 0; }
+
+    void
+    resetAll()
+    {
+        for (auto &kv : stats_)
+            kv.second.reset();
+    }
+
+    /** Dump "name.key value samples" lines, sorted by key. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+    std::size_t size() const { return stats_.size(); }
+
+  private:
+    std::string name_;
+    std::map<std::string, Stat> stats_;
+};
+
+} // namespace ianus::sim
+
+#endif // IANUS_SIM_STATS_HH

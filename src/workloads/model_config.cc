@@ -1,0 +1,159 @@
+#include "workloads/model_config.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ianus::workloads
+{
+
+const char *
+toString(ModelFamily family)
+{
+    switch (family) {
+      case ModelFamily::Gpt2: return "gpt2";
+      case ModelFamily::Bert: return "bert";
+      case ModelFamily::Gpt: return "gpt";
+    }
+    return "?";
+}
+
+std::uint64_t
+ModelConfig::blockWeightElems() const
+{
+    // QKV projections (3 e^2) + attention output FC (e^2) + FFN (8 e^2).
+    return 3 * embDim * qkvDim() + qkvDim() * embDim +
+           2 * embDim * ffnDim();
+}
+
+std::uint64_t
+ModelConfig::fcWeightElems() const
+{
+    return nBlocks * blockWeightElems();
+}
+
+std::uint64_t
+ModelConfig::paramCount() const
+{
+    // Token embedding (tied with the LM head) + per-block FCs, biases and
+    // layer norms. Positional embeddings are folded into the constant.
+    std::uint64_t embeddings = vocab * embDim + 2048 * embDim;
+    std::uint64_t per_block_misc = 13 * embDim; // biases + LN params
+    return embeddings + fcWeightElems() + nBlocks * per_block_misc +
+           2 * embDim;
+}
+
+double
+ModelConfig::forwardFlops(std::uint64_t tokens) const
+{
+    // 2 FLOPs per weight per token for FCs; attention score/value terms
+    // are quadratic in sequence length.
+    double fc = 2.0 * static_cast<double>(fcWeightElems()) *
+                static_cast<double>(tokens);
+    double attn = 4.0 * static_cast<double>(nBlocks) *
+                  static_cast<double>(tokens) *
+                  static_cast<double>(tokens) *
+                  static_cast<double>(qkvDim());
+    return fc + attn;
+}
+
+std::string
+ModelConfig::describe() const
+{
+    std::ostringstream os;
+    os << name << " (" << toString(family) << "): e=" << embDim
+       << " hd=" << headDim << " H=" << nHeads << " L=" << nBlocks
+       << " params=" << paramCount() / 1000000 << "M";
+    return os.str();
+}
+
+namespace
+{
+
+ModelConfig
+make(std::string name, ModelFamily family, std::uint64_t e,
+     std::uint64_t hd, std::uint64_t heads, std::uint64_t blocks,
+     std::uint64_t vocab)
+{
+    ModelConfig m;
+    m.name = std::move(name);
+    m.family = family;
+    m.embDim = e;
+    m.headDim = hd;
+    m.nHeads = heads;
+    m.nBlocks = blocks;
+    m.vocab = vocab;
+    IANUS_ASSERT(m.qkvDim() == e, "model ", m.name,
+                 ": heads x head-dim must equal the embedding dim");
+    return m;
+}
+
+} // namespace
+
+ModelConfig
+gpt2(const std::string &size)
+{
+    // Table 3. XL uses the 24-head variant validated by DFX.
+    if (size == "m")
+        return make("GPT-2 M", ModelFamily::Gpt2, 1024, 64, 16, 24, 50257);
+    if (size == "l")
+        return make("GPT-2 L", ModelFamily::Gpt2, 1280, 64, 20, 36, 50257);
+    if (size == "xl")
+        return make("GPT-2 XL", ModelFamily::Gpt2, 1536, 64, 24, 48,
+                    50257);
+    if (size == "2.5b")
+        return make("GPT-2 2.5B", ModelFamily::Gpt2, 1920, 96, 20, 54,
+                    50257);
+    IANUS_FATAL("unknown GPT-2 size '", size, "' (m, l, xl, 2.5b)");
+}
+
+ModelConfig
+bert(const std::string &size)
+{
+    // Table 3 (question answering; no generation stage).
+    if (size == "b")
+        return make("BERT-B", ModelFamily::Bert, 768, 64, 12, 12, 30522);
+    if (size == "l")
+        return make("BERT-L", ModelFamily::Bert, 1024, 64, 16, 24, 30522);
+    if (size == "1.3b")
+        return make("BERT-1.3B", ModelFamily::Bert, 2048, 64, 32, 24,
+                    30522);
+    if (size == "3.9b")
+        return make("BERT-3.9B", ModelFamily::Bert, 2560, 64, 40, 48,
+                    30522);
+    IANUS_FATAL("unknown BERT size '", size, "' (b, l, 1.3b, 3.9b)");
+}
+
+ModelConfig
+gptLarge(const std::string &size)
+{
+    // Table 4.
+    if (size == "6.7b")
+        return make("GPT 6.7B", ModelFamily::Gpt, 4096, 128, 32, 32,
+                    50257);
+    if (size == "13b")
+        return make("GPT 13B", ModelFamily::Gpt, 5120, 128, 40, 40, 50257);
+    if (size == "30b")
+        return make("GPT 30B", ModelFamily::Gpt, 7168, 128, 56, 48, 50257);
+    IANUS_FATAL("unknown GPT size '", size, "' (6.7b, 13b, 30b)");
+}
+
+std::vector<ModelConfig>
+allGpt2()
+{
+    return {gpt2("m"), gpt2("l"), gpt2("xl"), gpt2("2.5b")};
+}
+
+std::vector<ModelConfig>
+allBert()
+{
+    return {bert("b"), bert("l"), bert("1.3b"), bert("3.9b")};
+}
+
+std::vector<ModelConfig>
+allGptLarge()
+{
+    return {gptLarge("6.7b"), gptLarge("13b"), gptLarge("30b")};
+}
+
+} // namespace ianus::workloads

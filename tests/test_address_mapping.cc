@@ -1,0 +1,105 @@
+/** @file Fig-5 address mapping: bijection and tile-placement properties. */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "dram/address_mapping.hh"
+
+namespace
+{
+
+using ianus::dram::AddressMapping;
+using ianus::dram::DecodedAddress;
+using ianus::dram::Gddr6Config;
+
+TEST(AddressMapping, FieldWidthsForTable1Config)
+{
+    AddressMapping m{Gddr6Config{}};
+    EXPECT_EQ(m.offsetBits(), 5u);   // 32 B bursts
+    EXPECT_EQ(m.columnBits(), 6u);   // 64 bursts per row
+    EXPECT_EQ(m.bankBits(), 4u);     // 16 banks
+    EXPECT_EQ(m.channelBits(), 3u);  // 8 channels
+    // 8 GiB / (8 ch x 16 banks x 2 KiB rows) = 32768 rows per bank.
+    EXPECT_EQ(m.rowsPerBank(), 32768u);
+}
+
+TEST(AddressMapping, LsbWalksColumnsWithinOneBank)
+{
+    // Consecutive bursts inside a row hit the same (row, channel, bank):
+    // one processing unit consumes a whole row (Section 4.3).
+    AddressMapping m{Gddr6Config{}};
+    DecodedAddress first = m.decode(0);
+    DecodedAddress second = m.decode(32);
+    EXPECT_EQ(first.column + 1, second.column);
+    EXPECT_EQ(first.bank, second.bank);
+    EXPECT_EQ(first.channel, second.channel);
+    EXPECT_EQ(first.row, second.row);
+}
+
+TEST(AddressMapping, RowCrossingChangesBankNotRow)
+{
+    // After the 64 bursts of one row, the stream moves to the next bank
+    // at the same row address — the Fig-4 tile layout.
+    AddressMapping m{Gddr6Config{}};
+    DecodedAddress last_of_row = m.decode(2048 - 32);
+    DecodedAddress next = m.decode(2048);
+    EXPECT_EQ(last_of_row.row, next.row);
+    EXPECT_EQ(last_of_row.bank + 1, next.bank);
+}
+
+TEST(AddressMapping, TileSpansAllChannelBankPairsAtOneRow)
+{
+    // One tile = 128 rows x 2 KB. Walking 128 consecutive 2 KB segments
+    // must touch all 128 (channel, bank) pairs exactly once, all at the
+    // same row address.
+    Gddr6Config cfg;
+    AddressMapping m{cfg};
+    std::set<std::pair<unsigned, unsigned>> pairs;
+    std::set<std::uint64_t> rows;
+    for (std::uint64_t seg = 0; seg < 128; ++seg) {
+        DecodedAddress d = m.decode(seg * cfg.rowBytes);
+        pairs.insert({d.channel, d.bank});
+        rows.insert(d.row);
+    }
+    EXPECT_EQ(pairs.size(), 128u);
+    EXPECT_EQ(rows.size(), 1u);
+    // The next tile gets a fresh row address.
+    EXPECT_EQ(m.decode(128 * cfg.rowBytes).row, 1u);
+}
+
+/** Property: decode/encode is a bijection over random addresses. */
+class MappingRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MappingRoundTrip, EncodeDecodeRoundTrips)
+{
+    Gddr6Config cfg;
+    AddressMapping m{cfg};
+    std::mt19937_64 rng(GetParam());
+    std::uniform_int_distribution<std::uint64_t> dist(
+        0, cfg.capacityBytes - 1);
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t addr = dist(rng);
+        DecodedAddress d = m.decode(addr);
+        EXPECT_EQ(m.encode(d), addr);
+        EXPECT_LT(d.channel, cfg.channels);
+        EXPECT_LT(d.bank, cfg.banksPerChannel);
+        EXPECT_LT(d.column, cfg.burstsPerRow());
+        EXPECT_LT(d.offset, cfg.burstBytes);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappingRoundTrip,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+TEST(AddressMapping, RejectsNonPowerOfTwoGeometry)
+{
+    Gddr6Config cfg;
+    cfg.banksPerChannel = 12;
+    EXPECT_THROW(AddressMapping{cfg}, std::runtime_error);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+/** @file Algorithm 1's analytical unit models. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/analytical_model.hh"
+
+namespace
+{
+
+using ianus::compiler::AnalyticalModel;
+using ianus::SystemConfig;
+using ianus::Tick;
+
+struct ModelFixture : ::testing::Test
+{
+    SystemConfig cfg = SystemConfig::ianusDefault();
+    AnalyticalModel model{cfg};
+};
+
+TEST_F(ModelFixture, DmaWeightTimeTracksPerCoreBandwidth)
+{
+    // One core's share of the external bandwidth: peak x efficiency /
+    // cores; compute the expectation from the live config so the test
+    // tracks calibration.
+    double gbs = cfg.mem.systemPeakGBs() * cfg.dmaEfficiency / cfg.cores;
+    double expect_ms = (1ull << 30) / (gbs * 1e6);
+    Tick t = model.dmaWeightTime(1ull << 30);
+    EXPECT_NEAR(ianus::ticksToMs(t), expect_ms, 0.02 * expect_ms);
+}
+
+TEST_F(ModelFixture, PipeTotalOverlapsLoadAndCompute)
+{
+    // With many tiles the pipeline costs max + min/T.
+    EXPECT_EQ(AnalyticalModel::pipeTotal(1000, 500, 10), 1050u);
+    EXPECT_EQ(AnalyticalModel::pipeTotal(500, 1000, 10), 1050u);
+    EXPECT_EQ(AnalyticalModel::pipeTotal(1000, 500, 1), 1500u);
+    EXPECT_EQ(AnalyticalModel::pipeTotal(0, 0, 5), 0u);
+}
+
+TEST_F(ModelFixture, MuFcIsLoadBoundAtOneToken)
+{
+    // Generation-stage FC: the weight stream dominates compute.
+    Tick fc = model.muFcTime(1, 1536, 1536);
+    Tick load = model.dmaWeightTime(1536 * 1536 * 2);
+    EXPECT_NEAR(static_cast<double>(fc), static_cast<double>(load),
+                0.15 * static_cast<double>(load));
+    EXPECT_GT(fc, model.muComputeTime(1, 1536, 1536));
+}
+
+TEST_F(ModelFixture, MuFcBecomesComputeBoundAtManyTokens)
+{
+    Tick fc = model.muFcTime(4096, 1536, 1536);
+    EXPECT_NEAR(static_cast<double>(fc),
+                static_cast<double>(model.muComputeTime(4096, 1536, 1536)),
+                0.15 * static_cast<double>(fc));
+}
+
+TEST_F(ModelFixture, PrefetchCreditReducesFcTime)
+{
+    Tick without = model.muFcTime(1, 1536, 1536, 0);
+    Tick credit = model.vuTime(ianus::isa::VuOpKind::LayerNorm, 1536);
+    Tick with = model.muFcTime(1, 1536, 1536, credit);
+    EXPECT_EQ(with, without - credit);
+}
+
+TEST_F(ModelFixture, PimFcScalesLinearlyWithTokens)
+{
+    // Line 13 of Algorithm 1: PIM repeats the GEMV per token (Fig 12).
+    Tick one = model.pimFcTime(1, 1024, 1024, 8);
+    Tick eight = model.pimFcTime(8, 1024, 1024, 8);
+    EXPECT_EQ(eight, 8 * one);
+}
+
+TEST_F(ModelFixture, PimBeatsMuForSingleTokenFc)
+{
+    // The whole premise of offloading generation-stage FCs.
+    Tick mu = model.muFcTime(1, 1536, 4608);
+    Tick pim = model.pimFcTime(1, 1536, 4608, 8);
+    EXPECT_LT(pim, mu);
+}
+
+TEST_F(ModelFixture, MuBeatsPimForManyTokens)
+{
+    Tick mu = model.muFcTime(128, 1536, 4608);
+    Tick pim = model.pimFcTime(128, 1536, 4608, 8);
+    EXPECT_LT(mu, pim);
+}
+
+} // namespace

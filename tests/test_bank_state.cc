@@ -1,0 +1,88 @@
+/** @file Bank FSM: Table-1 timing constraints enforced per command. */
+
+#include <gtest/gtest.h>
+
+#include "dram/bank_state.hh"
+
+namespace
+{
+
+using ianus::dram::BankState;
+using ianus::dram::DramTiming;
+using ianus::Tick;
+
+TEST(BankState, ActivateToReadHonorsTrcd)
+{
+    DramTiming t;
+    BankState b(t);
+    b.activate(7, 0);
+    ASSERT_TRUE(b.openRow());
+    EXPECT_EQ(*b.openRow(), 7u);
+    // First read data cannot complete before tRCDRD + one burst.
+    Tick end = b.read(0);
+    EXPECT_EQ(end, t.tRCDRD + t.tCCDL);
+}
+
+TEST(BankState, BackToBackReadsPacedByTccd)
+{
+    DramTiming t;
+    BankState b(t);
+    b.activate(0, 0);
+    Tick first = b.read(0);
+    Tick second = b.read(0);
+    EXPECT_EQ(second, first + t.tCCDL);
+}
+
+TEST(BankState, WriteUsesTrcdwr)
+{
+    DramTiming t;
+    BankState b(t);
+    b.activate(0, 0);
+    EXPECT_EQ(b.write(0), t.tRCDWR + t.tCCDL);
+}
+
+TEST(BankState, PrechargeWaitsForTras)
+{
+    DramTiming t;
+    BankState b(t);
+    b.activate(0, 0);
+    // No column access: precharge still waits out tRAS.
+    Tick done = b.precharge(0);
+    EXPECT_EQ(done, t.tRAS + t.tRP);
+    EXPECT_FALSE(b.openRow());
+}
+
+TEST(BankState, WriteRecoveryDelaysPrecharge)
+{
+    DramTiming t;
+    BankState b(t);
+    b.activate(0, 0);
+    Tick wr_end = b.write(0);
+    Tick done = b.precharge(0);
+    EXPECT_EQ(done, wr_end + t.tWR + t.tRP);
+}
+
+TEST(BankState, RowCycleGatesReactivation)
+{
+    DramTiming t;
+    BankState b(t);
+    Tick first_act = b.activate(0, 0);
+    b.precharge(0);
+    Tick second_act = b.activate(1, 0);
+    EXPECT_GE(second_act - first_act, t.rowCycle());
+}
+
+TEST(BankState, ReadWithoutOpenRowPanics)
+{
+    BankState b{DramTiming{}};
+    EXPECT_DEATH(b.read(0), "no open row");
+}
+
+TEST(BankState, DoubleActivatePanics)
+{
+    BankState b{DramTiming{}};
+    b.activate(0, 0);
+    EXPECT_DEATH(b.activate(1, 0), "already-active");
+}
+
+} // namespace

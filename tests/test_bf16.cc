@@ -1,0 +1,88 @@
+/** @file BF16 arithmetic: rounding, special values, error bounds. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "common/bf16.hh"
+
+namespace
+{
+
+using ianus::Bf16;
+using ianus::bf16MaxRelError;
+using ianus::bf16Round;
+
+TEST(Bf16, ExactValuesRoundTrip)
+{
+    // Values with <= 8 mantissa bits survive the conversion exactly.
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -3.5f, 128.0f,
+                    0.09375f, 65536.0f, -0.0078125f}) {
+        EXPECT_EQ(bf16Round(v), v) << v;
+    }
+}
+
+TEST(Bf16, RoundsToNearestEven)
+{
+    // 1 + 2^-8 is exactly halfway between two BF16 values around 1.0;
+    // round-to-nearest-even keeps the even mantissa (1.0).
+    float halfway = 1.0f + std::ldexp(1.0f, -9) * 2.0f; // 1 + 2^-8
+    float rounded = bf16Round(halfway);
+    EXPECT_TRUE(rounded == 1.0f || rounded == 1.0f + std::ldexp(1.0f, -7));
+    // Just above the halfway point must round up.
+    EXPECT_GT(bf16Round(1.0f + std::ldexp(3.0f, -9)), 1.0f);
+}
+
+TEST(Bf16, PreservesSignAndInfinity)
+{
+    EXPECT_TRUE(std::signbit(bf16Round(-0.0f)));
+    EXPECT_TRUE(std::isinf(bf16Round(INFINITY)));
+    EXPECT_TRUE(std::isinf(bf16Round(-INFINITY)));
+    EXPECT_LT(bf16Round(-INFINITY), 0.0f);
+}
+
+TEST(Bf16, NanStaysNan)
+{
+    EXPECT_TRUE(std::isnan(Bf16(NAN).toFloat()));
+}
+
+TEST(Bf16, BitsRoundTrip)
+{
+    Bf16 b = Bf16::fromBits(0x3F80); // 1.0
+    EXPECT_EQ(b.toFloat(), 1.0f);
+    EXPECT_EQ(Bf16(1.0f).bits(), 0x3F80);
+}
+
+TEST(Bf16, QuantizeVector)
+{
+    std::vector<float> v{1.00001f, 2.71828f, -3.14159f};
+    ianus::bf16Quantize(v);
+    for (float x : v)
+        EXPECT_EQ(x, bf16Round(x)); // idempotent
+}
+
+/** Property: relative error of normal values is bounded by half ULP. */
+class Bf16ErrorSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(Bf16ErrorSweep, RelativeErrorBounded)
+{
+    std::mt19937 rng(GetParam());
+    std::uniform_real_distribution<float> mag(-30.0f, 30.0f);
+    for (int i = 0; i < 2000; ++i) {
+        float v = std::ldexp(1.0f + std::generate_canonical<float, 24>(rng),
+                             static_cast<int>(mag(rng)));
+        if (rng() & 1)
+            v = -v;
+        float r = bf16Round(v);
+        EXPECT_LE(std::abs(r - v) / std::abs(v), bf16MaxRelError)
+            << "v=" << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Bf16ErrorSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+} // namespace

@@ -1,0 +1,109 @@
+/**
+ * @file DRAM channel: the closed-form stream timing equals the
+ * burst-accurate bank-FSM replay (the fast path is exact, DESIGN.md §6).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dram/dram_channel.hh"
+
+namespace
+{
+
+using ianus::dram::DramChannel;
+using ianus::dram::Gddr6Config;
+using ianus::Tick;
+
+TEST(DramChannel, SingleBurstReadLatency)
+{
+    Gddr6Config cfg;
+    DramChannel ch(cfg);
+    EXPECT_EQ(ch.streamReadLatency(32), cfg.timing.tRCDRD + 1000u);
+    EXPECT_EQ(ch.streamReadLatency(0), 0u);
+}
+
+TEST(DramChannel, StreamSustainsChannelBandwidth)
+{
+    Gddr6Config cfg;
+    DramChannel ch(cfg);
+    // 1 MiB at 32 GB/s = 32768 ns of bursts + one tRCD.
+    std::uint64_t bytes = 1ull << 20;
+    Tick expect = cfg.timing.tRCDRD + (bytes / 32) * 1000;
+    EXPECT_EQ(ch.streamReadLatency(bytes), expect);
+}
+
+TEST(DramChannel, PartialBurstRoundsUp)
+{
+    Gddr6Config cfg;
+    DramChannel ch(cfg);
+    EXPECT_EQ(ch.streamReadLatency(33),
+              cfg.timing.tRCDRD + 2 * cfg.burstTicks());
+}
+
+TEST(DramChannel, WriteUsesTrcdwr)
+{
+    Gddr6Config cfg;
+    DramChannel ch(cfg);
+    EXPECT_EQ(ch.streamWriteLatency(64),
+              cfg.timing.tRCDWR + 2 * cfg.burstTicks());
+}
+
+TEST(DramChannel, ReplayMatchesClosedFormSmall)
+{
+    Gddr6Config cfg;
+    DramChannel ch(cfg);
+    Tick end = ch.replayStreamRead(0, 4096); // two rows, two banks
+    EXPECT_EQ(end, ch.streamReadLatency(4096));
+    EXPECT_EQ(ch.activates(), 2u);
+    EXPECT_EQ(ch.bursts(), 128u);
+}
+
+TEST(DramChannel, ReplayMatchesClosedFormAcrossBankReuse)
+{
+    // > 16 rows forces precharge + re-activate on bank 0; the stream
+    // must still be bus-limited.
+    Gddr6Config cfg;
+    DramChannel ch(cfg);
+    std::uint64_t bytes = 40 * cfg.rowBytes; // 40 rows over 16 banks
+    Tick end = ch.replayStreamRead(0, bytes);
+    EXPECT_EQ(end, ch.streamReadLatency(bytes));
+    EXPECT_EQ(ch.activates(), 40u);
+}
+
+/** Property: replay == closed form for random sizes, reads and writes. */
+class StreamEquivalence : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(StreamEquivalence, ReadAndWriteAgree)
+{
+    Gddr6Config cfg;
+    std::mt19937 rng(GetParam());
+    std::uniform_int_distribution<std::uint64_t> size(1, 512 * 1024);
+    for (int i = 0; i < 24; ++i) {
+        std::uint64_t bytes = size(rng);
+        DramChannel read_ch(cfg);
+        EXPECT_EQ(read_ch.replayStreamRead(0, bytes),
+                  read_ch.streamReadLatency(bytes))
+            << "read bytes=" << bytes;
+        DramChannel write_ch(cfg);
+        EXPECT_EQ(write_ch.replayStreamWrite(0, bytes),
+                  write_ch.streamWriteLatency(bytes))
+            << "write bytes=" << bytes;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamEquivalence,
+                         ::testing::Values(7u, 17u, 27u, 37u));
+
+TEST(DramChannel, NonZeroStartShiftsReplay)
+{
+    Gddr6Config cfg;
+    DramChannel ch(cfg);
+    Tick end = ch.replayStreamRead(5000, 2048);
+    EXPECT_EQ(end, 5000 + ch.streamReadLatency(2048));
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+/** @file Energy model: category accounting and Fig-11 relationships. */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+namespace
+{
+
+using ianus::energy::EnergyBreakdown;
+using ianus::energy::EnergyModel;
+using ianus::energy::EnergyParams;
+using ianus::RunStats;
+
+TEST(EnergyModel, ZeroStatsZeroEnergy)
+{
+    EnergyModel em;
+    EnergyBreakdown e = em.evaluate(RunStats{});
+    EXPECT_DOUBLE_EQ(e.total(), 0.0);
+}
+
+TEST(EnergyModel, NormalDramScalesWithBytes)
+{
+    EnergyModel em;
+    RunStats a, b;
+    a.dramReadBytes = 1e9;
+    b.dramReadBytes = 2e9;
+    EXPECT_NEAR(em.evaluate(b).normalDramJ,
+                2.0 * em.evaluate(a).normalDramJ, 1e-9);
+}
+
+TEST(EnergyModel, PimOpCheaperThanExternalReadPerByte)
+{
+    // The core premise of Fig 11: a PIM MAC touches the array but never
+    // the external bus, so per byte it must cost less than a normal
+    // access — yet more than nothing (3x an array read).
+    EnergyParams p;
+    EXPECT_LT(p.pimMacPjPerByte, p.extDramPjPerByte);
+    EXPECT_GT(p.pimMacPjPerByte, 0.1 * p.extDramPjPerByte);
+
+    EnergyModel em(p);
+    RunStats npu_mem;
+    npu_mem.dramReadBytes = 1e12; // weights over the external bus
+    RunStats ianus_pim;
+    ianus_pim.pimWeightBytes = 1e12; // same weights via in-bank MACs
+    EXPECT_LT(em.evaluate(ianus_pim).total(),
+              em.evaluate(npu_mem).total());
+}
+
+TEST(EnergyModel, WrgbRdmacCountAsNormalOperations)
+{
+    EnergyModel em;
+    RunStats s;
+    s.pimGbBursts = 1000;
+    s.pimRdBursts = 500;
+    EnergyBreakdown e = em.evaluate(s);
+    EXPECT_GT(e.normalDramJ, 0.0);
+    EXPECT_DOUBLE_EQ(e.pimJ, 0.0);
+}
+
+TEST(EnergyModel, ActivatesChargePim)
+{
+    // The Fig-11 note: GPT-2 L's two row activations per tile (1280-wide
+    // rows) cost more PIM energy than GPT-2 M's one.
+    EnergyModel em;
+    RunStats m, l;
+    m.pimWeightBytes = l.pimWeightBytes = 1e10;
+    m.pimActivates = 1e6;
+    l.pimActivates = 2e6;
+    EXPECT_GT(em.evaluate(l).pimJ, em.evaluate(m).pimJ);
+}
+
+TEST(EnergyModel, CoreEnergyTracksDatapathActivity)
+{
+    EnergyModel em;
+    RunStats s;
+    s.muFlops = 1e12;
+    s.vuElems = 1e9;
+    s.commands = 1e6;
+    EnergyBreakdown e = em.evaluate(s);
+    EXPECT_GT(e.coreJ, 0.0);
+    EXPECT_DOUBLE_EQ(e.normalDramJ, 0.0);
+    EXPECT_DOUBLE_EQ(e.pimJ, 0.0);
+}
+
+TEST(EnergyModel, TotalIsSumOfCategories)
+{
+    EnergyModel em;
+    RunStats s;
+    s.dramReadBytes = 1e9;
+    s.pimWeightBytes = 1e9;
+    s.muFlops = 1e9;
+    EnergyBreakdown e = em.evaluate(s);
+    EXPECT_DOUBLE_EQ(e.total(), e.normalDramJ + e.pimJ + e.coreJ);
+}
+
+} // namespace

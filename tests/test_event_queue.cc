@@ -1,0 +1,109 @@
+/** @file Event queue: ordering, determinism, cancellation, reentrancy. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using ianus::sim::EventQueue;
+using ianus::Tick;
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFiresInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.scheduleIn(5, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 15u);
+}
+
+TEST(EventQueue, SameTickReentrantScheduleFiresBeforeAdvance)
+{
+    EventQueue eq;
+    std::vector<Tick> times;
+    eq.schedule(10, [&] {
+        times.push_back(eq.now());
+        eq.scheduleIn(0, [&] { times.push_back(eq.now()); });
+    });
+    eq.schedule(20, [&] { times.push_back(eq.now()); });
+    eq.run();
+    EXPECT_EQ(times, (std::vector<Tick>{10, 10, 20}));
+}
+
+TEST(EventQueue, DescheduleCancelsPendingEvent)
+{
+    EventQueue eq;
+    bool fired = false;
+    auto id = eq.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_FALSE(eq.deschedule(id)); // double-cancel is a no-op
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, RunUntilLimitStopsEarly)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "scheduled in the past");
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(eq.executed(), 2u);
+}
+
+} // namespace

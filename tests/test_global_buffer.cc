@@ -1,0 +1,42 @@
+/** @file Global buffer: slice tracking and capacity enforcement. */
+
+#include <gtest/gtest.h>
+
+#include "pim/global_buffer.hh"
+
+namespace
+{
+
+using ianus::pim::GlobalBuffer;
+
+TEST(GlobalBuffer, EmptyBufferNeedsFill)
+{
+    GlobalBuffer gb;
+    EXPECT_TRUE(gb.needsFill(0));
+    EXPECT_EQ(gb.capacityBytes(), 2048u); // one DRAM row of BF16
+}
+
+TEST(GlobalBuffer, ResidentSliceIsReused)
+{
+    GlobalBuffer gb;
+    gb.fill(42, 2048);
+    EXPECT_FALSE(gb.needsFill(42));
+    EXPECT_TRUE(gb.needsFill(43));
+    EXPECT_EQ(gb.fills(), 1u);
+}
+
+TEST(GlobalBuffer, InvalidateForcesRefill)
+{
+    GlobalBuffer gb;
+    gb.fill(1, 1024);
+    gb.invalidate();
+    EXPECT_TRUE(gb.needsFill(1));
+}
+
+TEST(GlobalBuffer, OverflowPanics)
+{
+    GlobalBuffer gb;
+    EXPECT_DEATH(gb.fill(0, 4096), "overflow");
+}
+
+} // namespace

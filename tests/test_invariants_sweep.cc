@@ -1,0 +1,183 @@
+/**
+ * @file Cross-configuration invariant sweeps: properties that must hold
+ * for every (model, memory mode, scheduling policy, attention mapping)
+ * combination the paper evaluates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "compiler/workload_builder.hh"
+#include "ianus/execution_engine.hh"
+#include "ianus/ianus_system.hh"
+
+namespace
+{
+
+using namespace ianus;
+using compiler::AttnMapping;
+using compiler::BuildOptions;
+using compiler::SchedulingPolicy;
+
+struct SweepPoint
+{
+    const char *model;
+    bool unified;
+    SchedulingPolicy policy;
+    AttnMapping attn;
+};
+
+class ConfigSweep : public ::testing::TestWithParam<SweepPoint>
+{
+  protected:
+    SystemConfig
+    config() const
+    {
+        return GetParam().unified ? SystemConfig::ianusDefault()
+                                  : SystemConfig::partitioned();
+    }
+
+    BuildOptions
+    options() const
+    {
+        BuildOptions b;
+        b.policy = GetParam().policy;
+        b.attnMapping = GetParam().attn;
+        return b;
+    }
+};
+
+TEST_P(ConfigSweep, SpansAndExclusivesAreConsistent)
+{
+    workloads::ModelConfig model = workloads::gpt2(GetParam().model);
+    compiler::WorkloadBuilder builder(config(), model, options());
+    ExecutionEngine engine(config());
+    RunStats s = engine.run(builder.buildGenerationToken(130));
+
+    double wall = static_cast<double>(s.wallTicks);
+    double exclusive_sum = 0.0;
+    for (std::size_t i = 0; i < RunStats::numClasses; ++i) {
+        auto cls = static_cast<isa::OpClass>(i);
+        // A span never exceeds the wall; busy never undercuts the span
+        // (overlapping commands only inflate busy).
+        EXPECT_LE(s.span(cls), wall * 1.0001) << toString(cls);
+        EXPECT_GE(s.busy(cls), s.span(cls) * 0.999) << toString(cls);
+        EXPECT_GE(s.exclusive(cls), 0.0);
+        // Exclusive attribution is a partition of the span.
+        EXPECT_LE(s.exclusive(cls), s.span(cls) * 1.0001)
+            << toString(cls);
+        exclusive_sum += s.exclusive(cls);
+    }
+    EXPECT_LE(exclusive_sum, wall * 1.0001);
+    EXPECT_GT(exclusive_sum, 0.5 * wall); // most time has work in flight
+}
+
+TEST_P(ConfigSweep, EveryCommandExecutesExactlyOnce)
+{
+    workloads::ModelConfig model = workloads::gpt2(GetParam().model);
+    compiler::WorkloadBuilder builder(config(), model, options());
+    isa::Program prog = builder.buildGenerationToken(200);
+    ExecutionEngine engine(config());
+    RunStats s = engine.run(prog);
+    EXPECT_EQ(static_cast<std::size_t>(s.commands), prog.size());
+}
+
+TEST_P(ConfigSweep, GenerationLatencyMonotoneInKvLength)
+{
+    workloads::ModelConfig model = workloads::gpt2(GetParam().model);
+    compiler::WorkloadBuilder builder(config(), model, options());
+    ExecutionEngine engine(config());
+    Tick early = engine.run(builder.buildGenerationToken(64)).wallTicks;
+    Tick late = engine.run(builder.buildGenerationToken(512)).wallTicks;
+    EXPECT_LT(early, late);
+}
+
+TEST_P(ConfigSweep, DeterministicAcrossRuns)
+{
+    workloads::ModelConfig model = workloads::gpt2(GetParam().model);
+    compiler::WorkloadBuilder builder(config(), model, options());
+    ExecutionEngine engine(config());
+    isa::Program prog = builder.buildGenerationToken(100);
+    Tick a = engine.run(prog).wallTicks;
+    Tick b = engine.run(prog).wallTicks;
+    EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ConfigSweep,
+    ::testing::Values(
+        SweepPoint{"m", true, SchedulingPolicy::Pas,
+                   AttnMapping::MatrixUnit},
+        SweepPoint{"m", true, SchedulingPolicy::Naive,
+                   AttnMapping::MatrixUnit},
+        SweepPoint{"m", true, SchedulingPolicy::Pas, AttnMapping::Pim},
+        SweepPoint{"m", false, SchedulingPolicy::Pas,
+                   AttnMapping::MatrixUnit},
+        SweepPoint{"l", true, SchedulingPolicy::Pas,
+                   AttnMapping::MatrixUnit},
+        SweepPoint{"xl", true, SchedulingPolicy::Naive,
+                   AttnMapping::Pim},
+        SweepPoint{"xl", false, SchedulingPolicy::Naive,
+                   AttnMapping::MatrixUnit},
+        SweepPoint{"2.5b", false, SchedulingPolicy::Pas,
+                   AttnMapping::MatrixUnit}),
+    [](const ::testing::TestParamInfo<SweepPoint> &info) {
+        std::string name = info.param.model;
+        name += info.param.unified ? "_unified" : "_partitioned";
+        name += info.param.policy == SchedulingPolicy::Pas ? "_pas"
+                                                           : "_naive";
+        name += info.param.attn == AttnMapping::Pim ? "_pimattn"
+                                                    : "_muattn";
+        for (char &c : name)
+            if (c == '.')
+                c = '_';
+        return name;
+    });
+
+/** PAS never loses to naive scheduling on any evaluated point. */
+class PolicySweep
+    : public ::testing::TestWithParam<std::tuple<const char *, bool>>
+{
+};
+
+TEST_P(PolicySweep, PasNeverWorseThanNaive)
+{
+    auto [model_size, unified] = GetParam();
+    SystemConfig cfg = unified ? SystemConfig::ianusDefault()
+                               : SystemConfig::partitioned();
+    workloads::ModelConfig model = workloads::gpt2(model_size);
+    IanusSystem sys(cfg);
+    workloads::InferenceRequest req{64, 5};
+    BuildOptions naive;
+    naive.policy = SchedulingPolicy::Naive;
+    double n = sys.run(model, req, naive).totalMs();
+    double p = sys.run(model, req).totalMs();
+    EXPECT_LE(p, n * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, PolicySweep,
+    ::testing::Combine(::testing::Values("m", "l", "xl", "2.5b"),
+                       ::testing::Bool()));
+
+/** The unified system never loses to partitioned at equal capacity. */
+class MemoryModeSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MemoryModeSweep, UnifiedWinsGeneration)
+{
+    workloads::ModelConfig model = workloads::gpt2(GetParam());
+    IanusSystem unified(SystemConfig::ianusDefault());
+    IanusSystem partitioned(SystemConfig::partitioned());
+    workloads::InferenceRequest req{64, 5};
+    EXPECT_LE(unified.run(model, req).totalMs(),
+              partitioned.run(model, req).totalMs() * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, MemoryModeSweep,
+                         ::testing::Values("m", "l", "xl", "2.5b"));
+
+} // namespace

@@ -1,0 +1,46 @@
+/** @file Logging: fatal throws, panic aborts, warn counts. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace
+{
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(IANUS_FATAL("bad config value ", 42), std::runtime_error);
+}
+
+TEST(Logging, FatalMessageContainsDetail)
+{
+    try {
+        IANUS_FATAL("capacity ", 8, " exceeded");
+        FAIL() << "fatal did not throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("capacity 8 exceeded"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(IANUS_PANIC("invariant broken"), "invariant broken");
+}
+
+TEST(Logging, AssertPassesAndFails)
+{
+    IANUS_ASSERT(1 + 1 == 2, "arithmetic");
+    EXPECT_DEATH(IANUS_ASSERT(false, "must hold: ", 7), "must hold: 7");
+}
+
+TEST(Logging, WarnIncrementsCounter)
+{
+    ianus::setQuiet(true);
+    std::uint64_t before = ianus::warnCount();
+    IANUS_WARN("approximation in effect");
+    EXPECT_EQ(ianus::warnCount(), before + 1);
+    ianus::setQuiet(false);
+}
+
+} // namespace

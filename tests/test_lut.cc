@@ -1,0 +1,66 @@
+/** @file LUT interpolation: exactness at knots, clamping, error bounds. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/lut.hh"
+
+namespace
+{
+
+using ianus::expLut;
+using ianus::geluExact;
+using ianus::geluLut;
+using ianus::InterpolatedLut;
+
+TEST(Lut, ExactAtSamplePoints)
+{
+    InterpolatedLut lut([](double x) { return x * x; }, 0.0, 4.0, 5);
+    for (double x : {0.0, 1.0, 2.0, 3.0, 4.0})
+        EXPECT_DOUBLE_EQ(lut(x), x * x);
+}
+
+TEST(Lut, LinearBetweenSamples)
+{
+    InterpolatedLut lut([](double x) { return x * x; }, 0.0, 4.0, 5);
+    // Between knots 1 and 2 the LUT is the chord: (1 + 4) / 2 at x=1.5.
+    EXPECT_DOUBLE_EQ(lut(1.5), 2.5);
+}
+
+TEST(Lut, ClampsOutsideDomain)
+{
+    InterpolatedLut lut([](double x) { return x; }, -1.0, 1.0, 3);
+    EXPECT_DOUBLE_EQ(lut(-100.0), -1.0);
+    EXPECT_DOUBLE_EQ(lut(100.0), 1.0);
+}
+
+TEST(Lut, GeluLutAccuracy)
+{
+    // Section 4.2.2: the LUT approximation is accurate enough to keep
+    // full-precision model accuracy; bound it at 1e-2 absolute on the
+    // whole domain.
+    EXPECT_LT(geluLut().maxAbsError(geluExact, 10000), 1e-2);
+}
+
+TEST(Lut, GeluMatchesIdentityForLargePositive)
+{
+    EXPECT_NEAR(geluLut()(7.9), 7.9, 1e-2);
+    EXPECT_NEAR(geluLut()(20.0), 8.0, 1e-6); // clamp at domain edge
+}
+
+TEST(Lut, ExpLutAccuracy)
+{
+    EXPECT_LT(expLut().maxAbsError([](double x) { return std::exp(x); },
+                                   10000),
+              5e-3);
+    EXPECT_DOUBLE_EQ(expLut()(0.0), 1.0);
+}
+
+TEST(Lut, RejectsDegenerateConfigs)
+{
+    EXPECT_DEATH(InterpolatedLut([](double x) { return x; }, 0.0, 1.0, 1),
+                 "two entries");
+}
+
+} // namespace

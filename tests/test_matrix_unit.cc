@@ -1,0 +1,107 @@
+/** @file Matrix unit: peak throughput, tiling cycles, functional GEMM. */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/bf16.hh"
+#include "npu/matrix_unit.hh"
+#include "pim/pim_functional.hh"
+
+namespace
+{
+
+using ianus::npu::MatrixUnit;
+using ianus::npu::MatrixUnitParams;
+
+TEST(MatrixUnit, PeakMatchesTable1)
+{
+    MatrixUnitParams p;
+    // 128x64 PEs x 4 MACs x 2 FLOPs x 0.7 GHz = 45.9 TFLOPS (~46).
+    EXPECT_NEAR(p.peakTflops(), 45.9, 0.1);
+    // 4 MACs/PE deepen the reduction: a head-dim-64 op fills the array.
+    EXPECT_EQ(p.tileK(), 512u);
+    EXPECT_EQ(p.tileN(), 64u);
+}
+
+TEST(MatrixUnit, SingleTileCycles)
+{
+    MatrixUnit mu;
+    // One tile: fill (128+64) + tokens.
+    EXPECT_EQ(mu.gemmCycles(1, 512, 64), 193u);
+    EXPECT_EQ(mu.gemmCycles(128, 512, 64), 320u);
+    EXPECT_EQ(mu.gemmCycles(0, 512, 64), 0u);
+}
+
+TEST(MatrixUnit, TileCountsMultiply)
+{
+    MatrixUnit mu;
+    // 2 K-tiles x 3 N-tiles.
+    EXPECT_EQ(mu.gemmCycles(1, 1024, 192), 6u * 193u);
+    // Ragged shapes round up.
+    EXPECT_EQ(mu.gemmCycles(1, 513, 65), 4u * 193u);
+}
+
+TEST(MatrixUnit, LargeTokenRunsApproachPeak)
+{
+    MatrixUnit mu;
+    // Streaming many tokens amortizes the fill: utilization -> 1.
+    EXPECT_GT(mu.utilization(4096, 1536, 1536), 0.9);
+    // Matrix-vector work (1 token) is fill-dominated.
+    EXPECT_LT(mu.utilization(1, 1536, 1536), 0.01);
+}
+
+TEST(MatrixUnit, GenerationVsSummarizationAsymmetry)
+{
+    // Paper Fig 12: the MU processes 128 tokens nearly as fast as 4
+    // because the array is deep.
+    MatrixUnit mu;
+    double t4 = static_cast<double>(mu.gemmCycles(4, 1024, 1024));
+    double t128 = static_cast<double>(mu.gemmCycles(128, 1024, 1024));
+    EXPECT_LT(t128 / t4, 1.7);
+}
+
+TEST(MatrixUnit, FunctionalGemmMatchesReference)
+{
+    MatrixUnit mu;
+    std::mt19937 rng(5);
+    std::normal_distribution<float> dist(0.0f, 0.1f);
+    const std::uint64_t t = 3, k = 64, n = 32;
+    std::vector<float> in(t * k), w(k * n), bias(n);
+    for (float &v : in)
+        v = dist(rng);
+    for (float &v : w)
+        v = dist(rng);
+    for (float &v : bias)
+        v = dist(rng);
+
+    std::vector<float> out = mu.gemm(in, w, t, k, n, bias);
+    ASSERT_EQ(out.size(), t * n);
+    for (std::uint64_t r = 0; r < t; ++r) {
+        for (std::uint64_t c = 0; c < n; ++c) {
+            double acc = ianus::bf16Round(bias[c]);
+            for (std::uint64_t i = 0; i < k; ++i)
+                acc += static_cast<double>(ianus::bf16Round(in[r * k + i])) *
+                       ianus::bf16Round(w[i * n + c]);
+            EXPECT_NEAR(out[r * n + c], acc, std::abs(acc) * 0.01 + 1e-3);
+        }
+    }
+}
+
+TEST(MatrixUnit, FusedOutputScaling)
+{
+    MatrixUnit mu;
+    std::vector<float> in{2.0f};
+    std::vector<float> w{3.0f};
+    std::vector<float> out = mu.gemm(in, w, 1, 1, 1, {}, 0.5f);
+    EXPECT_EQ(out[0], 3.0f); // (2*3) * 0.5
+}
+
+TEST(MatrixUnit, ShapeMismatchPanics)
+{
+    MatrixUnit mu;
+    EXPECT_DEATH((void)mu.gemm({1.0f}, {1.0f, 2.0f}, 1, 1, 1),
+                 "weight shape");
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+/** @file Model zoo vs Tables 3 and 4. */
+
+#include <gtest/gtest.h>
+
+#include "workloads/model_config.hh"
+
+namespace
+{
+
+using namespace ianus::workloads;
+
+TEST(ModelConfig, Table3Gpt2Shapes)
+{
+    ModelConfig m = gpt2("m");
+    EXPECT_EQ(m.embDim, 1024u);
+    EXPECT_EQ(m.headDim, 64u);
+    EXPECT_EQ(m.nHeads, 16u);
+    EXPECT_EQ(m.nBlocks, 24u);
+
+    ModelConfig xl = gpt2("xl");
+    EXPECT_EQ(xl.nHeads, 24u); // DFX-validated reduced-head variant
+    EXPECT_EQ(xl.embDim, 1536u);
+    EXPECT_EQ(xl.nBlocks, 48u);
+
+    ModelConfig b25 = gpt2("2.5b");
+    EXPECT_EQ(b25.headDim, 96u); // the only non-64 head dim in Table 3
+    EXPECT_EQ(b25.nBlocks, 54u);
+}
+
+TEST(ModelConfig, ParamCountsMatchTable3)
+{
+    // Within 10% of the table's nominal sizes.
+    EXPECT_NEAR(static_cast<double>(gpt2("m").paramCount()), 345e6,
+                0.12 * 345e6);
+    EXPECT_NEAR(static_cast<double>(gpt2("l").paramCount()), 762e6,
+                0.1 * 762e6);
+    EXPECT_NEAR(static_cast<double>(gpt2("xl").paramCount()), 1.5e9,
+                0.1 * 1.5e9);
+    EXPECT_NEAR(static_cast<double>(gpt2("2.5b").paramCount()), 2.5e9,
+                0.1 * 2.5e9);
+    EXPECT_NEAR(static_cast<double>(bert("b").paramCount()), 110e6,
+                0.12 * 110e6);
+    EXPECT_NEAR(static_cast<double>(bert("3.9b").paramCount()), 3.9e9,
+                0.1 * 3.9e9);
+}
+
+TEST(ModelConfig, ParamCountsMatchTable4)
+{
+    EXPECT_NEAR(static_cast<double>(gptLarge("6.7b").paramCount()), 6.7e9,
+                0.1 * 6.7e9);
+    EXPECT_NEAR(static_cast<double>(gptLarge("13b").paramCount()), 13e9,
+                0.1 * 13e9);
+    EXPECT_NEAR(static_cast<double>(gptLarge("30b").paramCount()), 30e9,
+                0.1 * 30e9);
+}
+
+TEST(ModelConfig, FcShareIsAbout90Percent)
+{
+    // Section 1: ~90% of parameters are FC weights shared NPU<->PIM
+    // (91% for GPT-2 per Section 3.2).
+    for (const ModelConfig &m : allGpt2()) {
+        double share = static_cast<double>(m.fcWeightElems()) /
+                       static_cast<double>(m.paramCount());
+        EXPECT_GT(share, 0.80) << m.name;
+        EXPECT_LT(share, 0.97) << m.name;
+    }
+    double xl_share =
+        static_cast<double>(gpt2("xl").fcWeightElems()) /
+        static_cast<double>(gpt2("xl").paramCount());
+    EXPECT_NEAR(xl_share, 0.91, 0.04);
+}
+
+TEST(ModelConfig, FamiliesAndStages)
+{
+    EXPECT_TRUE(gpt2("m").decoder());
+    EXPECT_TRUE(gptLarge("6.7b").decoder());
+    EXPECT_FALSE(bert("l").decoder()); // encoder: no generation stage
+}
+
+TEST(ModelConfig, HeadsTimesHeadDimEqualsEmbedding)
+{
+    for (const ModelConfig &m : allGpt2())
+        EXPECT_EQ(m.qkvDim(), m.embDim) << m.name;
+    for (const ModelConfig &m : allBert())
+        EXPECT_EQ(m.qkvDim(), m.embDim) << m.name;
+    for (const ModelConfig &m : allGptLarge())
+        EXPECT_EQ(m.qkvDim(), m.embDim) << m.name;
+}
+
+TEST(ModelConfig, ForwardFlopsScaleWithTokens)
+{
+    ModelConfig m = gpt2("m");
+    double f1 = m.forwardFlops(1);
+    double f512 = m.forwardFlops(512);
+    EXPECT_GT(f512, 500 * f1); // superlinear: attention is quadratic
+    EXPECT_NEAR(f1, 2.0 * static_cast<double>(m.fcWeightElems()),
+                0.01 * f1);
+}
+
+TEST(ModelConfig, UnknownSizeIsFatal)
+{
+    EXPECT_THROW(gpt2("7b"), std::runtime_error);
+    EXPECT_THROW(bert("xl"), std::runtime_error);
+    EXPECT_THROW(gptLarge("175b"), std::runtime_error);
+}
+
+TEST(ModelConfig, ZooListsInPaperOrder)
+{
+    auto g = allGpt2();
+    ASSERT_EQ(g.size(), 4u);
+    EXPECT_EQ(g[0].name, "GPT-2 M");
+    EXPECT_EQ(g[3].name, "GPT-2 2.5B");
+    EXPECT_EQ(allBert().size(), 4u);
+    EXPECT_EQ(allGptLarge().size(), 3u);
+}
+
+} // namespace

@@ -1,0 +1,69 @@
+/** @file Multi-device scaling (Section 7.1). */
+
+#include <gtest/gtest.h>
+
+#include "ianus/ianus_system.hh"
+
+namespace
+{
+
+using namespace ianus;
+using workloads::InferenceRequest;
+
+TEST(MultiDevice, LargeModelNeedsEnoughDevices)
+{
+    workloads::ModelConfig m13 = workloads::gptLarge("13b");
+    MultiDeviceSystem two(SystemConfig::ianusDefault(), 2);
+    EXPECT_THROW((void)two.run(m13, {256, 1}), std::runtime_error);
+    MultiDeviceSystem four(SystemConfig::ianusDefault(), 4);
+    EXPECT_NO_THROW((void)four.run(m13, {256, 1}));
+}
+
+TEST(MultiDevice, StrongScalingIsPositiveButSublinear)
+{
+    // Fig 18: 2 -> 4 -> 8 devices gives 1.67x and 1.50x, not 2x.
+    workloads::ModelConfig m67 = workloads::gptLarge("6.7b");
+    InferenceRequest req{256, 17};
+    double prev_tps = 0.0;
+    for (unsigned d : {2u, 4u, 8u}) {
+        MultiDeviceSystem sys(SystemConfig::ianusDefault(), d);
+        InferenceReport r = sys.run(m67, req, {}, 4);
+        double tps = MultiDeviceSystem::tokensPerSecond(r);
+        EXPECT_GT(tps, prev_tps) << d << " devices";
+        if (prev_tps > 0.0)
+            EXPECT_LT(tps / prev_tps, 2.0) << "superlinear scaling";
+        prev_tps = tps;
+    }
+}
+
+TEST(MultiDevice, TdpScalesWithDevices)
+{
+    MultiDeviceSystem sys(SystemConfig::ianusDefault(), 4);
+    EXPECT_DOUBLE_EQ(sys.totalTdpWatts(), 480.0);
+    EXPECT_EQ(sys.devices(), 4u);
+}
+
+TEST(MultiDevice, TokensPerSecondDefinition)
+{
+    InferenceReport r;
+    r.generationSteps = 10;
+    r.generation.wallTicks = tickPerSec; // one second
+    EXPECT_DOUBLE_EQ(MultiDeviceSystem::tokensPerSecond(r), 10.0);
+    InferenceReport empty;
+    EXPECT_DOUBLE_EQ(MultiDeviceSystem::tokensPerSecond(empty), 0.0);
+}
+
+TEST(MultiDevice, MoreDevicesCostMorePcieTime)
+{
+    // Same per-device slice count comparison: generation latency with 8
+    // devices must not be 4x better than 2 devices (comm overhead).
+    workloads::ModelConfig m67 = workloads::gptLarge("6.7b");
+    MultiDeviceSystem two(SystemConfig::ianusDefault(), 2);
+    MultiDeviceSystem eight(SystemConfig::ianusDefault(), 8);
+    double t2 = two.run(m67, {256, 9}, {}, 2).msPerGeneratedToken();
+    double t8 = eight.run(m67, {256, 9}, {}, 2).msPerGeneratedToken();
+    EXPECT_LT(t8, t2);            // faster...
+    EXPECT_GT(t8, t2 / 4.0);      // ...but far from linear
+}
+
+} // namespace

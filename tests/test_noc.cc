@@ -1,0 +1,51 @@
+/** @file NoC timing helpers. */
+
+#include <gtest/gtest.h>
+
+#include "noc/noc.hh"
+
+namespace
+{
+
+using ianus::noc::Noc;
+using ianus::noc::NocParams;
+using ianus::tickPerNs;
+
+TEST(Noc, DefaultLatencies)
+{
+    Noc noc;
+    EXPECT_EQ(noc.memoryTraversal(), 50 * tickPerNs);
+    EXPECT_EQ(noc.broadcast(), 60 * tickPerNs);
+    EXPECT_EQ(noc.barrier(), 200 * tickPerNs);
+}
+
+TEST(Noc, OnChipStreamScalesWithBytes)
+{
+    Noc noc;
+    auto t1 = noc.onChipStream(1 << 20);
+    auto t2 = noc.onChipStream(2 << 20);
+    // Double the bytes ~ double the stream time (minus fixed latency).
+    EXPECT_NEAR(static_cast<double>(t2 - noc.memoryTraversal()),
+                2.0 * static_cast<double>(t1 - noc.memoryTraversal()),
+                2.0);
+}
+
+TEST(Noc, OnChipBandwidthIsConfigured)
+{
+    // 1 MiB at 179.2 GB/s ~= 5.85 us.
+    Noc noc;
+    double us = ianus::ticksToUs(noc.onChipStream(1 << 20));
+    EXPECT_NEAR(us, (1 << 20) / 179.2e3 + 0.05, 0.2);
+}
+
+TEST(Noc, CustomParams)
+{
+    NocParams p;
+    p.hopLatency = 10 * tickPerNs;
+    p.syncLatency = 100 * tickPerNs;
+    Noc noc(p);
+    EXPECT_EQ(noc.memoryTraversal(), 10 * tickPerNs);
+    EXPECT_EQ(noc.barrier(), 100 * tickPerNs);
+}
+
+} // namespace

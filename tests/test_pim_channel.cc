@@ -1,0 +1,119 @@
+/** @file PIM channel engine: macro GEMV timing from Table-1 constants. */
+
+#include <gtest/gtest.h>
+
+#include "pim/pim_channel.hh"
+
+namespace
+{
+
+using ianus::dram::Gddr6Config;
+using ianus::pim::GemvTiling;
+using ianus::pim::MacroCommand;
+using ianus::pim::MacroTiming;
+using ianus::pim::PimChannelEngine;
+using ianus::Tick;
+using ianus::tickPerNs;
+
+struct PimEngineFixture : ::testing::Test
+{
+    Gddr6Config cfg;
+    PimChannelEngine engine{cfg};
+};
+
+TEST_F(PimEngineFixture, SingleTileGemvTiming)
+{
+    // 128 x 1024 over 8 channels: 1 row tile, 1 k slice.
+    GemvTiling t = GemvTiling::compute(128, 1024, cfg, 8);
+    MacroTiming mt = engine.gemvTiming(t, false, false);
+    // WRGB: 2 KiB / 32 B = 64 bursts x 1 ns.
+    EXPECT_EQ(mt.gbFill, 64 * tickPerNs);
+    // MAC: 1024 elems / 16 per burst = 64 bursts x 1 ns.
+    EXPECT_EQ(mt.macStream, 64 * tickPerNs);
+    // Overhead: ACTAB (36) + RDMAC (1) + PREAB (30).
+    EXPECT_EQ(mt.rowOverhead, (36 + 1 + 30) * tickPerNs);
+    EXPECT_EQ(mt.total, mt.gbFill + mt.macStream + mt.rowOverhead);
+    EXPECT_EQ(mt.micro.actab, 1u);
+    EXPECT_EQ(mt.micro.macab, 64u);
+    EXPECT_EQ(mt.micro.rdmac, 1u);
+    EXPECT_EQ(mt.micro.preab, 1u);
+    EXPECT_EQ(mt.micro.wrgb, 64u);
+}
+
+TEST_F(PimEngineFixture, GlobalBufferFilledOncePerSlice)
+{
+    // k-outer loop: 4 row tiles share one WRGB train per k slice.
+    GemvTiling t = GemvTiling::compute(512, 1024, cfg, 8);
+    MacroTiming mt = engine.gemvTiming(t, false, false);
+    EXPECT_EQ(mt.micro.wrgb, 64u);       // one fill
+    EXPECT_EQ(mt.micro.actab, 4u);       // four row tiles
+    EXPECT_EQ(mt.micro.macab, 4 * 64u);
+}
+
+TEST_F(PimEngineFixture, MultiSliceAddsActivates)
+{
+    // K = 1280 (GPT-2 L): two slices, double the ACTABs per row tile —
+    // the Fig-11 energy observation.
+    GemvTiling one = GemvTiling::compute(128, 1024, cfg, 8);
+    GemvTiling two = GemvTiling::compute(128, 1280, cfg, 8);
+    MacroTiming mt1 = engine.gemvTiming(one, false, false);
+    MacroTiming mt2 = engine.gemvTiming(two, false, false);
+    EXPECT_EQ(mt2.micro.actab, 2 * mt1.micro.actab);
+    // MAC bursts: 64 + 16 (256 elems in slice 2).
+    EXPECT_EQ(mt2.micro.macab, 80u);
+}
+
+TEST_F(PimEngineFixture, GeluAndBiasAddMicroOps)
+{
+    GemvTiling t = GemvTiling::compute(128, 2048, cfg, 8);
+    MacroTiming plain = engine.gemvTiming(t, false, false);
+    MacroTiming fused = engine.gemvTiming(t, true, true);
+    EXPECT_EQ(fused.micro.actaf, 1u);  // on the last slice only
+    EXPECT_EQ(fused.micro.wrbias, 1u); // on the first slice only
+    EXPECT_GT(fused.total, plain.total);
+    EXPECT_EQ(plain.micro.actaf, 0u);
+}
+
+TEST_F(PimEngineFixture, QktShapeIsOverheadDominated)
+{
+    // Section 5.3: QK^T on PIM wastes the row (64 of 1024 elements) so
+    // per-row overhead dwarfs MAC streaming.
+    GemvTiling t = GemvTiling::compute(512, 64, cfg, 2);
+    MacroTiming mt = engine.gemvTiming(t, false, false);
+    EXPECT_GT(mt.rowOverhead, 5 * mt.macStream);
+}
+
+TEST_F(PimEngineFixture, EffectiveThroughputNearsPaperPeak)
+{
+    // A large well-shaped GEMV should approach 512 GFLOPS per channel x
+    // 8 channels = 4 TFLOPS (the 4096 GB/s internal bandwidth figure),
+    // derated by ACT/PRE overhead (~50% for 1024-wide slices).
+    GemvTiling t = GemvTiling::compute(8192, 4096, cfg, 8);
+    double gflops = engine.effectiveGflops(t, 8);
+    EXPECT_GT(gflops, 1500.0);
+    EXPECT_LT(gflops, 4096.0);
+}
+
+TEST_F(PimEngineFixture, MacroTimingMatchesGemvTiming)
+{
+    MacroCommand m;
+    m.rows = 256;
+    m.cols = 1536;
+    m.channelMask = 0x3; // one chip
+    MacroTiming via_macro = engine.macroTiming(m, 2);
+    GemvTiling t = GemvTiling::compute(256, 1536, cfg, 2);
+    MacroTiming via_tiling = engine.gemvTiming(t, false, false);
+    EXPECT_EQ(via_macro.total, via_tiling.total);
+}
+
+TEST_F(PimEngineFixture, TimeScalesWithRowsAndCols)
+{
+    GemvTiling small = GemvTiling::compute(128, 1024, cfg, 8);
+    GemvTiling tall = GemvTiling::compute(1280, 1024, cfg, 8);
+    GemvTiling wide = GemvTiling::compute(128, 10240, cfg, 8);
+    Tick ts = engine.gemvTiming(small, false, false).total;
+    EXPECT_GT(engine.gemvTiming(tall, false, false).total, 5 * ts);
+    EXPECT_GT(engine.gemvTiming(wide, false, false).total, 5 * ts);
+}
+
+} // namespace

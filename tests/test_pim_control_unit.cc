@@ -1,0 +1,116 @@
+/**
+ * @file PCU macro-to-micro decode: sequence structure and agreement with
+ * the timing engine's micro budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ianus/pim_control_unit.hh"
+
+namespace
+{
+
+using ianus::MicroCommandStep;
+using ianus::PimControlUnit;
+using ianus::dram::Gddr6Config;
+using ianus::pim::MacroCommand;
+using ianus::pim::MicroOp;
+using ianus::pim::PimChannelEngine;
+
+MacroCommand
+macro(std::uint64_t rows, std::uint64_t cols, bool gelu = false,
+      bool bias = false)
+{
+    MacroCommand m;
+    m.rows = rows;
+    m.cols = cols;
+    m.fusedGelu = gelu;
+    m.hasBias = bias;
+    m.channelMask = 0x3;
+    return m;
+}
+
+TEST(PimControlUnit, SequenceEndsWithEoc)
+{
+    PimControlUnit pcu{Gddr6Config{}};
+    auto seq = pcu.decode(macro(32, 1024), 2);
+    ASSERT_FALSE(seq.empty());
+    EXPECT_EQ(seq.back().op, MicroOp::EOC);
+    EXPECT_EQ(pcu.decoded(), 1u);
+}
+
+TEST(PimControlUnit, EveryActivateIsPrecharged)
+{
+    PimControlUnit pcu{Gddr6Config{}};
+    auto seq = pcu.decode(macro(500, 3000, true, true), 2);
+    int open = 0;
+    for (const MicroCommandStep &s : seq) {
+        if (s.op == MicroOp::ACTAB) {
+            EXPECT_EQ(open, 0) << "nested activate";
+            ++open;
+        } else if (s.op == MicroOp::PREAB) {
+            EXPECT_EQ(open, 1) << "precharge without activate";
+            --open;
+        } else if (s.op == MicroOp::MACAB || s.op == MicroOp::RDMAC ||
+                   s.op == MicroOp::ACTAF || s.op == MicroOp::WRBIAS) {
+            EXPECT_EQ(open, 1) << "bank op on closed row";
+        }
+    }
+    EXPECT_EQ(open, 0);
+}
+
+TEST(PimControlUnit, WrgbPrecedesMacWithinEachSlice)
+{
+    PimControlUnit pcu{Gddr6Config{}};
+    auto seq = pcu.decode(macro(64, 2048), 2);
+    std::uint64_t current_slice = 0;
+    bool slice_filled = false;
+    for (const MicroCommandStep &s : seq) {
+        if (s.op == MicroOp::WRGB) {
+            if (s.kTile != current_slice) {
+                current_slice = s.kTile;
+                slice_filled = false;
+            }
+            slice_filled = true;
+        } else if (s.op == MicroOp::MACAB) {
+            EXPECT_EQ(s.kTile, current_slice);
+            EXPECT_TRUE(slice_filled) << "MAC before buffer fill";
+        }
+    }
+}
+
+TEST(PimControlUnit, BudgetMatchesTimingEngine)
+{
+    // The decode stream and the closed-form timing must agree on every
+    // micro-command count — otherwise energy and latency diverge.
+    Gddr6Config cfg;
+    PimControlUnit pcu{cfg};
+    PimChannelEngine engine{cfg};
+    for (auto [rows, cols] :
+         {std::pair<std::uint64_t, std::uint64_t>{64, 1536},
+          {384, 1536}, {1536, 6144}, {12565, 1920}, {100, 64}}) {
+        for (bool gelu : {false, true}) {
+            MacroCommand m = macro(rows, cols, gelu, true);
+            auto decoded = pcu.budget(m, 2);
+            auto timed = engine.macroTiming(m, 2).micro;
+            EXPECT_EQ(decoded.wrgb, timed.wrgb) << rows << "x" << cols;
+            EXPECT_EQ(decoded.actab, timed.actab);
+            EXPECT_EQ(decoded.macab, timed.macab);
+            EXPECT_EQ(decoded.rdmac, timed.rdmac);
+            EXPECT_EQ(decoded.preab, timed.preab);
+            EXPECT_EQ(decoded.actaf, timed.actaf);
+            EXPECT_EQ(decoded.wrbias, timed.wrbias);
+        }
+    }
+}
+
+TEST(PimControlUnit, GeluOnlyOnLastSlice)
+{
+    PimControlUnit pcu{Gddr6Config{}};
+    auto seq = pcu.decode(macro(32, 2048, true), 2);
+    for (const MicroCommandStep &s : seq)
+        if (s.op == MicroOp::ACTAF)
+            EXPECT_EQ(s.kTile, 1u);
+}
+
+} // namespace

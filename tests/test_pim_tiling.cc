@@ -1,0 +1,88 @@
+/** @file Fig-4 tiling: tile counts, slice sizes, utilization. */
+
+#include <gtest/gtest.h>
+
+#include "pim/pim_tiling.hh"
+
+namespace
+{
+
+using ianus::dram::Gddr6Config;
+using ianus::pim::GemvTiling;
+
+TEST(PimTiling, Figure4Example)
+{
+    // The paper's example: tiles of 16 banks x 8 channels rows by 1024
+    // BF16 columns.
+    Gddr6Config cfg;
+    GemvTiling t = GemvTiling::compute(4096, 4096, cfg, 8);
+    EXPECT_EQ(t.rowsPerTile(), 128u);
+    EXPECT_EQ(t.rowTiles(), 32u);
+    EXPECT_EQ(t.kTiles(), 4u);
+    EXPECT_EQ(t.tilePairs(), 128u);
+    EXPECT_DOUBLE_EQ(t.rowUtilization(), 1.0);
+}
+
+TEST(PimTiling, HeadDimUtilizationMatchesPaper)
+{
+    // Section 5.3: with head dim 64, only 64 of 1024 row elements are
+    // used — 6.25% efficiency for QK^T on PIM.
+    Gddr6Config cfg;
+    GemvTiling t = GemvTiling::compute(512, 64, cfg, 2);
+    EXPECT_DOUBLE_EQ(t.rowUtilization(), 0.0625);
+}
+
+TEST(PimTiling, Gpt2LNeedsTwoRowActivations)
+{
+    // Fig 11's energy note: embedding 1280 spans two K slices (1024 +
+    // 256) where GPT-2 M's 1024 needs one.
+    Gddr6Config cfg;
+    GemvTiling m = GemvTiling::compute(1024, 1024, cfg, 8);
+    GemvTiling l = GemvTiling::compute(1280, 1280, cfg, 8);
+    EXPECT_EQ(m.kTiles(), 1u);
+    EXPECT_EQ(l.kTiles(), 2u);
+    EXPECT_EQ(l.kSliceElems(0), 1024u);
+    EXPECT_EQ(l.kSliceElems(1), 256u);
+    EXPECT_DOUBLE_EQ(l.rowUtilization(), 1280.0 / 2048.0);
+}
+
+TEST(PimTiling, PartialRowTileRoundsUp)
+{
+    Gddr6Config cfg;
+    GemvTiling t = GemvTiling::compute(130, 1024, cfg, 8);
+    EXPECT_EQ(t.rowTiles(), 2u); // 130 rows over 128-row tiles
+}
+
+TEST(PimTiling, TwoChannelChipTiles)
+{
+    // A per-head FC mapped to one chip (2 channels): 32 rows per tile.
+    Gddr6Config cfg;
+    GemvTiling t = GemvTiling::compute(64, 1536, cfg, 2);
+    EXPECT_EQ(t.rowsPerTile(), 32u);
+    EXPECT_EQ(t.rowTiles(), 2u);
+    EXPECT_EQ(t.kTiles(), 2u);
+}
+
+TEST(PimTiling, FootprintIncludesPadding)
+{
+    Gddr6Config cfg;
+    GemvTiling t = GemvTiling::compute(100, 1100, cfg, 8);
+    // Each row consumes 2 full DRAM rows (2 k-slices).
+    EXPECT_EQ(t.footprintBytes(), 100u * 2 * 1024 * 2);
+}
+
+TEST(PimTiling, SliceIndexOutOfRangePanics)
+{
+    Gddr6Config cfg;
+    GemvTiling t = GemvTiling::compute(64, 64, cfg, 2);
+    EXPECT_DEATH((void)t.kSliceElems(1), "out of range");
+}
+
+TEST(PimTiling, RejectsBadChannelCount)
+{
+    Gddr6Config cfg;
+    EXPECT_THROW(GemvTiling::compute(64, 64, cfg, 9), std::runtime_error);
+    EXPECT_THROW(GemvTiling::compute(64, 64, cfg, 0), std::runtime_error);
+}
+
+} // namespace

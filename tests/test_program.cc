@@ -1,0 +1,91 @@
+/** @file Program DAG: id assignment, dependency rules, validation. */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+
+namespace
+{
+
+using namespace ianus::isa;
+
+Command
+vuCmd(std::uint16_t core, std::vector<std::uint32_t> deps = {})
+{
+    Command c;
+    c.core = core;
+    c.unit = UnitKind::VectorUnit;
+    c.payload = VuArgs{VuOpKind::Add, 16};
+    c.deps = std::move(deps);
+    return c;
+}
+
+TEST(Program, AssignsSequentialIds)
+{
+    Program p;
+    EXPECT_EQ(p.add(vuCmd(0)), 0u);
+    EXPECT_EQ(p.add(vuCmd(1)), 1u);
+    EXPECT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.at(1).core, 1u);
+}
+
+TEST(Program, TracksLastPerCore)
+{
+    Program p;
+    p.add(vuCmd(0));
+    p.add(vuCmd(1));
+    p.add(vuCmd(0));
+    EXPECT_EQ(p.lastOnCore(0), 2u);
+    EXPECT_EQ(p.lastOnCore(1), 1u);
+    EXPECT_TRUE(p.hasCommandsOnCore(1));
+    EXPECT_FALSE(p.hasCommandsOnCore(7));
+    EXPECT_DEATH((void)p.lastOnCore(7), "no commands");
+}
+
+TEST(Program, ForwardDependencyPanics)
+{
+    Program p;
+    EXPECT_DEATH(p.add(vuCmd(0, {5})), "forward dependency");
+}
+
+TEST(Program, SelfDependencyPanics)
+{
+    Program p;
+    p.add(vuCmd(0));
+    EXPECT_DEATH(p.add(vuCmd(0, {1})), "forward dependency");
+}
+
+TEST(Program, UnitHistogram)
+{
+    Program p;
+    p.add(vuCmd(0));
+    p.add(vuCmd(0));
+    p.add(0, UnitKind::Sync, OpClass::Other, SyncArgs{}, {0, 1});
+    auto h = p.unitHistogram();
+    EXPECT_EQ(h[UnitKind::VectorUnit], 2u);
+    EXPECT_EQ(h[UnitKind::Sync], 1u);
+}
+
+TEST(Program, ValidateRejectsEmptyPimMask)
+{
+    Program p;
+    ianus::pim::MacroCommand m;
+    m.rows = 4;
+    m.cols = 4;
+    m.channelMask = 0; // invalid
+    p.add(0, UnitKind::Pim, OpClass::Other, PimArgs{m, 1}, {});
+    EXPECT_DEATH(p.validate(), "empty channel mask");
+}
+
+TEST(Program, ConvenienceAddWiresDeps)
+{
+    Program p;
+    std::uint32_t a = p.add(0, UnitKind::VectorUnit, OpClass::Other,
+                            VuArgs{VuOpKind::Add, 8}, {});
+    std::uint32_t b = p.add(0, UnitKind::VectorUnit, OpClass::Other,
+                            VuArgs{VuOpKind::Add, 8}, {a});
+    EXPECT_EQ(p.at(b).deps, (std::vector<std::uint32_t>{a}));
+    p.validate();
+}
+
+} // namespace

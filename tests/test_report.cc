@@ -1,0 +1,106 @@
+/** @file RunStats / InferenceReport arithmetic. */
+
+#include <gtest/gtest.h>
+
+#include "ianus/report.hh"
+
+namespace
+{
+
+using namespace ianus;
+using isa::OpClass;
+using isa::UnitKind;
+
+RunStats
+sample(double scale)
+{
+    RunStats s;
+    s.wallTicks = static_cast<Tick>(1000 * scale);
+    s.busy(OpClass::FfnAdd) = 400 * scale;
+    s.span(OpClass::FfnAdd) = 300 * scale;
+    s.classExclusive[static_cast<std::size_t>(OpClass::FfnAdd)] =
+        250 * scale;
+    s.busy(UnitKind::Pim) = 500 * scale;
+    s.commands = 10 * scale;
+    s.muFlops = 1e6 * scale;
+    s.dramReadBytes = 2048 * scale;
+    s.pimWeightBytes = 4096 * scale;
+    return s;
+}
+
+TEST(RunStats, ScaleAddIsLinear)
+{
+    RunStats acc;
+    acc.scaleAdd(sample(1.0), 2.0);
+    acc.scaleAdd(sample(1.0), 3.0);
+    RunStats direct = sample(5.0);
+    EXPECT_EQ(acc.wallTicks, direct.wallTicks);
+    EXPECT_DOUBLE_EQ(acc.busy(OpClass::FfnAdd),
+                     direct.busy(OpClass::FfnAdd));
+    EXPECT_DOUBLE_EQ(acc.span(OpClass::FfnAdd),
+                     direct.span(OpClass::FfnAdd));
+    EXPECT_DOUBLE_EQ(acc.exclusive(OpClass::FfnAdd),
+                     direct.exclusive(OpClass::FfnAdd));
+    EXPECT_DOUBLE_EQ(acc.commands, direct.commands);
+    EXPECT_DOUBLE_EQ(acc.pimWeightBytes, direct.pimWeightBytes);
+}
+
+TEST(RunStats, MergeIsScaleAddOne)
+{
+    RunStats a = sample(1.0);
+    a.merge(sample(1.0));
+    RunStats b = sample(2.0);
+    EXPECT_EQ(a.wallTicks, b.wallTicks);
+    EXPECT_DOUBLE_EQ(a.muFlops, b.muFlops);
+}
+
+TEST(RunStats, AccessorsReadAndWrite)
+{
+    RunStats s;
+    s.busy(UnitKind::MatrixUnit) = 7.0;
+    EXPECT_DOUBLE_EQ(s.unitBusy[0], 7.0);
+    s.busy(OpClass::LayerNorm) = 3.0;
+    EXPECT_DOUBLE_EQ(s.busy(OpClass::LayerNorm), 3.0);
+    EXPECT_DOUBLE_EQ(s.wallMs(), 0.0);
+}
+
+TEST(InferenceReport, TotalsAndPerToken)
+{
+    InferenceReport r;
+    r.inputTokens = 128;
+    r.outputTokens = 9;
+    r.summarization.wallTicks = 4 * tickPerMs;
+    r.generation.wallTicks = 16 * tickPerMs;
+    r.generationSteps = 8;
+    EXPECT_DOUBLE_EQ(r.totalMs(), 20.0);
+    EXPECT_DOUBLE_EQ(r.msPerGeneratedToken(), 2.0);
+    EXPECT_EQ(r.totalTicks(), 20 * tickPerMs);
+}
+
+TEST(InferenceReport, CombinedAddsStages)
+{
+    InferenceReport r;
+    r.summarization = sample(1.0);
+    r.generation = sample(2.0);
+    RunStats all = r.combined();
+    EXPECT_DOUBLE_EQ(all.commands, 30.0);
+    EXPECT_DOUBLE_EQ(all.dramReadBytes, 2048.0 * 3);
+}
+
+TEST(InferenceReport, AchievedTflopsCountsBothEngines)
+{
+    InferenceReport r;
+    r.summarization.wallTicks = tickPerSec; // one second
+    r.summarization.muFlops = 1e12;
+    r.summarization.pimWeightBytes = 1e12; // = 1e12 FLOPs (2 per elem)
+    EXPECT_NEAR(r.achievedTflops(), 2.0, 1e-9);
+}
+
+TEST(InferenceReport, ZeroStepsZeroPerToken)
+{
+    InferenceReport r;
+    EXPECT_DOUBLE_EQ(r.msPerGeneratedToken(), 0.0);
+    EXPECT_DOUBLE_EQ(r.achievedTflops(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,56 @@
+/** @file Scratchpads: capacity accounting and the 2:1 entry geometry. */
+
+#include <gtest/gtest.h>
+
+#include "npu/npu_core.hh"
+#include "npu/scratchpad.hh"
+
+namespace
+{
+
+using ianus::npu::CoreMemoryParams;
+using ianus::npu::Scratchpad;
+
+TEST(Scratchpad, ReserveReleasePeak)
+{
+    Scratchpad sp("am", 1024, 32);
+    sp.reserve(400);
+    sp.reserve(200);
+    EXPECT_EQ(sp.used(), 600u);
+    sp.release(500);
+    EXPECT_EQ(sp.used(), 100u);
+    EXPECT_EQ(sp.peak(), 600u);
+}
+
+TEST(Scratchpad, OverflowIsUserFatal)
+{
+    Scratchpad sp("wm", 100, 10);
+    sp.reserve(90);
+    EXPECT_THROW(sp.reserve(20), std::runtime_error);
+}
+
+TEST(Scratchpad, ReleaseUnderflowPanics)
+{
+    Scratchpad sp("am", 100, 10);
+    EXPECT_DEATH(sp.release(1), "underflow");
+}
+
+TEST(Scratchpad, EntryGeometry)
+{
+    Scratchpad sp("am", 1024, 256);
+    EXPECT_EQ(sp.entriesFor(1), 1u);
+    EXPECT_EQ(sp.entriesFor(256), 1u);
+    EXPECT_EQ(sp.entriesFor(257), 2u);
+}
+
+TEST(Scratchpad, Table1CoreGeometry)
+{
+    // AM 12 MB / WM 4 MB per core; AM entries are 2x WM entries (4.1) —
+    // the mismatch the transpose streaming buffer reconciles.
+    CoreMemoryParams mem;
+    EXPECT_EQ(mem.actScratchpadBytes, 12u * 1024 * 1024);
+    EXPECT_EQ(mem.weightScratchpadBytes, 4u * 1024 * 1024);
+    EXPECT_EQ(mem.actEntryBytes, 2 * mem.weightEntryBytes);
+}
+
+} // namespace

@@ -1,0 +1,55 @@
+/** @file Stats framework: accumulation, lookup, dumping. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace
+{
+
+using ianus::sim::Stat;
+using ianus::sim::StatGroup;
+
+TEST(Stats, AccumulatesAndAverages)
+{
+    Stat s;
+    s.add(2.0);
+    s.add(4.0);
+    EXPECT_DOUBLE_EQ(s.value(), 6.0);
+    EXPECT_EQ(s.samples(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Stats, GroupCreatesOnDemand)
+{
+    StatGroup g("core0");
+    g.stat("mu.busy").add(10.0);
+    g.stat("mu.busy").add(5.0);
+    EXPECT_TRUE(g.has("mu.busy"));
+    EXPECT_FALSE(g.has("vu.busy"));
+    EXPECT_DOUBLE_EQ(g.at("mu.busy").value(), 15.0);
+    EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(Stats, MissingStatPanics)
+{
+    StatGroup g;
+    EXPECT_DEATH((void)g.at("nope"), "unknown stat");
+}
+
+TEST(Stats, DumpIsSortedAndNamed)
+{
+    StatGroup g("pim");
+    g.stat("b").set(2.0);
+    g.stat("a").set(1.0);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "pim.a 1 1\npim.b 2 1\n");
+}
+
+} // namespace

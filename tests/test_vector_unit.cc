@@ -1,0 +1,112 @@
+/** @file Vector unit: kernel timing and functional kernels (4.2.2). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "common/lut.hh"
+#include "npu/vector_unit.hh"
+
+namespace
+{
+
+using ianus::isa::VuOpKind;
+using ianus::npu::VectorUnit;
+using ianus::npu::VectorUnitParams;
+
+TEST(VectorUnit, LaneCount)
+{
+    VectorUnitParams p;
+    EXPECT_EQ(p.lanes(), 64u); // sixteen 4-wide VLIW processors
+}
+
+TEST(VectorUnit, PassStructureMatchesKernels)
+{
+    EXPECT_EQ(VectorUnit::passes(VuOpKind::LayerNorm), 2u); // two-phase
+    EXPECT_EQ(VectorUnit::passes(VuOpKind::MaskedSoftmax), 3u);
+    EXPECT_EQ(VectorUnit::passes(VuOpKind::Add), 1u);
+}
+
+TEST(VectorUnit, CyclesScaleWithElementsAndPasses)
+{
+    VectorUnit vu;
+    auto add = vu.opCycles(VuOpKind::Add, 6400);
+    auto ln = vu.opCycles(VuOpKind::LayerNorm, 6400);
+    EXPECT_EQ(add, 32u + 100u);
+    EXPECT_EQ(ln, 32u + 200u);
+    EXPECT_EQ(vu.opCycles(VuOpKind::Add, 0), 0u);
+}
+
+TEST(VectorUnit, LayerNormNormalizes)
+{
+    VectorUnit vu;
+    std::mt19937 rng(7);
+    std::normal_distribution<float> dist(3.0f, 2.0f);
+    std::vector<float> x(512);
+    for (float &v : x)
+        v = dist(rng);
+    std::vector<float> y = vu.layerNorm(x);
+    double mean = std::accumulate(y.begin(), y.end(), 0.0) / y.size();
+    double var = 0.0;
+    for (float v : y)
+        var += (v - mean) * (v - mean);
+    var /= y.size();
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(VectorUnit, MaskedSoftmaxSumsToOneOverUnmasked)
+{
+    VectorUnit vu;
+    std::vector<float> scores{1.0f, 2.0f, 3.0f, 100.0f};
+    std::vector<bool> mask{true, true, true, false}; // causal mask
+    std::vector<float> p = vu.maskedSoftmax(scores, mask);
+    EXPECT_EQ(p[3], 0.0f);
+    double sum = p[0] + p[1] + p[2];
+    EXPECT_NEAR(sum, 1.0, 0.02);
+    EXPECT_GT(p[2], p[1]);
+    EXPECT_GT(p[1], p[0]);
+}
+
+TEST(VectorUnit, SoftmaxIsMaxSubtractedForStability)
+{
+    // Huge scores must not overflow thanks to max subtraction (4.2.2).
+    VectorUnit vu;
+    std::vector<float> scores{5000.0f, 5000.0f};
+    std::vector<bool> mask{true, true};
+    std::vector<float> p = vu.maskedSoftmax(scores, mask);
+    EXPECT_NEAR(p[0], 0.5f, 0.01f);
+    EXPECT_NEAR(p[1], 0.5f, 0.01f);
+}
+
+TEST(VectorUnit, FullyMaskedRowIsZero)
+{
+    VectorUnit vu;
+    std::vector<float> p =
+        vu.maskedSoftmax({1.0f, 2.0f}, {false, false});
+    EXPECT_EQ(p[0], 0.0f);
+    EXPECT_EQ(p[1], 0.0f);
+}
+
+TEST(VectorUnit, GeluMatchesExactWithinLutError)
+{
+    VectorUnit vu;
+    std::vector<float> x{-3.0f, -1.0f, 0.0f, 1.0f, 3.0f};
+    std::vector<float> y = vu.gelu(x);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y[i], ianus::geluExact(x[i]),
+                    0.02 + std::abs(x[i]) * 0.01);
+}
+
+TEST(VectorUnit, ResidualAdd)
+{
+    VectorUnit vu;
+    std::vector<float> y = vu.add({1.0f, 2.0f}, {0.5f, -2.0f});
+    EXPECT_EQ(y[0], 1.5f);
+    EXPECT_EQ(y[1], 0.0f);
+    EXPECT_DEATH((void)vu.add({1.0f}, {1.0f, 2.0f}), "shape mismatch");
+}
+
+} // namespace
