@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Program-cache microbenchmark: host-side cost of the serving front end.
+ *
+ * Replays a 100-request synthetic serving mix (the llm_serving shapes)
+ * two ways:
+ *
+ *  - uncached: a fresh CompiledModel per request, i.e. the one-shot
+ *    IanusSystem::run path — every request recompiles and re-simulates
+ *    its summarization program and every sampled generation step;
+ *  - cached: one CompiledModel serving the whole mix, so each distinct
+ *    program (input length / KV length) is compiled and simulated once.
+ *
+ * The two paths must produce identical latency numbers — the cache only
+ * skips redundant work. Reports wall-clock speedup and cache counters.
+ *
+ *   ./micro_compile_cache [--fast] [--csv]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "common/bench_common.hh"
+#include "serve/compiled_model.hh"
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ianus;
+    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::banner("micro: program cache",
+                  "compile-once/serve-many vs per-request recompilation "
+                  "(host cost; simulated latencies must be identical)");
+
+    workloads::ModelConfig model = workloads::gpt2(opts.fast ? "m" : "xl");
+    SystemConfig cfg = SystemConfig::ianusDefault();
+    const unsigned stride = 8;
+    const unsigned n_requests = 100;
+
+    // The llm_serving request mix; keep in sync with
+    // examples/llm_serving.cc.
+    std::mt19937 rng(7);
+    const std::uint64_t ins[] = {128, 256, 512};
+    const std::uint64_t outs[] = {8, 16, 64, 128};
+    std::vector<workloads::InferenceRequest> mix;
+    for (unsigned i = 0; i < n_requests; ++i)
+        mix.push_back({ins[rng() % 3], outs[rng() % 4]});
+
+    // Uncached: fresh CompiledModel (= IanusSystem::run) per request.
+    Clock::time_point t0 = Clock::now();
+    std::vector<InferenceReport> uncached;
+    std::uint64_t uncached_builds = 0;
+    for (const auto &req : mix) {
+        serve::CompiledModel fresh(cfg, model);
+        uncached.push_back(fresh.run(req, stride));
+        uncached_builds += fresh.cacheStats().builds();
+    }
+    double uncached_s = secondsSince(t0);
+
+    // Cached: one CompiledModel for the whole replay.
+    serve::CompiledModel compiled(cfg, model);
+    t0 = Clock::now();
+    std::vector<InferenceReport> cached;
+    for (const auto &req : mix)
+        cached.push_back(compiled.run(req, stride));
+    double cached_s = secondsSince(t0);
+
+    bool identical = true;
+    for (unsigned i = 0; i < n_requests; ++i) {
+        if (uncached[i].totalTicks() != cached[i].totalTicks() ||
+            uncached[i].summarization.wallTicks !=
+                cached[i].summarization.wallTicks ||
+            uncached[i].generation.commands !=
+                cached[i].generation.commands)
+            identical = false;
+    }
+
+    const serve::CacheStats &cs = compiled.cacheStats();
+    bench::Table table({"path", "requests", "programs_built", "wall_s",
+                        "req_per_s"});
+    table.addRow({"uncached", bench::Table::num(n_requests, 0),
+                  bench::Table::num(static_cast<double>(uncached_builds),
+                                    0),
+                  bench::Table::num(uncached_s, 2),
+                  bench::Table::num(n_requests / uncached_s, 1)});
+    table.addRow({"cached", bench::Table::num(n_requests, 0),
+                  bench::Table::num(static_cast<double>(cs.builds()), 0),
+                  bench::Table::num(cached_s, 2),
+                  bench::Table::num(n_requests / cached_s, 1)});
+    table.print(opts);
+
+    std::printf("\ncache: %llu builds, %llu hits | speedup %.2fx | "
+                "latency numbers identical: %s\n",
+                (unsigned long long)cs.builds(),
+                (unsigned long long)cs.hits(), uncached_s / cached_s,
+                identical ? "yes" : "NO — BUG");
+    return identical && uncached_s / cached_s >= 2.0 ? 0 : 1;
+}

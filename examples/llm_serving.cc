@@ -2,11 +2,13 @@
  * @file
  * Text-generation serving simulation: the paper's motivating datacenter
  * scenario (Section 1/6.1 — non-batched requests with OpenAI-style
- * input:output token ratios).
+ * input:output token ratios), on the serving API.
  *
- * Replays a synthetic request mix on IANUS and on NPU-MEM, reporting
- * per-request latency, time-to-first-token, per-token latency and an
- * SLO miss rate.
+ * Compiles the model once per system (CompiledModel), replays a
+ * synthetic request mix through a ServingEngine on IANUS and on
+ * NPU-MEM, and prints per-request latency decompositions plus the
+ * fleet-level ServingReport (p50/p95/p99 latency, throughput, SLO miss
+ * rate).
  *
  *   ./llm_serving [model] [requests] [slo_ms_per_token]
  */
@@ -17,52 +19,23 @@
 #include <string>
 #include <vector>
 
-#include "ianus/ianus_system.hh"
+#include "serve/serving_engine.hh"
 
 namespace
 {
 
-struct RequestResult
-{
-    ianus::workloads::InferenceRequest req;
-    double totalMs;
-    double firstTokenMs;
-    double perTokenMs;
-};
-
-std::vector<RequestResult>
-replay(const ianus::IanusSystem &sys,
-       const ianus::workloads::ModelConfig &model,
-       const std::vector<ianus::workloads::InferenceRequest> &mix)
-{
-    std::vector<RequestResult> results;
-    for (const auto &req : mix) {
-        ianus::InferenceReport r = sys.run(model, req, {}, 8);
-        results.push_back({req, r.totalMs(), r.summarizationMs(),
-                           r.msPerGeneratedToken()});
-    }
-    return results;
-}
-
-void
-report(const char *name, const std::vector<RequestResult> &results,
+ianus::serve::ServingReport
+replay(const ianus::serve::CompiledModel &model,
+       const std::vector<ianus::workloads::InferenceRequest> &mix,
        double slo_ms)
 {
-    double total = 0, worst_token = 0;
-    unsigned misses = 0;
-    std::uint64_t tokens = 0;
-    for (const RequestResult &r : results) {
-        total += r.totalMs;
-        tokens += r.req.outputTokens;
-        worst_token = std::max(worst_token, r.perTokenMs);
-        if (r.perTokenMs > slo_ms)
-            ++misses;
-    }
-    std::printf("%-8s  requests %zu | tokens %llu | total %.1f ms | "
-                "throughput %.1f tok/s | worst ms/token %.2f | "
-                "SLO(<%.0fms/token) misses %u\n",
-                name, results.size(), (unsigned long long)tokens, total,
-                tokens / (total / 1000.0), worst_token, slo_ms, misses);
+    ianus::serve::ServingOptions opts;
+    opts.sloMsPerToken = slo_ms;
+    opts.tokenStride = 8;
+    ianus::serve::ServingEngine engine(model, opts);
+    for (const auto &req : mix)
+        engine.submit(req);
+    return engine.drain();
 }
 
 } // namespace
@@ -82,7 +55,8 @@ main(int argc, char **argv)
                 model.describe().c_str());
 
     // Synthetic mix: prompt sizes and completion lengths drawn from the
-    // paper's evaluation ranges.
+    // paper's evaluation ranges; keep in sync with
+    // bench/micro_compile_cache.cc.
     std::mt19937 rng(7);
     const std::uint64_t ins[] = {128, 256, 512};
     const std::uint64_t outs[] = {8, 16, 64, 128};
@@ -90,28 +64,35 @@ main(int argc, char **argv)
     for (unsigned i = 0; i < n_requests; ++i)
         mix.push_back({ins[rng() % 3], outs[rng() % 4]});
 
-    IanusSystem ianus_sys(SystemConfig::ianusDefault());
-    IanusSystem npu_mem(SystemConfig::npuMem());
+    // Compile once per system; the ServingEngine replays the whole mix
+    // against the cached programs.
+    serve::CompiledModel ianus_model(SystemConfig::ianusDefault(), model);
+    serve::CompiledModel npu_model(SystemConfig::npuMem(), model);
 
-    auto ianus_res = replay(ianus_sys, model, mix);
-    auto npu_res = replay(npu_mem, model, mix);
+    serve::ServingReport ianus_rep = replay(ianus_model, mix, slo);
+    serve::ServingReport npu_rep = replay(npu_model, mix, slo);
 
     std::printf("%-10s %-10s %12s %14s %12s\n", "request", "system",
                 "total(ms)", "first-token", "ms/token");
     for (std::size_t i = 0; i < mix.size(); ++i) {
+        const serve::RequestResult &ir = ianus_rep.results[i];
+        const serve::RequestResult &nr = npu_rep.results[i];
         char tag[32];
         std::snprintf(tag, sizeof(tag), "(%llu,%llu)",
-                      (unsigned long long)mix[i].inputTokens,
-                      (unsigned long long)mix[i].outputTokens);
+                      (unsigned long long)ir.request.inputTokens,
+                      (unsigned long long)ir.request.outputTokens);
         std::printf("%-10s %-10s %12.1f %14.1f %12.2f\n", tag, "IANUS",
-                    ianus_res[i].totalMs, ianus_res[i].firstTokenMs,
-                    ianus_res[i].perTokenMs);
+                    ir.totalMs(), ir.firstTokenMs, ir.msPerToken);
         std::printf("%-10s %-10s %12.1f %14.1f %12.2f\n", "", "NPU-MEM",
-                    npu_res[i].totalMs, npu_res[i].firstTokenMs,
-                    npu_res[i].perTokenMs);
+                    nr.totalMs(), nr.firstTokenMs, nr.msPerToken);
     }
     std::printf("\n");
-    report("IANUS", ianus_res, slo);
-    report("NPU-MEM", npu_res, slo);
+    std::printf("IANUS    %s\n", ianus_rep.summary().c_str());
+    std::printf("NPU-MEM  %s\n", npu_rep.summary().c_str());
+    std::printf("\nprogram cache: IANUS compiled %llu programs for %zu "
+                "requests (%llu cache hits)\n",
+                (unsigned long long)ianus_model.cacheStats().builds(),
+                mix.size(),
+                (unsigned long long)ianus_model.cacheStats().hits());
     return 0;
 }

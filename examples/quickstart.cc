@@ -13,7 +13,7 @@
 
 #include "baselines/gpu_model.hh"
 #include "energy/energy_model.hh"
-#include "ianus/ianus_system.hh"
+#include "serve/compiled_model.hh"
 
 int
 main(int argc, char **argv)
@@ -32,12 +32,14 @@ main(int argc, char **argv)
                 (unsigned long long)req.outputTokens);
 
     // IANUS: NPU whose main memory is GDDR6-AiM PIM (unified).
-    IanusSystem ianus_sys(SystemConfig::ianusDefault());
-    InferenceReport ianus_rep = ianus_sys.run(model, req);
+    // CompiledModel binds the model to the device once; run() replays
+    // cached programs for any further requests.
+    serve::CompiledModel ianus_sys(SystemConfig::ianusDefault(), model);
+    InferenceReport ianus_rep = ianus_sys.run(req);
 
     // NPU-MEM: identical NPU, plain GDDR6.
-    IanusSystem npu_mem(SystemConfig::npuMem());
-    InferenceReport npu_rep = npu_mem.run(model, req);
+    serve::CompiledModel npu_mem(SystemConfig::npuMem(), model);
+    InferenceReport npu_rep = npu_mem.run(req);
 
     // A100 GPU (analytical baseline).
     baselines::GpuModel gpu;

@@ -1,8 +1,6 @@
 #include "ianus/ianus_system.hh"
 
-#include <vector>
-
-#include "common/logging.hh"
+#include "serve/compiled_model.hh"
 
 namespace ianus
 {
@@ -18,65 +16,11 @@ IanusSystem::run(const workloads::ModelConfig &model,
                  const compiler::BuildOptions &opts,
                  unsigned token_stride) const
 {
-    IANUS_ASSERT(token_stride >= 1, "token stride must be positive");
-    compiler::WorkloadBuilder builder(cfg_, model, opts);
-    ExecutionEngine engine(cfg_, opts.devices);
-
-    InferenceReport report;
-    report.inputTokens = request.inputTokens;
-    report.outputTokens = request.outputTokens;
-
-    isa::Program sum = builder.buildSummarization(request.inputTokens);
-    report.summarization = engine.run(sum);
-
-    // Encoders have no generation stage at all; for decoders the first
-    // output token is produced by the summarization LM head and
-    // generation steps produce the rest.
-    if (!model.decoder())
-        return report;
-    std::uint64_t steps =
-        request.outputTokens > 0 ? request.outputTokens - 1 : 0;
-    report.generationSteps = steps;
-    if (steps == 0)
-        return report;
-
-    auto step_stats = [&](std::uint64_t t) {
-        std::uint64_t kv = request.inputTokens + 1 + t;
-        isa::Program prog = builder.buildGenerationToken(kv);
-        return engine.run(prog);
-    };
-
-    if (token_stride == 1 || steps <= 2 * token_stride) {
-        for (std::uint64_t t = 0; t < steps; ++t)
-            report.generation.merge(step_stats(t));
-        return report;
-    }
-
-    // Strided sampling with trapezoidal integration: token latency is a
-    // smooth function of KV length (only attention terms grow).
-    std::vector<std::uint64_t> samples;
-    for (std::uint64_t t = 0; t < steps; t += token_stride)
-        samples.push_back(t);
-    if (samples.back() != steps - 1)
-        samples.push_back(steps - 1);
-
-    std::vector<RunStats> stats;
-    stats.reserve(samples.size());
-    for (std::uint64_t t : samples)
-        stats.push_back(step_stats(t));
-
-    for (std::size_t j = 0; j < samples.size(); ++j) {
-        double w = 0.0;
-        if (j == 0)
-            w = static_cast<double>(samples[1] - samples[0]) / 2.0 + 0.5;
-        else if (j + 1 == samples.size())
-            w = static_cast<double>(samples[j] - samples[j - 1]) / 2.0 +
-                0.5;
-        else
-            w = static_cast<double>(samples[j + 1] - samples[j - 1]) / 2.0;
-        report.generation.scaleAdd(stats[j], w);
-    }
-    return report;
+    // One-shot convenience path: compile, serve once, throw the
+    // programs away. Serving loops should hold a CompiledModel instead
+    // and reuse its caches across requests.
+    serve::CompiledModel compiled(cfg_, model, opts);
+    return compiled.run(request, token_stride);
 }
 
 } // namespace ianus

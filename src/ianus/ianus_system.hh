@@ -1,12 +1,15 @@
 /**
  * @file
- * The public entry point: an IANUS device running end-to-end inference.
+ * One-shot entry points: an IANUS device running end-to-end inference.
  *
- * IanusSystem glues together the compiler (WorkloadBuilder), the
- * execution engine, and the report plumbing: one run() simulates the
- * summarization stage over the input tokens, then one generation step
- * per output token (the first output token falls out of summarization's
- * LM head, as in the paper's (x,1) configurations).
+ * IanusSystem::run() simulates one request — the summarization stage
+ * over the input tokens, then one generation step per output token (the
+ * first output token falls out of summarization's LM head, as in the
+ * paper's (x,1) configurations). It is a thin wrapper over
+ * serve::CompiledModel, which compiles the model once and memoizes
+ * programs; serving loops that replay many requests should hold a
+ * CompiledModel (or a serve::ServingEngine on top of it) instead of
+ * calling run() per request.
  *
  * For long generations a token stride can sample generation steps and
  * integrate between samples (token latency varies smoothly with KV
@@ -32,7 +35,9 @@ class IanusSystem
     explicit IanusSystem(const SystemConfig &cfg);
 
     /**
-     * Simulate one inference request end to end.
+     * Simulate one inference request end to end (compiles the model,
+     * serves once, discards the programs). Rejects invalid requests
+     * (zero input/output tokens, zero stride) with a fatal error.
      *
      * @param model        Transformer configuration.
      * @param request      (input tokens, output tokens), batch 1.

@@ -1,6 +1,7 @@
 #include "ianus/ianus_system.hh"
 
 #include "common/logging.hh"
+#include "serve/compiled_model.hh"
 
 namespace ianus
 {
@@ -20,8 +21,8 @@ MultiDeviceSystem::run(const workloads::ModelConfig &model,
                        unsigned token_stride) const
 {
     opts.devices = devices_;
-    IanusSystem sys(cfg_);
-    return sys.run(model, request, opts, token_stride);
+    serve::CompiledModel compiled(cfg_, model, opts);
+    return compiled.run(request, token_stride);
 }
 
 double

@@ -1,0 +1,140 @@
+#include "serve/compiled_model.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "ianus/execution_engine.hh"
+
+namespace ianus::serve
+{
+
+CompiledModel::CompiledModel(const SystemConfig &sys,
+                             const workloads::ModelConfig &model,
+                             const compiler::BuildOptions &opts)
+    // Validate before the WorkloadBuilder sees the config, so an
+    // unsatisfiable configuration fails with a clear error instead of a
+    // compiler panic.
+    : cfg_((sys.validate(), sys)), model_(model), opts_(opts),
+      builder_(cfg_, model_, opts_)
+{
+}
+
+std::size_t
+CompiledModel::cachedPrograms() const
+{
+    return summarizationCache_.size() + generationCache_.size();
+}
+
+void
+CompiledModel::clearCache() const
+{
+    summarizationCache_.clear();
+    generationCache_.clear();
+    cache_ = CacheStats{};
+}
+
+RunStats
+CompiledModel::execute(const isa::Program &prog) const
+{
+    ExecutionEngine engine(cfg_, opts_.devices);
+    return engine.run(prog);
+}
+
+const CompiledModel::Entry &
+CompiledModel::summarization(std::uint64_t input_tokens) const
+{
+    auto it = summarizationCache_.find(input_tokens);
+    if (it != summarizationCache_.end()) {
+        ++cache_.summarizationHits;
+        return it->second;
+    }
+    Entry entry;
+    entry.program = builder_.buildSummarization(input_tokens);
+    entry.stats = execute(entry.program);
+    ++cache_.summarizationBuilds;
+    return summarizationCache_.emplace(input_tokens, std::move(entry))
+        .first->second;
+}
+
+const CompiledModel::Entry &
+CompiledModel::generation(std::uint64_t kv_len) const
+{
+    auto it = generationCache_.find(kv_len);
+    if (it != generationCache_.end()) {
+        ++cache_.generationHits;
+        return it->second;
+    }
+    Entry entry;
+    entry.program = builder_.buildGenerationToken(kv_len);
+    entry.stats = execute(entry.program);
+    ++cache_.generationBuilds;
+    return generationCache_.emplace(kv_len, std::move(entry))
+        .first->second;
+}
+
+InferenceReport
+CompiledModel::run(const workloads::InferenceRequest &request,
+                   unsigned token_stride) const
+{
+    if (request.inputTokens == 0)
+        IANUS_FATAL("inference request needs at least one input token");
+    if (request.outputTokens == 0)
+        IANUS_FATAL("inference request needs at least one output token "
+                    "(encoders emit their single result as token 1)");
+    if (token_stride == 0)
+        IANUS_FATAL("token stride must be positive (1 = exact)");
+
+    InferenceReport report;
+    report.inputTokens = request.inputTokens;
+    report.outputTokens = request.outputTokens;
+
+    report.summarization = summarization(request.inputTokens).stats;
+
+    // Encoders have no generation stage at all; for decoders the first
+    // output token is produced by the summarization LM head and
+    // generation steps produce the rest.
+    if (!model_.decoder())
+        return report;
+    std::uint64_t steps = request.outputTokens - 1;
+    report.generationSteps = steps;
+    if (steps == 0)
+        return report;
+
+    auto step_stats = [&](std::uint64_t t) -> const RunStats & {
+        return generation(request.inputTokens + 1 + t).stats;
+    };
+
+    if (token_stride == 1 || steps <= 2 * token_stride) {
+        for (std::uint64_t t = 0; t < steps; ++t)
+            report.generation.merge(step_stats(t));
+        return report;
+    }
+
+    // Strided sampling with trapezoidal integration: token latency is a
+    // smooth function of KV length (only attention terms grow).
+    std::vector<std::uint64_t> samples;
+    for (std::uint64_t t = 0; t < steps; t += token_stride)
+        samples.push_back(t);
+    if (samples.back() != steps - 1)
+        samples.push_back(steps - 1);
+
+    std::vector<const RunStats *> stats;
+    stats.reserve(samples.size());
+    for (std::uint64_t t : samples)
+        stats.push_back(&step_stats(t));
+
+    for (std::size_t j = 0; j < samples.size(); ++j) {
+        double w = 0.0;
+        if (j == 0)
+            w = static_cast<double>(samples[1] - samples[0]) / 2.0 + 0.5;
+        else if (j + 1 == samples.size())
+            w = static_cast<double>(samples[j] - samples[j - 1]) / 2.0 +
+                0.5;
+        else
+            w = static_cast<double>(samples[j + 1] - samples[j - 1]) / 2.0;
+        report.generation.scaleAdd(*stats[j], w);
+    }
+    return report;
+}
+
+} // namespace ianus::serve

@@ -1,0 +1,188 @@
+#include "serve/serving_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace ianus::serve
+{
+
+std::vector<std::size_t>
+FcfsPolicy::selectBatch(const std::vector<QueuedRequest> &queue,
+                        double now_ms)
+{
+    (void)queue;
+    (void)now_ms;
+    return {0};
+}
+
+double
+ServingReport::percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    if (p <= 0.0)
+        return values.front();
+    if (p >= 100.0)
+        return values.back();
+    double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= values.size())
+        return values.back();
+    return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
+double
+ServingReport::latencyPercentile(double p) const
+{
+    std::vector<double> v;
+    v.reserve(results.size());
+    for (const RequestResult &r : results)
+        v.push_back(r.totalMs());
+    return percentile(std::move(v), p);
+}
+
+double
+ServingReport::ttftPercentile(double p) const
+{
+    std::vector<double> v;
+    v.reserve(results.size());
+    for (const RequestResult &r : results)
+        v.push_back(r.firstTokenMs);
+    return percentile(std::move(v), p);
+}
+
+double
+ServingReport::tokensPerSecond() const
+{
+    return makespanMs > 0.0
+               ? static_cast<double>(generatedTokens) /
+                     (makespanMs / 1000.0)
+               : 0.0;
+}
+
+double
+ServingReport::sloMissRate() const
+{
+    if (results.empty())
+        return 0.0;
+    std::size_t misses = 0;
+    for (const RequestResult &r : results)
+        misses += r.sloMiss ? 1 : 0;
+    return static_cast<double>(misses) /
+           static_cast<double>(results.size());
+}
+
+std::string
+ServingReport::summary() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%zu requests | %llu tokens | %.1f ms makespan | "
+                  "%.1f tok/s | latency p50/p95/p99 %.1f/%.1f/%.1f ms | "
+                  "SLO(<%.0f ms/token) miss rate %.1f%%",
+                  requests(), (unsigned long long)generatedTokens,
+                  makespanMs, tokensPerSecond(), latencyPercentile(50),
+                  latencyPercentile(95), latencyPercentile(99),
+                  sloMsPerToken, 100.0 * sloMissRate());
+    return buf;
+}
+
+ServingEngine::ServingEngine(const CompiledModel &model,
+                             ServingOptions opts,
+                             std::unique_ptr<SchedulingPolicy> policy)
+    : model_(model), opts_(opts), policy_(std::move(policy))
+{
+    if (!policy_)
+        policy_ = std::make_unique<FcfsPolicy>();
+    if (opts_.tokenStride == 0)
+        IANUS_FATAL("token stride must be positive (1 = exact)");
+    if (opts_.sloMsPerToken <= 0.0)
+        IANUS_FATAL("SLO must be a positive per-token latency in ms");
+}
+
+std::uint64_t
+ServingEngine::submit(const workloads::InferenceRequest &request,
+                      double arrival_ms)
+{
+    if (request.inputTokens == 0)
+        IANUS_FATAL("inference request needs at least one input token");
+    if (request.outputTokens == 0)
+        IANUS_FATAL("inference request needs at least one output token");
+    if (arrival_ms < lastArrivalMs_)
+        IANUS_FATAL("request arrivals must be non-decreasing (got ",
+                    arrival_ms, " ms after ", lastArrivalMs_, " ms)");
+    lastArrivalMs_ = arrival_ms;
+    QueuedRequest q;
+    q.id = nextId_++;
+    q.request = request;
+    q.arrivalMs = arrival_ms;
+    queue_.push_back(q);
+    return q.id;
+}
+
+ServingReport
+ServingEngine::drain()
+{
+    ServingReport report;
+    report.policy = policy_->name();
+    report.sloMsPerToken = opts_.sloMsPerToken;
+
+    double first_arrival = queue_.empty() ? 0.0 : queue_.front().arrivalMs;
+    double now = first_arrival;
+
+    while (!queue_.empty()) {
+        std::vector<std::size_t> batch =
+            policy_->selectBatch(queue_, now);
+        IANUS_ASSERT(!batch.empty(),
+                     "scheduling policy returned an empty batch");
+
+        // Run the selected requests back to back (batch-1 device),
+        // then remove them from the queue in one pass.
+        std::vector<bool> taken(queue_.size(), false);
+        for (std::size_t idx : batch) {
+            IANUS_ASSERT(idx < queue_.size() && !taken[idx],
+                         "scheduling policy returned invalid index ",
+                         idx);
+            taken[idx] = true;
+
+            const QueuedRequest &q = queue_[idx];
+            RequestResult res;
+            res.id = q.id;
+            res.request = q.request;
+            res.arrivalMs = q.arrivalMs;
+            res.startMs = std::max(now, q.arrivalMs);
+            res.report = model_.run(q.request, opts_.tokenStride);
+            res.serviceMs = res.report.totalMs();
+            res.finishMs = res.startMs + res.serviceMs;
+            res.firstTokenMs = (res.startMs - res.arrivalMs) +
+                               res.report.summarizationMs();
+            res.msPerToken = res.report.msPerGeneratedToken();
+            res.sloMiss = res.report.generationSteps > 0 &&
+                          res.msPerToken > opts_.sloMsPerToken;
+
+            now = res.finishMs;
+            report.generatedTokens += q.request.outputTokens;
+            report.aggregate.merge(res.report.combined());
+            report.makespanMs =
+                std::max(report.makespanMs, res.finishMs - first_arrival);
+            report.results.push_back(std::move(res));
+        }
+
+        std::vector<QueuedRequest> rest;
+        rest.reserve(queue_.size() - batch.size());
+        for (std::size_t i = 0; i < queue_.size(); ++i)
+            if (!taken[i])
+                rest.push_back(queue_[i]);
+        queue_ = std::move(rest);
+    }
+    // The queue is empty: the next submit cycle starts a fresh clock.
+    lastArrivalMs_ = 0.0;
+    return report;
+}
+
+} // namespace ianus::serve

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The serving loop: the paper's motivating datacenter scenario
+ * (Section 1/6.1 — non-batched requests, heavy traffic) as a first-class
+ * API instead of a hand-rolled example loop.
+ *
+ * ServingEngine queues InferenceRequests (submit) and replays them on a
+ * CompiledModel (drain) under a pluggable SchedulingPolicy — FCFS today;
+ * the batch-shaped interface is ready for batching policies. The device
+ * serves one request at a time (batch 1, as evaluated in the paper), so
+ * queueing delay is part of each request's latency: a request that
+ * arrives while the device is busy waits, and its time-to-first-token
+ * includes the wait.
+ *
+ * drain() produces per-request RequestResults and an aggregated
+ * ServingReport: latency percentiles (p50/p95/p99), generation
+ * throughput, SLO miss rate, and a merged RunStats suitable for the
+ * energy model — all built on the InferenceReport machinery.
+ */
+
+#ifndef IANUS_SERVE_SERVING_ENGINE_HH
+#define IANUS_SERVE_SERVING_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ianus/report.hh"
+#include "serve/compiled_model.hh"
+#include "workloads/model_config.hh"
+
+namespace ianus::serve
+{
+
+/** One request waiting in the serving queue. */
+struct QueuedRequest
+{
+    std::uint64_t id = 0;
+    workloads::InferenceRequest request{};
+    double arrivalMs = 0.0; ///< arrival time on the serving clock
+};
+
+/**
+ * Dispatch-order policy. drain() repeatedly hands the policy the
+ * current queue (arrival order) and the serving clock; the policy
+ * returns the queue indices to run next, in order. FCFS returns {0};
+ * a batching policy would return several compatible requests.
+ */
+class SchedulingPolicy
+{
+  public:
+    virtual ~SchedulingPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Called with a non-empty queue; must return >= 1 valid index. */
+    virtual std::vector<std::size_t>
+    selectBatch(const std::vector<QueuedRequest> &queue,
+                double now_ms) = 0;
+};
+
+/** First come, first served (the paper's serving regime). */
+class FcfsPolicy : public SchedulingPolicy
+{
+  public:
+    const char *name() const override { return "fcfs"; }
+
+    std::vector<std::size_t>
+    selectBatch(const std::vector<QueuedRequest> &queue,
+                double now_ms) override;
+};
+
+/** Completed request: latency decomposition + the full report. */
+struct RequestResult
+{
+    std::uint64_t id = 0;
+    workloads::InferenceRequest request{};
+
+    double arrivalMs = 0.0;
+    double startMs = 0.0;  ///< when the device picked it up
+    double finishMs = 0.0; ///< when the last token was emitted
+
+    double serviceMs = 0.0;    ///< device time (== report.totalMs())
+    double firstTokenMs = 0.0; ///< TTFT: queueing + summarization
+    double msPerToken = 0.0;   ///< generation-stage ms per token
+    bool sloMiss = false;
+
+    InferenceReport report;
+
+    double queueMs() const { return startMs - arrivalMs; }
+
+    /** End-to-end latency as the client sees it (queue + service). */
+    double totalMs() const { return finishMs - arrivalMs; }
+};
+
+/** Fleet-level aggregation over one drain(). */
+struct ServingReport
+{
+    std::vector<RequestResult> results; ///< completion order
+    std::string policy;
+
+    double sloMsPerToken = 0.0;
+    double makespanMs = 0.0; ///< first arrival -> last completion
+    std::uint64_t generatedTokens = 0;
+
+    /** Merged per-request combined() stats (energy-model input). */
+    RunStats aggregate;
+
+    std::size_t requests() const { return results.size(); }
+
+    /**
+     * Percentile with linear interpolation between closest ranks:
+     * p in [0, 100] maps to rank p/100 * (n-1) of the sorted values.
+     * Empty input yields 0.
+     */
+    static double percentile(std::vector<double> values, double p);
+
+    /** Percentile of end-to-end request latency (queue + service). */
+    double latencyPercentile(double p) const;
+
+    /** Percentile of time-to-first-token. */
+    double ttftPercentile(double p) const;
+
+    /** Generated tokens per second of makespan. */
+    double tokensPerSecond() const;
+
+    /** Fraction of requests whose ms/token exceeded the SLO. */
+    double sloMissRate() const;
+
+    /** One-line fleet summary. */
+    std::string summary() const;
+};
+
+/** Serving-loop knobs. */
+struct ServingOptions
+{
+    /** Per-token latency SLO used for the miss rate (Section 6.1). */
+    double sloMsPerToken = 10.0;
+
+    /** Generation-step sampling stride handed to CompiledModel::run. */
+    unsigned tokenStride = 1;
+};
+
+/** Replays queued requests on one CompiledModel. */
+class ServingEngine
+{
+  public:
+    /** @p policy defaults to FCFS. The model must outlive the engine. */
+    explicit ServingEngine(const CompiledModel &model,
+                           ServingOptions opts = ServingOptions{},
+                           std::unique_ptr<SchedulingPolicy> policy =
+                               nullptr);
+
+    /**
+     * Queue a request arriving at @p arrival_ms on the serving clock
+     * (default: immediately, i.e. time 0 — a closed-loop replay).
+     * Arrival times must be non-decreasing across submits.
+     * @return the request id, echoed in its RequestResult.
+     */
+    std::uint64_t submit(const workloads::InferenceRequest &request,
+                         double arrival_ms = 0.0);
+
+    /** Requests queued and not yet drained. */
+    std::size_t pending() const { return queue_.size(); }
+
+    /** Serve everything queued; returns the fleet report. */
+    ServingReport drain();
+
+    const CompiledModel &model() const { return model_; }
+    const ServingOptions &options() const { return opts_; }
+    const SchedulingPolicy &policy() const { return *policy_; }
+
+  private:
+    const CompiledModel &model_;
+    ServingOptions opts_;
+    std::unique_ptr<SchedulingPolicy> policy_;
+    std::vector<QueuedRequest> queue_;
+    std::uint64_t nextId_ = 0;
+    double lastArrivalMs_ = 0.0;
+};
+
+} // namespace ianus::serve
+
+#endif // IANUS_SERVE_SERVING_ENGINE_HH

@@ -1,0 +1,135 @@
+/** @file CompiledModel: cache equivalence, accounting, validation. */
+
+#include <gtest/gtest.h>
+
+#include "ianus/ianus_system.hh"
+#include "serve/compiled_model.hh"
+
+namespace
+{
+
+using namespace ianus;
+using workloads::InferenceRequest;
+
+workloads::ModelConfig m = workloads::gpt2("m");
+
+void
+expectIdentical(const InferenceReport &a, const InferenceReport &b)
+{
+    EXPECT_EQ(a.inputTokens, b.inputTokens);
+    EXPECT_EQ(a.outputTokens, b.outputTokens);
+    EXPECT_EQ(a.generationSteps, b.generationSteps);
+    EXPECT_EQ(a.summarization.wallTicks, b.summarization.wallTicks);
+    EXPECT_EQ(a.generation.wallTicks, b.generation.wallTicks);
+    // Bit-identical, not approximately equal: the cached path must run
+    // the same programs through the same deterministic engine.
+    EXPECT_EQ(a.summarization.commands, b.summarization.commands);
+    EXPECT_EQ(a.generation.commands, b.generation.commands);
+    EXPECT_EQ(a.summarization.muFlops, b.summarization.muFlops);
+    EXPECT_EQ(a.generation.muFlops, b.generation.muFlops);
+    EXPECT_EQ(a.summarization.dramReadBytes, b.summarization.dramReadBytes);
+    EXPECT_EQ(a.generation.dramReadBytes, b.generation.dramReadBytes);
+    EXPECT_EQ(a.generation.pimWeightBytes, b.generation.pimWeightBytes);
+    for (std::size_t c = 0; c < RunStats::numClasses; ++c) {
+        EXPECT_EQ(a.generation.classBusy[c], b.generation.classBusy[c]);
+        EXPECT_EQ(a.generation.classExclusive[c],
+                  b.generation.classExclusive[c]);
+    }
+}
+
+TEST(CompiledModel, MatchesDirectRunBitForBit)
+{
+    IanusSystem direct(SystemConfig::ianusDefault());
+    serve::CompiledModel compiled(SystemConfig::ianusDefault(), m);
+    for (const InferenceRequest req :
+         {InferenceRequest{64, 1}, InferenceRequest{64, 8},
+          InferenceRequest{128, 8}}) {
+        expectIdentical(compiled.run(req), direct.run(m, req));
+        // And again from a warm cache.
+        expectIdentical(compiled.run(req), direct.run(m, req));
+    }
+}
+
+TEST(CompiledModel, StridedMatchesDirectRun)
+{
+    IanusSystem direct(SystemConfig::ianusDefault());
+    serve::CompiledModel compiled(SystemConfig::ianusDefault(), m);
+    InferenceRequest req{64, 33};
+    expectIdentical(compiled.run(req, 8), direct.run(m, req, {}, 8));
+}
+
+TEST(CompiledModel, RepeatRequestsHitTheCache)
+{
+    serve::CompiledModel compiled(SystemConfig::ianusDefault(), m);
+    compiled.run({64, 8});
+    const serve::CacheStats &cs = compiled.cacheStats();
+    EXPECT_EQ(cs.summarizationBuilds, 1u);
+    EXPECT_EQ(cs.generationBuilds, 7u); // steps = outputTokens - 1
+    EXPECT_EQ(cs.hits(), 0u);
+    std::uint64_t builds = cs.builds();
+
+    compiled.run({64, 8});
+    EXPECT_EQ(cs.builds(), builds); // nothing new compiled
+    EXPECT_EQ(cs.summarizationHits, 1u);
+    EXPECT_EQ(cs.generationHits, 7u);
+    EXPECT_EQ(compiled.cachedPrograms(), 8u);
+}
+
+TEST(CompiledModel, OverlappingRequestsShareGenerationPrograms)
+{
+    serve::CompiledModel compiled(SystemConfig::ianusDefault(), m);
+    compiled.run({64, 8}); // KV lengths 65..71
+    std::uint64_t builds = compiled.cacheStats().builds();
+    compiled.run({64, 12}); // KV lengths 65..75: 4 new programs
+    EXPECT_EQ(compiled.cacheStats().builds(), builds + 4);
+}
+
+TEST(CompiledModel, ClearCacheResetsAccounting)
+{
+    serve::CompiledModel compiled(SystemConfig::ianusDefault(), m);
+    compiled.run({64, 4});
+    EXPECT_GT(compiled.cachedPrograms(), 0u);
+    compiled.clearCache();
+    EXPECT_EQ(compiled.cachedPrograms(), 0u);
+    EXPECT_EQ(compiled.cacheStats().builds(), 0u);
+    compiled.run({64, 4});
+    EXPECT_EQ(compiled.cacheStats().hits(), 0u);
+}
+
+TEST(CompiledModel, EncoderHasNoGenerationPrograms)
+{
+    serve::CompiledModel compiled(SystemConfig::ianusDefault(),
+                                  workloads::bert("b"));
+    InferenceReport r = compiled.run({128, 1});
+    EXPECT_EQ(r.generationSteps, 0u);
+    EXPECT_EQ(compiled.cacheStats().generationBuilds, 0u);
+    EXPECT_EQ(compiled.cachedPrograms(), 1u);
+}
+
+TEST(CompiledModel, RejectsInvalidRequests)
+{
+    serve::CompiledModel compiled(SystemConfig::ianusDefault(), m);
+    EXPECT_THROW(compiled.run({0, 8}), std::runtime_error);
+    EXPECT_THROW(compiled.run({128, 0}), std::runtime_error);
+    EXPECT_THROW(compiled.run({128, 8}, 0), std::runtime_error);
+}
+
+TEST(CompiledModel, WrapperRejectsInvalidRequests)
+{
+    IanusSystem sys(SystemConfig::ianusDefault());
+    EXPECT_THROW(sys.run(m, {0, 8}), std::runtime_error);
+    EXPECT_THROW(sys.run(m, {128, 0}), std::runtime_error);
+    EXPECT_THROW(sys.run(m, {128, 8}, {}, 0), std::runtime_error);
+}
+
+TEST(CompiledModel, ConstructorValidatesSystemConfig)
+{
+    SystemConfig bad = SystemConfig::ianusDefault();
+    bad.cores = 0;
+    EXPECT_THROW(serve::CompiledModel(bad, m), std::runtime_error);
+    SystemConfig bad_dma = SystemConfig::ianusDefault();
+    bad_dma.dmaEfficiency = 0.0;
+    EXPECT_THROW(serve::CompiledModel(bad_dma, m), std::runtime_error);
+}
+
+} // namespace

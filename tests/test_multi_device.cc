@@ -30,8 +30,9 @@ TEST(MultiDevice, StrongScalingIsPositiveButSublinear)
         InferenceReport r = sys.run(m67, req, {}, 4);
         double tps = MultiDeviceSystem::tokensPerSecond(r);
         EXPECT_GT(tps, prev_tps) << d << " devices";
-        if (prev_tps > 0.0)
+        if (prev_tps > 0.0) {
             EXPECT_LT(tps / prev_tps, 2.0) << "superlinear scaling";
+        }
         prev_tps = tps;
     }
 }

@@ -109,8 +109,9 @@ TEST(PimControlUnit, GeluOnlyOnLastSlice)
     PimControlUnit pcu{Gddr6Config{}};
     auto seq = pcu.decode(macro(32, 2048, true), 2);
     for (const MicroCommandStep &s : seq)
-        if (s.op == MicroOp::ACTAF)
+        if (s.op == MicroOp::ACTAF) {
             EXPECT_EQ(s.kTile, 1u);
+        }
 }
 
 } // namespace

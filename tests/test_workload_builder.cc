@@ -178,8 +178,9 @@ TEST(WorkloadBuilder, SingleDeviceHasNoPcieBytes)
     WorkloadBuilder b(SystemConfig::ianusDefault(), xl);
     isa::Program p = b.buildGenerationToken(129);
     for (const isa::Command &c : p.commands())
-        if (const auto *s = std::get_if<isa::SyncArgs>(&c.payload))
+        if (const auto *s = std::get_if<isa::SyncArgs>(&c.payload)) {
             EXPECT_EQ(s->interDeviceBytes, 0u);
+        }
 }
 
 TEST(WorkloadBuilder, OversizedModelIsFatalWithoutMoreDevices)
