@@ -87,8 +87,11 @@ main(int argc, char **argv)
             ianus_ms_all.push_back(i);
             double speedup = g / i;
             double paper_speedup = row.gpu / row.ianus;
-            table.addRow({"(" + std::to_string(row.in) + "," +
-                              std::to_string(row.out) + ")",
+            char tag[48];
+            std::snprintf(tag, sizeof(tag), "(%llu,%llu)",
+                          (unsigned long long)row.in,
+                          (unsigned long long)row.out);
+            table.addRow({tag,
                           bench::Table::num(g), bench::Table::num(i),
                           bench::Table::ratio(speedup),
                           bench::Table::num(row.gpu),

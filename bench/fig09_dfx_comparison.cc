@@ -68,8 +68,11 @@ main(int argc, char **argv)
             gen_token_npu = nr.msPerGeneratedToken();
         }
         double speedup = d / i;
-        table.addRow({"(" + std::to_string(row.in) + "," +
-                          std::to_string(row.out) + ")",
+        char tag[48];
+        std::snprintf(tag, sizeof(tag), "(%llu,%llu)",
+                      (unsigned long long)row.in,
+                      (unsigned long long)row.out);
+        table.addRow({tag,
                       bench::Table::num(d), bench::Table::num(n),
                       bench::Table::num(i), bench::Table::ratio(speedup),
                       bench::Table::num(row.dfx),

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Cluster scaling microbenchmark: throughput of a DevicePool under a
+ * fixed, deterministic Poisson trace as replicas grow 1 -> 8, for each
+ * scheduling policy (FCFS, SJF, EDF).
+ *
+ * The trace is generated once (seeded, open loop) and replayed
+ * identically against every (replicas, policy) cell, so differences are
+ * attributable to the cluster configuration alone. The arrival rate is
+ * set to oversubscribe even the 8-replica pool, so throughput is bounded
+ * by devices, not by arrivals, and must grow monotonically with the pool
+ * — the sanity gate this harness enforces (exit 1 on violation).
+ *
+ *   ./micro_cluster_scaling [--fast] [--csv]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bench_common.hh"
+#include "serve/serving_engine.hh"
+#include "serve/trace_gen.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ianus;
+    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::banner("micro: cluster scaling",
+                  "replica pools 1 -> 8 x {fcfs, sjf, edf} under one "
+                  "deterministic Poisson trace (throughput must scale "
+                  "monotonically)");
+
+    workloads::ModelConfig model = workloads::gpt2(opts.fast ? "m" : "xl");
+    SystemConfig cfg = SystemConfig::ianusDefault();
+    const unsigned stride = 8;
+    const std::vector<std::size_t> replica_counts = {1, 2, 4, 8};
+    const std::vector<std::string> policies = {"fcfs", "sjf", "edf"};
+
+    // Rate the trace off one replica's median-shape service time so the
+    // 8-replica pool is still oversubscribed (~2x).
+    serve::CompiledModel probe(cfg, model);
+    double svc_ms = probe.run({256, 16}, stride).totalMs();
+    serve::TraceOptions trace_opts;
+    trace_opts.seed = 42;
+    trace_opts.requests = opts.fast ? 48 : 96;
+    trace_opts.arrivalsPerSec = 16.0 * 1000.0 / svc_ms;
+    serve::ArrivalTrace trace = serve::generatePoissonTrace(trace_opts);
+
+    std::printf("trace: %zu requests, %.1f req/s, horizon %.1f ms, "
+                "offered %.0f tok/s\n\n",
+                trace.size(), trace_opts.arrivalsPerSec,
+                trace.horizonMs(), trace.offeredTokensPerSec());
+
+    bench::Table table({"policy", "replicas", "tok_per_s", "speedup",
+                        "p50_ms", "p99_ms", "mean_util", "slo_miss"});
+    bool ok = true;
+    for (const std::string &policy : policies) {
+        double base_tps = 0.0;
+        double prev_tps = 0.0;
+        for (std::size_t replicas : replica_counts) {
+            // One pool per cell: each replica owns a program cache, so
+            // the first requests per distinct shape pay compilation and
+            // the rest replay it — the serving regime under test.
+            serve::PoolOptions pool_opts;
+            pool_opts.replicas = replicas;
+            serve::DevicePool pool(cfg, model, pool_opts);
+
+            serve::ServingOptions serve_opts;
+            serve_opts.tokenStride = stride;
+            serve::ServingEngine engine(pool, serve_opts,
+                                        serve::makePolicy(policy));
+            serve::submitAll(trace, engine);
+            serve::ServingReport rep = engine.drain();
+
+            double tps = rep.tokensPerSecond();
+            if (base_tps == 0.0)
+                base_tps = tps;
+            if (tps <= prev_tps) {
+                std::printf("FAIL: %s tok/s did not grow %zu -> "
+                            "%zu replicas (%.1f -> %.1f)\n",
+                            policy.c_str(), replicas / 2, replicas,
+                            prev_tps, tps);
+                ok = false;
+            }
+            prev_tps = tps;
+
+            std::vector<double> lat = rep.latencyPercentiles({50, 99});
+            table.addRow({policy, bench::Table::num(replicas, 0),
+                          bench::Table::num(tps, 1),
+                          bench::Table::ratio(tps / base_tps),
+                          bench::Table::num(lat[0], 1),
+                          bench::Table::num(lat[1], 1),
+                          bench::Table::num(rep.meanUtilization(), 2),
+                          bench::Table::num(rep.sloMissRate(), 2)});
+        }
+    }
+    table.print(opts);
+
+    std::printf("\ncluster scaling sanity: %s\n",
+                ok ? "monotone for all policies" : "VIOLATED — BUG");
+    return ok ? 0 : 1;
+}

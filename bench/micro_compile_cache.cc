@@ -24,6 +24,7 @@
 
 #include "common/bench_common.hh"
 #include "serve/compiled_model.hh"
+#include "serve/trace_gen.hh"
 
 namespace
 {
@@ -52,14 +53,16 @@ main(int argc, char **argv)
     const unsigned stride = 8;
     const unsigned n_requests = 100;
 
-    // The llm_serving request mix; keep in sync with
-    // examples/llm_serving.cc.
+    // The llm_serving request mix (same rng seed, shapes from the
+    // shared TraceOptions defaults).
     std::mt19937 rng(7);
-    const std::uint64_t ins[] = {128, 256, 512};
-    const std::uint64_t outs[] = {8, 16, 64, 128};
+    const serve::TraceOptions shapes;
+    const auto &ins = shapes.inputTokenChoices;
+    const auto &outs = shapes.outputTokenChoices;
     std::vector<workloads::InferenceRequest> mix;
     for (unsigned i = 0; i < n_requests; ++i)
-        mix.push_back({ins[rng() % 3], outs[rng() % 4]});
+        mix.push_back({ins[rng() % ins.size()],
+                       outs[rng() % outs.size()]});
 
     // Uncached: fresh CompiledModel (= IanusSystem::run) per request.
     Clock::time_point t0 = Clock::now();

@@ -4,25 +4,133 @@
  * scenario (Section 1/6.1 — non-batched requests with OpenAI-style
  * input:output token ratios), on the serving API.
  *
- * Compiles the model once per system (CompiledModel), replays a
- * synthetic request mix through a ServingEngine on IANUS and on
- * NPU-MEM, and prints per-request latency decompositions plus the
- * fleet-level ServingReport (p50/p95/p99 latency, throughput, SLO miss
- * rate).
+ * Single-device mode (default) compiles the model once per system
+ * (CompiledModel), replays a synthetic request mix through a
+ * ServingEngine on IANUS and on NPU-MEM, and prints per-request latency
+ * decompositions plus the fleet-level ServingReport.
+ *
+ * Cluster mode (--replicas N) builds a DevicePool of N IANUS replicas,
+ * generates a deterministic Poisson arrival trace, and serves it under
+ * the chosen scheduling policy and router, reporting per-replica
+ * utilization alongside the fleet report.
  *
  *   ./llm_serving [model] [requests] [slo_ms_per_token]
+ *                 [--replicas N] [--policy fcfs|sjf|edf]
+ *                 [--router round-robin|least-loaded]
+ *                 [--rate req_per_s] [--seed S]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "serve/serving_engine.hh"
+#include "serve/trace_gen.hh"
 
 namespace
 {
+
+struct Args
+{
+    std::string model = "xl";
+    unsigned requests = 12;
+    double slo = 10.0;
+    unsigned replicas = 0; ///< 0 = classic single-device comparison
+    std::string policy = "fcfs";
+    std::string router = "round-robin";
+    double rate = 0.0; ///< req/s; 0 = auto (saturate the pool)
+    std::uint64_t seed = 7;
+};
+
+unsigned
+parseCount(const std::string &what, const char *value, long max)
+{
+    char *end = nullptr;
+    long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed < 1 || parsed > max) {
+        std::fprintf(stderr,
+                     "%s wants an integer in [1, %ld], got '%s'\n",
+                     what.c_str(), max, value);
+        std::exit(2);
+    }
+    return static_cast<unsigned>(parsed);
+}
+
+double
+parsePositive(const std::string &what, const char *value)
+{
+    char *end = nullptr;
+    double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0' || !(parsed > 0.0)) {
+        std::fprintf(stderr, "%s wants a positive number, got '%s'\n",
+                     what.c_str(), value);
+        std::exit(2);
+    }
+    return parsed;
+}
+
+std::uint64_t
+parseSeed(const std::string &what, const char *value)
+{
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(value, &end, 10);
+    // strtoull wraps negative input modulo 2^64 instead of failing.
+    if (end == value || *end != '\0' || value[0] == '-') {
+        std::fprintf(stderr, "%s wants an integer, got '%s'\n",
+                     what.c_str(), value);
+        std::exit(2);
+    }
+    return parsed;
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    int positional = 0;
+    bool cluster_flag = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--replicas")
+            args.replicas = parseCount(a, next(), 1024);
+        else if (a == "--policy")
+            args.policy = next(), cluster_flag = true;
+        else if (a == "--router")
+            args.router = next(), cluster_flag = true;
+        else if (a == "--rate")
+            args.rate = parsePositive(a, next()), cluster_flag = true;
+        else if (a == "--seed")
+            args.seed = parseSeed(a, next()), cluster_flag = true;
+        else if (positional == 0)
+            args.model = a, ++positional;
+        else if (positional == 1)
+            args.requests = parseCount("request count", a.c_str(), 100000),
+            ++positional;
+        else if (positional == 2)
+            args.slo = parsePositive("slo_ms_per_token", a.c_str()),
+            ++positional;
+        else {
+            std::fprintf(stderr, "unexpected argument %s\n", a.c_str());
+            std::exit(2);
+        }
+    }
+    if (cluster_flag && args.replicas == 0) {
+        std::fprintf(stderr, "--policy/--router/--rate/--seed only apply "
+                             "to cluster mode; add --replicas N\n");
+        std::exit(2);
+    }
+    return args;
+}
 
 ianus::serve::ServingReport
 replay(const ianus::serve::CompiledModel &model,
@@ -38,39 +146,35 @@ replay(const ianus::serve::CompiledModel &model,
     return engine.drain();
 }
 
-} // namespace
-
+/** The classic PR-1 output: one device, IANUS vs NPU-MEM. */
 int
-main(int argc, char **argv)
+singleDeviceMode(const Args &args)
 {
     using namespace ianus;
-    std::string size = argc > 1 ? argv[1] : "xl";
-    unsigned n_requests =
-        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 12;
-    double slo = argc > 3 ? std::atof(argv[3]) : 10.0;
-
-    workloads::ModelConfig model = workloads::gpt2(size);
+    workloads::ModelConfig model = workloads::gpt2(args.model);
     std::printf("serving mix on %s, batch 1 (datacenter non-batched "
                 "regime)\n\n",
                 model.describe().c_str());
 
-    // Synthetic mix: prompt sizes and completion lengths drawn from the
-    // paper's evaluation ranges; keep in sync with
-    // bench/micro_compile_cache.cc.
+    // Synthetic mix: prompt sizes and completion lengths from the
+    // paper's evaluation ranges — the single source is the
+    // TraceOptions defaults (also used by bench/micro_compile_cache.cc).
     std::mt19937 rng(7);
-    const std::uint64_t ins[] = {128, 256, 512};
-    const std::uint64_t outs[] = {8, 16, 64, 128};
+    const serve::TraceOptions shapes;
+    const auto &ins = shapes.inputTokenChoices;
+    const auto &outs = shapes.outputTokenChoices;
     std::vector<workloads::InferenceRequest> mix;
-    for (unsigned i = 0; i < n_requests; ++i)
-        mix.push_back({ins[rng() % 3], outs[rng() % 4]});
+    for (unsigned i = 0; i < args.requests; ++i)
+        mix.push_back({ins[rng() % ins.size()],
+                       outs[rng() % outs.size()]});
 
     // Compile once per system; the ServingEngine replays the whole mix
     // against the cached programs.
     serve::CompiledModel ianus_model(SystemConfig::ianusDefault(), model);
     serve::CompiledModel npu_model(SystemConfig::npuMem(), model);
 
-    serve::ServingReport ianus_rep = replay(ianus_model, mix, slo);
-    serve::ServingReport npu_rep = replay(npu_model, mix, slo);
+    serve::ServingReport ianus_rep = replay(ianus_model, mix, args.slo);
+    serve::ServingReport npu_rep = replay(npu_model, mix, args.slo);
 
     std::printf("%-10s %-10s %12s %14s %12s\n", "request", "system",
                 "total(ms)", "first-token", "ms/token");
@@ -95,4 +199,75 @@ main(int argc, char **argv)
                 mix.size(),
                 (unsigned long long)ianus_model.cacheStats().hits());
     return 0;
+}
+
+/** Cluster mode: a DevicePool under a Poisson trace. */
+int
+clusterMode(const Args &args)
+{
+    using namespace ianus;
+    workloads::ModelConfig model = workloads::gpt2(args.model);
+
+    serve::PoolOptions pool_opts;
+    pool_opts.replicas = args.replicas;
+    serve::DevicePool pool(SystemConfig::ianusDefault(), model,
+                           pool_opts);
+
+    // Auto rate: offer ~2x the pool's single-request service rate so the
+    // cluster stays busy without the queue diverging unboundedly.
+    double rate = args.rate;
+    if (rate <= 0.0) {
+        double svc_ms = pool.replica(0).run({256, 16}, 8).totalMs();
+        rate = 2.0 * static_cast<double>(args.replicas) * 1000.0 / svc_ms;
+    }
+
+    serve::TraceOptions trace_opts;
+    trace_opts.seed = args.seed;
+    trace_opts.requests = args.requests;
+    trace_opts.arrivalsPerSec = rate;
+    serve::ArrivalTrace trace = serve::generatePoissonTrace(trace_opts);
+
+    std::printf("cluster serving on %s: %u replicas, policy %s, "
+                "router %s\n",
+                model.describe().c_str(), args.replicas,
+                args.policy.c_str(), args.router.c_str());
+    std::printf("trace: %zu requests, %.1f req/s Poisson (seed %llu), "
+                "horizon %.1f ms\n\n",
+                trace.size(), rate, (unsigned long long)args.seed,
+                trace.horizonMs());
+
+    serve::ServingOptions opts;
+    opts.sloMsPerToken = args.slo;
+    opts.tokenStride = 8;
+    serve::ServingEngine engine(pool, opts,
+                                serve::makePolicy(args.policy),
+                                serve::makeRouter(args.router));
+    serve::submitAll(trace, engine);
+    serve::ServingReport rep = engine.drain();
+
+    std::printf("%-8s %10s %12s %12s %8s\n", "replica", "dispatched",
+                "busy(ms)", "idle(ms)", "util");
+    for (std::size_t d = 0; d < rep.replicas.size(); ++d) {
+        const serve::ReplicaUtilization &u = rep.replicas[d];
+        std::printf("%-8zu %10llu %12.1f %12.1f %7.1f%%\n", d,
+                    (unsigned long long)u.dispatched, u.busyMs, u.idleMs,
+                    100.0 * u.utilization);
+    }
+    std::printf("\nfleet    %s\n", rep.summary().c_str());
+    std::printf("ttft p50/p99 %.1f/%.1f ms | service p50/p99 "
+                "%.1f/%.1f ms\n",
+                rep.ttftPercentile(50), rep.ttftPercentile(99),
+                rep.serviceTimePercentile(50),
+                rep.serviceTimePercentile(99));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    return args.replicas > 0 ? clusterMode(args)
+                             : singleDeviceMode(args);
 }

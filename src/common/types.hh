@@ -41,6 +41,23 @@ ticksToMs(Tick t)
     return static_cast<double>(t) / static_cast<double>(tickPerMs);
 }
 
+/**
+ * Convert non-negative floating-point milliseconds to the nearest tick
+ * (event scheduling). Monotonic, so ordering of distinct ms values at
+ * least one tick (1 ps) apart survives the conversion; out-of-range
+ * values clamp to maxTick.
+ */
+constexpr Tick
+msToTicks(double ms)
+{
+    if (ms <= 0.0)
+        return 0;
+    double ticks = ms * static_cast<double>(tickPerMs);
+    if (ticks >= static_cast<double>(maxTick))
+        return maxTick;
+    return static_cast<Tick>(ticks + 0.5);
+}
+
 /** Convert ticks to floating-point microseconds (reporting only). */
 constexpr double
 ticksToUs(Tick t)

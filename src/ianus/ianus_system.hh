@@ -19,11 +19,20 @@
 #ifndef IANUS_IANUS_IANUS_SYSTEM_HH
 #define IANUS_IANUS_IANUS_SYSTEM_HH
 
+#include <map>
+#include <memory>
+#include <string>
+
 #include "compiler/workload_builder.hh"
 #include "ianus/execution_engine.hh"
 #include "ianus/report.hh"
 #include "ianus/system_config.hh"
 #include "workloads/model_config.hh"
+
+namespace ianus::serve
+{
+class CompiledModel;
+} // namespace ianus::serve
 
 namespace ianus
 {
@@ -67,6 +76,23 @@ class MultiDeviceSystem
 {
   public:
     MultiDeviceSystem(const SystemConfig &per_device, unsigned devices);
+    ~MultiDeviceSystem();
+
+    MultiDeviceSystem(MultiDeviceSystem &&) = default;
+    MultiDeviceSystem &operator=(MultiDeviceSystem &&) = default;
+
+    /**
+     * Compile (and memoize) @p model partitioned across this system's
+     * devices. Repeated runs of the same (model, opts) pair share one
+     * CompiledModel — and therefore its program cache — instead of
+     * recompiling per call. The reference stays valid for the lifetime
+     * of this system. Also the pool-construction helper: hand the
+     * result (or its config triple) to serve::DevicePool to replicate
+     * a tensor-parallel group.
+     */
+    const serve::CompiledModel &
+    compile(const workloads::ModelConfig &model,
+            compiler::BuildOptions opts = compiler::BuildOptions{}) const;
 
     InferenceReport run(const workloads::ModelConfig &model,
                         const workloads::InferenceRequest &request,
@@ -89,6 +115,11 @@ class MultiDeviceSystem
   private:
     SystemConfig cfg_;
     unsigned devices_;
+
+    /** Memoized CompiledModels keyed by (model, opts); see compile(). */
+    mutable std::map<std::string,
+                     std::unique_ptr<serve::CompiledModel>>
+        compiled_;
 };
 
 } // namespace ianus

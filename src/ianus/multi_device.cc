@@ -1,5 +1,7 @@
 #include "ianus/ianus_system.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 #include "serve/compiled_model.hh"
 
@@ -14,15 +16,45 @@ MultiDeviceSystem::MultiDeviceSystem(const SystemConfig &per_device,
     cfg_.validate();
 }
 
+// Out of line so the header can hold CompiledModel by forward
+// declaration only.
+MultiDeviceSystem::~MultiDeviceSystem() = default;
+
+const serve::CompiledModel &
+MultiDeviceSystem::compile(const workloads::ModelConfig &model,
+                           compiler::BuildOptions opts) const
+{
+    opts.devices = devices_;
+
+    // Key on every field that changes compilation output; name alone is
+    // not enough (callers may hand-build ModelConfigs).
+    std::ostringstream key;
+    key << model.name << '/' << toString(model.family) << '/'
+        << model.embDim << 'x' << model.headDim << 'x' << model.nHeads
+        << 'x' << model.nBlocks << 'v' << model.vocab << '|'
+        << compiler::toString(opts.policy) << '/'
+        << compiler::toString(opts.attnMapping) << '/'
+        << static_cast<int>(opts.fcPlacement);
+
+    auto it = compiled_.find(key.str());
+    if (it == compiled_.end())
+        it = compiled_
+                 .emplace(key.str(), std::make_unique<serve::CompiledModel>(
+                                         cfg_, model, opts))
+                 .first;
+    return *it->second;
+}
+
 InferenceReport
 MultiDeviceSystem::run(const workloads::ModelConfig &model,
                        const workloads::InferenceRequest &request,
                        compiler::BuildOptions opts,
                        unsigned token_stride) const
 {
-    opts.devices = devices_;
-    serve::CompiledModel compiled(cfg_, model, opts);
-    return compiled.run(request, token_stride);
+    // Unlike the one-shot IanusSystem::run, repeated runs memoize: the
+    // scaling studies sweep many requests per (model, device count)
+    // pair, so the programs are kept and shared via compile().
+    return compile(model, opts).run(request, token_stride);
 }
 
 double

@@ -1,0 +1,46 @@
+#include "serve/device_pool.hh"
+
+#include "common/logging.hh"
+
+namespace ianus::serve
+{
+
+DevicePool::DevicePool(const SystemConfig &sys,
+                       const workloads::ModelConfig &model,
+                       PoolOptions opts)
+{
+    if (opts.replicas == 0)
+        IANUS_FATAL("a device pool needs at least one replica");
+    replicas_.reserve(opts.replicas);
+    for (std::size_t i = 0; i < opts.replicas; ++i)
+        replicas_.push_back(
+            std::make_unique<CompiledModel>(sys, model, opts.build));
+}
+
+void
+DevicePool::addReplica(std::unique_ptr<CompiledModel> replica)
+{
+    if (!replica)
+        IANUS_FATAL("cannot add a null replica to a device pool");
+    replicas_.push_back(std::move(replica));
+}
+
+const CompiledModel &
+DevicePool::replica(std::size_t i) const
+{
+    if (i >= replicas_.size())
+        IANUS_FATAL("replica index ", i, " out of range (pool has ",
+                    replicas_.size(), ")");
+    return *replicas_[i];
+}
+
+unsigned
+DevicePool::totalDevices() const
+{
+    unsigned total = 0;
+    for (const auto &r : replicas_)
+        total += r->options().devices;
+    return total;
+}
+
+} // namespace ianus::serve

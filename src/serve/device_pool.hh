@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A pool of serving replicas.
+ *
+ * DevicePool owns N independent replicas, each a CompiledModel bound to
+ * its own program cache. A replica is one *serving unit*: a single
+ * IANUS device by default, or a tensor-parallel group when
+ * PoolOptions::build.devices > 1 (the Section 7.1 multi-device
+ * partitioning) — replicas scale throughput, tensor-parallel devices
+ * scale per-request latency.
+ *
+ * The homogeneous constructor clones one (SystemConfig, ModelConfig,
+ * BuildOptions) triple across the pool; addReplica() admits
+ * heterogeneous pools (e.g. mixing IANUS and NPU-MEM replicas) for
+ * experiments.
+ */
+
+#ifndef IANUS_SERVE_DEVICE_POOL_HH
+#define IANUS_SERVE_DEVICE_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "serve/compiled_model.hh"
+
+namespace ianus::serve
+{
+
+/** Pool shape: replica count and the per-replica build options. */
+struct PoolOptions
+{
+    /** Number of independent serving replicas. */
+    std::size_t replicas = 1;
+
+    /** Per-replica compiler options; build.devices > 1 makes each
+     *  replica a tensor-parallel group of that many devices. */
+    compiler::BuildOptions build{};
+};
+
+/** N serving replicas, each with its own program cache. */
+class DevicePool
+{
+  public:
+    /** Empty pool; populate with addReplica(). */
+    DevicePool() = default;
+
+    /** Homogeneous pool: @p opts.replicas copies of one configuration. */
+    DevicePool(const SystemConfig &sys,
+               const workloads::ModelConfig &model,
+               PoolOptions opts = PoolOptions{});
+
+    DevicePool(DevicePool &&) = default;
+    DevicePool &operator=(DevicePool &&) = default;
+
+    /** Append a (possibly heterogeneous) replica. */
+    void addReplica(std::unique_ptr<CompiledModel> replica);
+
+    std::size_t size() const { return replicas_.size(); }
+    bool empty() const { return replicas_.empty(); }
+
+    const CompiledModel &replica(std::size_t i) const;
+
+    /** Devices per replica summed over the pool (TDP/cost accounting). */
+    unsigned totalDevices() const;
+
+  private:
+    std::vector<std::unique_ptr<CompiledModel>> replicas_;
+};
+
+} // namespace ianus::serve
+
+#endif // IANUS_SERVE_DEVICE_POOL_HH

@@ -3,57 +3,236 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 
 #include "common/logging.hh"
+#include "sim/event_queue.hh"
 
 namespace ianus::serve
 {
 
+// --- Scheduling policies ----------------------------------------------------
+
 std::vector<std::size_t>
 FcfsPolicy::selectBatch(const std::vector<QueuedRequest> &queue,
-                        double now_ms)
+                        const SchedulerContext &ctx)
 {
     (void)queue;
-    (void)now_ms;
+    (void)ctx;
     return {0};
+}
+
+namespace
+{
+
+/** Queue indices ordered by ascending @p key (stable: arrival order). */
+template <typename KeyFn>
+std::vector<std::size_t>
+orderBy(const std::vector<QueuedRequest> &queue, KeyFn key)
+{
+    std::vector<std::size_t> order(queue.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return key(queue[a]) < key(queue[b]);
+                     });
+    return order;
+}
+
+} // namespace
+
+SjfPolicy::SjfPolicy(double output_weight) : outputWeight_(output_weight)
+{
+    if (output_weight < 0.0)
+        IANUS_FATAL("SJF output weight must be non-negative, got ",
+                    output_weight);
+}
+
+std::vector<std::size_t>
+SjfPolicy::selectBatch(const std::vector<QueuedRequest> &queue,
+                       const SchedulerContext &ctx)
+{
+    (void)ctx;
+    return orderBy(queue, [this](const QueuedRequest &q) {
+        return static_cast<double>(q.request.inputTokens) +
+               outputWeight_ *
+                   static_cast<double>(q.request.outputTokens);
+    });
+}
+
+std::vector<std::size_t>
+EdfPolicy::selectBatch(const std::vector<QueuedRequest> &queue,
+                       const SchedulerContext &ctx)
+{
+    return orderBy(queue, [&ctx](const QueuedRequest &q) {
+        return q.arrivalMs +
+               ctx.sloMsPerToken *
+                   static_cast<double>(q.request.outputTokens);
+    });
+}
+
+std::unique_ptr<SchedulingPolicy>
+makePolicy(const std::string &name)
+{
+    if (name == "fcfs")
+        return std::make_unique<FcfsPolicy>();
+    if (name == "sjf")
+        return std::make_unique<SjfPolicy>();
+    if (name == "edf")
+        return std::make_unique<EdfPolicy>();
+    IANUS_FATAL("unknown scheduling policy '", name,
+                "' (expected fcfs, sjf, or edf)");
+}
+
+// --- Routers ----------------------------------------------------------------
+
+std::size_t
+RoundRobinRouter::route(const QueuedRequest &request,
+                        const std::vector<ReplicaStatus> &replicas,
+                        double now_ms)
+{
+    (void)request;
+    (void)now_ms;
+    const std::size_t n = replicas.size();
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t d = (cursor_ + k) % n;
+        if (replicas[d].idle) {
+            cursor_ = (d + 1) % n;
+            return d;
+        }
+    }
+    IANUS_FATAL("round-robin router called with no idle replica");
+}
+
+std::size_t
+LeastLoadedRouter::route(const QueuedRequest &request,
+                         const std::vector<ReplicaStatus> &replicas,
+                         double now_ms)
+{
+    (void)request;
+    (void)now_ms;
+    const ReplicaStatus *best = nullptr;
+    for (const ReplicaStatus &r : replicas) {
+        if (!r.idle)
+            continue;
+        if (!best || r.busyMs < best->busyMs ||
+            (r.busyMs == best->busyMs && r.dispatched < best->dispatched))
+            best = &r;
+    }
+    if (!best)
+        IANUS_FATAL("least-loaded router called with no idle replica");
+    return best->index;
+}
+
+std::unique_ptr<Router>
+makeRouter(const std::string &name)
+{
+    if (name == "round-robin" || name == "rr")
+        return std::make_unique<RoundRobinRouter>();
+    if (name == "least-loaded" || name == "ll")
+        return std::make_unique<LeastLoadedRouter>();
+    IANUS_FATAL("unknown router '", name,
+                "' (expected round-robin or least-loaded)");
+}
+
+// --- ServingReport ----------------------------------------------------------
+
+namespace
+{
+
+/** Percentile of an already-sorted sample vector. */
+double
+percentileSorted(const std::vector<double> &sorted, double p)
+{
+    if (p <= 0.0)
+        return sorted.front();
+    if (p >= 100.0)
+        return sorted.back();
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+template <typename Sample>
+std::vector<double>
+gather(const std::vector<RequestResult> &results, Sample sample)
+{
+    std::vector<double> v;
+    v.reserve(results.size());
+    for (const RequestResult &r : results)
+        v.push_back(sample(r));
+    return v;
+}
+
+} // namespace
+
+std::vector<double>
+ServingReport::percentiles(std::vector<double> values,
+                           const std::vector<double> &ps)
+{
+    std::vector<double> out(ps.size(), 0.0);
+    if (values.empty())
+        return out;
+    std::sort(values.begin(), values.end());
+    for (std::size_t i = 0; i < ps.size(); ++i)
+        out[i] = percentileSorted(values, ps[i]);
+    return out;
 }
 
 double
 ServingReport::percentile(std::vector<double> values, double p)
 {
-    if (values.empty())
-        return 0.0;
-    std::sort(values.begin(), values.end());
-    if (p <= 0.0)
-        return values.front();
-    if (p >= 100.0)
-        return values.back();
-    double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-    std::size_t lo = static_cast<std::size_t>(rank);
-    double frac = rank - static_cast<double>(lo);
-    if (lo + 1 >= values.size())
-        return values.back();
-    return values[lo] + frac * (values[lo + 1] - values[lo]);
+    return percentiles(std::move(values), {p}).front();
+}
+
+std::vector<double>
+ServingReport::latencyPercentiles(const std::vector<double> &ps) const
+{
+    return percentiles(
+        gather(results, [](const RequestResult &r) { return r.totalMs(); }),
+        ps);
 }
 
 double
 ServingReport::latencyPercentile(double p) const
 {
-    std::vector<double> v;
-    v.reserve(results.size());
-    for (const RequestResult &r : results)
-        v.push_back(r.totalMs());
-    return percentile(std::move(v), p);
+    return latencyPercentiles({p}).front();
+}
+
+std::vector<double>
+ServingReport::ttftPercentiles(const std::vector<double> &ps) const
+{
+    return percentiles(gather(results,
+                              [](const RequestResult &r) {
+                                  return r.firstTokenMs;
+                              }),
+                       ps);
 }
 
 double
 ServingReport::ttftPercentile(double p) const
 {
-    std::vector<double> v;
-    v.reserve(results.size());
-    for (const RequestResult &r : results)
-        v.push_back(r.firstTokenMs);
-    return percentile(std::move(v), p);
+    return ttftPercentiles({p}).front();
+}
+
+std::vector<double>
+ServingReport::serviceTimePercentiles(const std::vector<double> &ps) const
+{
+    return percentiles(gather(results,
+                              [](const RequestResult &r) {
+                                  return r.serviceMs;
+                              }),
+                       ps);
+}
+
+double
+ServingReport::serviceTimePercentile(double p) const
+{
+    return serviceTimePercentiles({p}).front();
 }
 
 double
@@ -77,28 +256,73 @@ ServingReport::sloMissRate() const
            static_cast<double>(results.size());
 }
 
+double
+ServingReport::meanUtilization() const
+{
+    if (replicas.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const ReplicaUtilization &r : replicas)
+        sum += r.utilization;
+    return sum / static_cast<double>(replicas.size());
+}
+
 std::string
 ServingReport::summary() const
 {
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "%zu requests | %llu tokens | %.1f ms makespan | "
-                  "%.1f tok/s | latency p50/p95/p99 %.1f/%.1f/%.1f ms | "
-                  "SLO(<%.0f ms/token) miss rate %.1f%%",
-                  requests(), (unsigned long long)generatedTokens,
-                  makespanMs, tokensPerSecond(), latencyPercentile(50),
-                  latencyPercentile(95), latencyPercentile(99),
-                  sloMsPerToken, 100.0 * sloMissRate());
+    std::vector<double> lat = latencyPercentiles({50.0, 95.0, 99.0});
+    char buf[320];
+    int len = std::snprintf(
+        buf, sizeof(buf),
+        "%zu requests | %llu tokens | %.1f ms makespan | "
+        "%.1f tok/s | latency p50/p95/p99 %.1f/%.1f/%.1f ms | "
+        "SLO(<%.0f ms/token) miss rate %.1f%%",
+        requests(), (unsigned long long)generatedTokens, makespanMs,
+        tokensPerSecond(), lat[0], lat[1], lat[2], sloMsPerToken,
+        100.0 * sloMissRate());
+    if (len > 0 && len < static_cast<int>(sizeof(buf)) &&
+        replicas.size() > 1)
+        std::snprintf(buf + len, sizeof(buf) - static_cast<size_t>(len),
+                      " | %zu replicas (%s, mean util %.0f%%)",
+                      replicas.size(), router.c_str(),
+                      100.0 * meanUtilization());
     return buf;
 }
+
+// --- ServingEngine ----------------------------------------------------------
 
 ServingEngine::ServingEngine(const CompiledModel &model,
                              ServingOptions opts,
                              std::unique_ptr<SchedulingPolicy> policy)
-    : model_(model), opts_(opts), policy_(std::move(policy))
+    : opts_(opts), policy_(std::move(policy))
 {
+    replicas_.push_back(&model);
     if (!policy_)
         policy_ = std::make_unique<FcfsPolicy>();
+    router_ = std::make_unique<RoundRobinRouter>();
+    validateOptions();
+}
+
+ServingEngine::ServingEngine(const DevicePool &pool, ServingOptions opts,
+                             std::unique_ptr<SchedulingPolicy> policy,
+                             std::unique_ptr<Router> router)
+    : opts_(opts), policy_(std::move(policy)), router_(std::move(router))
+{
+    if (pool.empty())
+        IANUS_FATAL("serving engine needs a non-empty device pool");
+    replicas_.reserve(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i)
+        replicas_.push_back(&pool.replica(i));
+    if (!policy_)
+        policy_ = std::make_unique<FcfsPolicy>();
+    if (!router_)
+        router_ = std::make_unique<RoundRobinRouter>();
+    validateOptions();
+}
+
+void
+ServingEngine::validateOptions() const
+{
     if (opts_.tokenStride == 0)
         IANUS_FATAL("token stride must be positive (1 = exact)");
     if (opts_.sloMsPerToken <= 0.0)
@@ -113,6 +337,10 @@ ServingEngine::submit(const workloads::InferenceRequest &request,
         IANUS_FATAL("inference request needs at least one input token");
     if (request.outputTokens == 0)
         IANUS_FATAL("inference request needs at least one output token");
+    if (!std::isfinite(arrival_ms) || arrival_ms < 0.0)
+        IANUS_FATAL("request arrival must be a finite non-negative time "
+                    "in ms, got ",
+                    arrival_ms);
     if (arrival_ms < lastArrivalMs_)
         IANUS_FATAL("request arrivals must be non-decreasing (got ",
                     arrival_ms, " ms after ", lastArrivalMs_, " ms)");
@@ -130,56 +358,162 @@ ServingEngine::drain()
 {
     ServingReport report;
     report.policy = policy_->name();
+    report.router = router_->name();
     report.sloMsPerToken = opts_.sloMsPerToken;
 
-    double first_arrival = queue_.empty() ? 0.0 : queue_.front().arrivalMs;
-    double now = first_arrival;
+    const std::size_t n = replicas_.size();
+    report.replicas.assign(n, ReplicaUtilization{});
 
-    while (!queue_.empty()) {
-        std::vector<std::size_t> batch =
-            policy_->selectBatch(queue_, now);
-        IANUS_ASSERT(!batch.empty(),
-                     "scheduling policy returned an empty batch");
+    const double first_arrival =
+        queue_.empty() ? 0.0 : queue_.front().arrivalMs;
 
-        // Run the selected requests back to back (batch-1 device),
-        // then remove them from the queue in one pass.
-        std::vector<bool> taken(queue_.size(), false);
-        for (std::size_t idx : batch) {
-            IANUS_ASSERT(idx < queue_.size() && !taken[idx],
-                         "scheduling policy returned invalid index ",
-                         idx);
-            taken[idx] = true;
+    // The discrete-event loop. Ticks only sequence events (arrivals and
+    // completions, on the shared picosecond time base); all report math
+    // carries exact doubles, so a single-replica FCFS drain reproduces
+    // the synchronous PR-1 loop bit for bit.
+    sim::EventQueue events;
+    std::vector<QueuedRequest> ready; // arrived, waiting to dispatch
+    std::vector<double> freeAt(n, 0.0);
+    std::vector<bool> busy(n, false);
 
-            const QueuedRequest &q = queue_[idx];
-            RequestResult res;
-            res.id = q.id;
-            res.request = q.request;
-            res.arrivalMs = q.arrivalMs;
-            res.startMs = std::max(now, q.arrivalMs);
-            res.report = model_.run(q.request, opts_.tokenStride);
-            res.serviceMs = res.report.totalMs();
-            res.finishMs = res.startMs + res.serviceMs;
-            res.firstTokenMs = (res.startMs - res.arrivalMs) +
-                               res.report.summarizationMs();
-            res.msPerToken = res.report.msPerGeneratedToken();
-            res.sloMiss = res.report.generationSteps > 0 &&
-                          res.msPerToken > opts_.sloMsPerToken;
+    // Dispatch as many waiting requests onto idle replicas as the policy
+    // and router allow. Re-entered at every arrival and completion.
+    std::function<void(double)> dispatch = [&](double now) {
+        while (!ready.empty()) {
+            std::size_t idle = 0;
+            for (std::size_t d = 0; d < n; ++d)
+                idle += busy[d] ? 0 : 1;
+            if (idle == 0)
+                return;
 
-            now = res.finishMs;
-            report.generatedTokens += q.request.outputTokens;
-            report.aggregate.merge(res.report.combined());
-            report.makespanMs =
-                std::max(report.makespanMs, res.finishMs - first_arrival);
-            report.results.push_back(std::move(res));
+            SchedulerContext ctx;
+            ctx.nowMs = now;
+            ctx.sloMsPerToken = opts_.sloMsPerToken;
+            ctx.replicaFreeAtMs = freeAt;
+            std::vector<std::size_t> batch =
+                policy_->selectBatch(ready, ctx);
+
+            if (batch.empty())
+                IANUS_FATAL("scheduling policy '", policy_->name(),
+                            "' returned an empty batch for a non-empty "
+                            "queue of ",
+                            ready.size());
+            std::vector<char> taken(ready.size(), 0);
+            for (std::size_t idx : batch) {
+                if (idx >= ready.size())
+                    IANUS_FATAL("scheduling policy '", policy_->name(),
+                                "' returned out-of-range queue index ",
+                                idx, " (queue has ", ready.size(), ")");
+                if (taken[idx])
+                    IANUS_FATAL("scheduling policy '", policy_->name(),
+                                "' returned duplicate queue index ", idx);
+                taken[idx] = 1;
+            }
+
+            std::size_t launched = 0;
+            std::vector<char> consumed(ready.size(), 0);
+            for (std::size_t idx : batch) {
+                if (launched == idle)
+                    break; // rest of the batch waits for a completion
+                const QueuedRequest &q = ready[idx];
+
+                std::vector<ReplicaStatus> statuses(n);
+                for (std::size_t d = 0; d < n; ++d) {
+                    statuses[d].index = d;
+                    statuses[d].idle = !busy[d];
+                    statuses[d].freeAtMs = freeAt[d];
+                    statuses[d].busyMs = report.replicas[d].busyMs;
+                    statuses[d].dispatched =
+                        report.replicas[d].dispatched;
+                }
+                std::size_t dev = router_->route(q, statuses, now);
+                if (dev >= n)
+                    IANUS_FATAL("router '", router_->name(),
+                                "' returned out-of-range replica ", dev,
+                                " (pool has ", n, ")");
+                if (busy[dev])
+                    IANUS_FATAL("router '", router_->name(),
+                                "' routed to busy replica ", dev);
+
+                RequestResult res;
+                res.id = q.id;
+                res.request = q.request;
+                res.arrivalMs = q.arrivalMs;
+                res.startMs = std::max(now, q.arrivalMs);
+                res.report =
+                    replicas_[dev]->run(q.request, opts_.tokenStride);
+                res.serviceMs = res.report.totalMs();
+                res.finishMs = res.startMs + res.serviceMs;
+                res.firstTokenMs = (res.startMs - res.arrivalMs) +
+                                   res.report.summarizationMs();
+                res.msPerToken = res.report.msPerGeneratedToken();
+                res.sloMiss = res.report.generationSteps > 0 &&
+                              res.msPerToken > opts_.sloMsPerToken;
+                res.deviceIndex = dev;
+
+                busy[dev] = true;
+                freeAt[dev] = res.finishMs;
+                report.replicas[dev].dispatched += 1;
+                report.replicas[dev].busyMs += res.serviceMs;
+
+                // Hoisted: argument evaluation is unsequenced, so the
+                // move-capture below must not race the finishMs read.
+                Tick completion = msToTicks(res.finishMs);
+                events.schedule(
+                    completion,
+                    [&, dev, res = std::move(res)]() mutable {
+                        busy[dev] = false;
+                        double finish = res.finishMs;
+                        report.generatedTokens +=
+                            res.request.outputTokens;
+                        report.aggregate.merge(res.report.combined());
+                        report.makespanMs =
+                            std::max(report.makespanMs,
+                                     finish - first_arrival);
+                        report.results.push_back(std::move(res));
+                        dispatch(finish);
+                    });
+
+                consumed[idx] = 1;
+                ++launched;
+            }
+
+            std::vector<QueuedRequest> rest;
+            rest.reserve(ready.size() - launched);
+            for (std::size_t i = 0; i < ready.size(); ++i)
+                if (!consumed[i])
+                    rest.push_back(std::move(ready[i]));
+            ready = std::move(rest);
+
+            if (launched < batch.size())
+                return; // idle replicas exhausted mid-batch
         }
+    };
 
-        std::vector<QueuedRequest> rest;
-        rest.reserve(queue_.size() - batch.size());
-        for (std::size_t i = 0; i < queue_.size(); ++i)
-            if (!taken[i])
-                rest.push_back(queue_[i]);
-        queue_ = std::move(rest);
+    // One arrival event per distinct arrival tick: simultaneous
+    // arrivals enter the queue together, so a reordering policy sees
+    // the whole burst before the first dispatch.
+    for (std::size_t i = 0; i < queue_.size();) {
+        Tick when = msToTicks(queue_[i].arrivalMs);
+        std::size_t j = i + 1;
+        while (j < queue_.size() && msToTicks(queue_[j].arrivalMs) == when)
+            ++j;
+        events.schedule(when, [&, i, j]() {
+            for (std::size_t k = i; k < j; ++k)
+                ready.push_back(queue_[k]);
+            dispatch(queue_[i].arrivalMs);
+        });
+        i = j;
     }
+    events.run();
+    queue_.clear();
+
+    for (ReplicaUtilization &r : report.replicas) {
+        r.idleMs = std::max(0.0, report.makespanMs - r.busyMs);
+        r.utilization =
+            report.makespanMs > 0.0 ? r.busyMs / report.makespanMs : 0.0;
+    }
+
     // The queue is empty: the next submit cycle starts a fresh clock.
     lastArrivalMs_ = 0.0;
     return report;

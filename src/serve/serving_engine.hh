@@ -1,21 +1,28 @@
 /**
  * @file
- * The serving loop: the paper's motivating datacenter scenario
- * (Section 1/6.1 — non-batched requests, heavy traffic) as a first-class
- * API instead of a hand-rolled example loop.
+ * Event-driven cluster serving: the paper's motivating datacenter
+ * scenario (Section 1/6.1 — non-batched requests, heavy traffic) scaled
+ * from one device to a pool of replicas.
  *
  * ServingEngine queues InferenceRequests (submit) and replays them on a
- * CompiledModel (drain) under a pluggable SchedulingPolicy — FCFS today;
- * the batch-shaped interface is ready for batching policies. The device
- * serves one request at a time (batch 1, as evaluated in the paper), so
- * queueing delay is part of each request's latency: a request that
- * arrives while the device is busy waits, and its time-to-first-token
- * includes the wait.
+ * DevicePool (drain) under a pluggable SchedulingPolicy and Router. The
+ * drain loop is discrete-event simulation on sim::EventQueue: request
+ * arrivals and per-replica completions are events; whenever a replica is
+ * idle and requests wait, the policy picks *which* request dispatches
+ * next (FCFS, shortest-job-first, earliest-deadline-first) and the
+ * router picks *which idle replica* serves it (round-robin,
+ * least-loaded). Each replica serves one request at a time (batch 1, as
+ * evaluated in the paper), so queueing delay is part of each request's
+ * latency and time-to-first-token.
  *
- * drain() produces per-request RequestResults and an aggregated
- * ServingReport: latency percentiles (p50/p95/p99), generation
- * throughput, SLO miss rate, and a merged RunStats suitable for the
- * energy model — all built on the InferenceReport machinery.
+ * A single-replica FCFS drain reproduces the synchronous PR-1 serving
+ * loop bit for bit: the same model.run calls, the same double
+ * arithmetic, the same ordering.
+ *
+ * drain() produces per-request RequestResults (completion order) and an
+ * aggregated ServingReport: latency percentiles, generation throughput,
+ * SLO miss rate, per-replica utilization / busy-idle split / dispatch
+ * counts, and a merged RunStats suitable for the energy model.
  */
 
 #ifndef IANUS_SERVE_SERVING_ENGINE_HH
@@ -27,7 +34,7 @@
 #include <vector>
 
 #include "ianus/report.hh"
-#include "serve/compiled_model.hh"
+#include "serve/device_pool.hh"
 #include "workloads/model_config.hh"
 
 namespace ianus::serve
@@ -42,10 +49,32 @@ struct QueuedRequest
 };
 
 /**
- * Dispatch-order policy. drain() repeatedly hands the policy the
- * current queue (arrival order) and the serving clock; the policy
- * returns the queue indices to run next, in order. FCFS returns {0};
- * a batching policy would return several compatible requests.
+ * What a SchedulingPolicy sees besides the waiting queue: the cluster
+ * clock and the per-replica availability times it generalizes over
+ * (PR-1's policy saw one implicit device clock).
+ */
+struct SchedulerContext
+{
+    double nowMs = 0.0;
+
+    /** The engine's per-token SLO (EDF derives deadlines from it). */
+    double sloMsPerToken = 0.0;
+
+    /** Per-replica busy-until time; <= nowMs means idle. */
+    std::vector<double> replicaFreeAtMs;
+};
+
+/**
+ * Dispatch-order policy. Whenever at least one replica is idle and the
+ * queue is non-empty, the engine hands the policy the waiting queue
+ * (arrival order) and the cluster state; the policy returns the queue
+ * indices to dispatch next, in order. FCFS returns {0}; SJF/EDF return
+ * the full queue ordered by their key. The engine dispatches the
+ * returned prefix that fits onto idle replicas and re-consults the
+ * policy at the next arrival or completion.
+ *
+ * Contract (enforced with IANUS_FATAL): the batch must be non-empty and
+ * every index must be in range and distinct.
  */
 class SchedulingPolicy
 {
@@ -57,7 +86,7 @@ class SchedulingPolicy
     /** Called with a non-empty queue; must return >= 1 valid index. */
     virtual std::vector<std::size_t>
     selectBatch(const std::vector<QueuedRequest> &queue,
-                double now_ms) = 0;
+                const SchedulerContext &ctx) = 0;
 };
 
 /** First come, first served (the paper's serving regime). */
@@ -68,8 +97,108 @@ class FcfsPolicy : public SchedulingPolicy
 
     std::vector<std::size_t>
     selectBatch(const std::vector<QueuedRequest> &queue,
-                double now_ms) override;
+                const SchedulerContext &ctx) override;
 };
+
+/**
+ * Shortest job first, on an estimated service cost: input tokens plus
+ * outputWeight x output tokens (summarization scales roughly linearly
+ * with input length while each generated token costs a fixed multiple of
+ * one input token's summarization share). Ties fall back to arrival
+ * order.
+ */
+class SjfPolicy : public SchedulingPolicy
+{
+  public:
+    explicit SjfPolicy(double output_weight = 8.0);
+
+    const char *name() const override { return "sjf"; }
+
+    std::vector<std::size_t>
+    selectBatch(const std::vector<QueuedRequest> &queue,
+                const SchedulerContext &ctx) override;
+
+    /** The per-output-token cost multiplier of the estimate. */
+    double outputWeight() const { return outputWeight_; }
+
+  private:
+    double outputWeight_;
+};
+
+/**
+ * SLO-aware earliest deadline first: a request's deadline is
+ * arrival + sloMsPerToken x output tokens (its completion budget under
+ * the per-token SLO). Ties fall back to arrival order.
+ */
+class EdfPolicy : public SchedulingPolicy
+{
+  public:
+    const char *name() const override { return "edf"; }
+
+    std::vector<std::size_t>
+    selectBatch(const std::vector<QueuedRequest> &queue,
+                const SchedulerContext &ctx) override;
+};
+
+/** Policy by name: "fcfs", "sjf", "edf". Unknown names are fatal. */
+std::unique_ptr<SchedulingPolicy> makePolicy(const std::string &name);
+
+/** Live view of one replica, as routers see it. */
+struct ReplicaStatus
+{
+    std::size_t index = 0;
+    bool idle = true;
+    double freeAtMs = 0.0; ///< busy-until time; <= now_ms when idle
+    double busyMs = 0.0;   ///< cumulative service time dispatched so far
+    std::uint64_t dispatched = 0;
+};
+
+/**
+ * Placement policy: which idle replica a dispatched request lands on.
+ * Called only when at least one replica is idle; must return the index
+ * of an idle replica (IANUS_FATAL otherwise).
+ */
+class Router
+{
+  public:
+    virtual ~Router() = default;
+
+    virtual const char *name() const = 0;
+
+    virtual std::size_t route(const QueuedRequest &request,
+                              const std::vector<ReplicaStatus> &replicas,
+                              double now_ms) = 0;
+};
+
+/** Rotates over idle replicas, independent of their load. */
+class RoundRobinRouter : public Router
+{
+  public:
+    const char *name() const override { return "round-robin"; }
+
+    std::size_t route(const QueuedRequest &request,
+                      const std::vector<ReplicaStatus> &replicas,
+                      double now_ms) override;
+
+  private:
+    std::size_t cursor_ = 0;
+};
+
+/** Idle replica with the least cumulative busy time (ties: fewest
+ *  dispatches, then lowest index). */
+class LeastLoadedRouter : public Router
+{
+  public:
+    const char *name() const override { return "least-loaded"; }
+
+    std::size_t route(const QueuedRequest &request,
+                      const std::vector<ReplicaStatus> &replicas,
+                      double now_ms) override;
+};
+
+/** Router by name: "round-robin" (or "rr"), "least-loaded".
+ *  Unknown names are fatal. */
+std::unique_ptr<Router> makeRouter(const std::string &name);
 
 /** Completed request: latency decomposition + the full report. */
 struct RequestResult
@@ -78,13 +207,15 @@ struct RequestResult
     workloads::InferenceRequest request{};
 
     double arrivalMs = 0.0;
-    double startMs = 0.0;  ///< when the device picked it up
+    double startMs = 0.0;  ///< when a replica picked it up
     double finishMs = 0.0; ///< when the last token was emitted
 
     double serviceMs = 0.0;    ///< device time (== report.totalMs())
     double firstTokenMs = 0.0; ///< TTFT: queueing + summarization
     double msPerToken = 0.0;   ///< generation-stage ms per token
     bool sloMiss = false;
+
+    std::size_t deviceIndex = 0; ///< replica that served the request
 
     InferenceReport report;
 
@@ -94,11 +225,24 @@ struct RequestResult
     double totalMs() const { return finishMs - arrivalMs; }
 };
 
+/** Per-replica accounting over one drain(). */
+struct ReplicaUtilization
+{
+    std::uint64_t dispatched = 0;
+    double busyMs = 0.0;
+    double idleMs = 0.0;      ///< makespan - busy
+    double utilization = 0.0; ///< busy / makespan (0 if empty drain)
+};
+
 /** Fleet-level aggregation over one drain(). */
 struct ServingReport
 {
     std::vector<RequestResult> results; ///< completion order
     std::string policy;
+    std::string router;
+
+    /** Per-replica utilization, indexed like the pool. */
+    std::vector<ReplicaUtilization> replicas;
 
     double sloMsPerToken = 0.0;
     double makespanMs = 0.0; ///< first arrival -> last completion
@@ -116,17 +260,35 @@ struct ServingReport
      */
     static double percentile(std::vector<double> values, double p);
 
+    /**
+     * All of @p ps from one shared sort of @p values (percentile() on a
+     * k-element request list is one sort per call; this is one total).
+     */
+    static std::vector<double>
+    percentiles(std::vector<double> values, const std::vector<double> &ps);
+
     /** Percentile of end-to-end request latency (queue + service). */
     double latencyPercentile(double p) const;
+    std::vector<double>
+    latencyPercentiles(const std::vector<double> &ps) const;
 
     /** Percentile of time-to-first-token. */
     double ttftPercentile(double p) const;
+    std::vector<double> ttftPercentiles(const std::vector<double> &ps) const;
+
+    /** Percentile of device service time (queueing excluded). */
+    double serviceTimePercentile(double p) const;
+    std::vector<double>
+    serviceTimePercentiles(const std::vector<double> &ps) const;
 
     /** Generated tokens per second of makespan. */
     double tokensPerSecond() const;
 
     /** Fraction of requests whose ms/token exceeded the SLO. */
     double sloMissRate() const;
+
+    /** Mean per-replica utilization. */
+    double meanUtilization() const;
 
     /** One-line fleet summary. */
     std::string summary() const;
@@ -142,15 +304,28 @@ struct ServingOptions
     unsigned tokenStride = 1;
 };
 
-/** Replays queued requests on one CompiledModel. */
+/** Replays queued requests on a pool of replicas, event-driven. */
 class ServingEngine
 {
   public:
-    /** @p policy defaults to FCFS. The model must outlive the engine. */
+    /**
+     * Single-replica engine (PR-1 compatible). @p policy defaults to
+     * FCFS. The model must outlive the engine.
+     */
     explicit ServingEngine(const CompiledModel &model,
                            ServingOptions opts = ServingOptions{},
                            std::unique_ptr<SchedulingPolicy> policy =
                                nullptr);
+
+    /**
+     * Cluster engine over @p pool (must be non-empty and outlive the
+     * engine). @p policy defaults to FCFS, @p router to round-robin.
+     */
+    explicit ServingEngine(const DevicePool &pool,
+                           ServingOptions opts = ServingOptions{},
+                           std::unique_ptr<SchedulingPolicy> policy =
+                               nullptr,
+                           std::unique_ptr<Router> router = nullptr);
 
     /**
      * Queue a request arriving at @p arrival_ms on the serving clock
@@ -167,17 +342,24 @@ class ServingEngine
     /** Serve everything queued; returns the fleet report. */
     ServingReport drain();
 
-    const CompiledModel &model() const { return model_; }
+    /** First replica (the only one for a single-model engine). */
+    const CompiledModel &model() const { return *replicas_.front(); }
+
+    std::size_t replicas() const { return replicas_.size(); }
     const ServingOptions &options() const { return opts_; }
     const SchedulingPolicy &policy() const { return *policy_; }
+    const Router &router() const { return *router_; }
 
   private:
-    const CompiledModel &model_;
+    std::vector<const CompiledModel *> replicas_;
     ServingOptions opts_;
     std::unique_ptr<SchedulingPolicy> policy_;
+    std::unique_ptr<Router> router_;
     std::vector<QueuedRequest> queue_;
     std::uint64_t nextId_ = 0;
     double lastArrivalMs_ = 0.0;
+
+    void validateOptions() const;
 };
 
 } // namespace ianus::serve

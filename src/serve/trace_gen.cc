@@ -1,0 +1,106 @@
+#include "serve/trace_gen.hh"
+
+#include <cmath>
+#include <random>
+
+#include "common/logging.hh"
+#include "serve/serving_engine.hh"
+
+namespace ianus::serve
+{
+
+namespace
+{
+
+/**
+ * Uniform double in [0, 1) with 53 random bits, built explicitly from
+ * two mt19937 draws. std::generate_canonical and the std distributions
+ * are implementation-defined; this recipe is identical everywhere.
+ */
+double
+canonical53(std::mt19937 &rng)
+{
+    std::uint64_t hi = rng();
+    std::uint64_t lo = rng();
+    std::uint64_t bits = ((hi << 32) | lo) >> 11; // top 53 bits
+    return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+/** Exponential inter-arrival gap in ms for rate @p per_sec. */
+double
+expGapMs(std::mt19937 &rng, double per_sec)
+{
+    double u = canonical53(rng);
+    return -std::log1p(-u) / per_sec * 1000.0;
+}
+
+std::uint64_t
+pick(std::mt19937 &rng, const std::vector<std::uint64_t> &choices)
+{
+    return choices[rng() % choices.size()];
+}
+
+} // namespace
+
+double
+ArrivalTrace::horizonMs() const
+{
+    return requests.empty() ? 0.0 : requests.back().arrivalMs;
+}
+
+double
+ArrivalTrace::offeredTokensPerSec() const
+{
+    double horizon = horizonMs();
+    if (horizon <= 0.0)
+        return 0.0;
+    std::uint64_t tokens = 0;
+    for (const TimedRequest &t : requests)
+        tokens += t.request.outputTokens;
+    return static_cast<double>(tokens) / (horizon / 1000.0);
+}
+
+ArrivalTrace
+generatePoissonTrace(const TraceOptions &opts)
+{
+    if (opts.arrivalsPerSec <= 0.0)
+        IANUS_FATAL("Poisson arrival rate must be positive, got ",
+                    opts.arrivalsPerSec, " req/s");
+    if (opts.inputTokenChoices.empty() || opts.outputTokenChoices.empty())
+        IANUS_FATAL("trace generation needs non-empty input and output "
+                    "token choice lists");
+    if (opts.startMs < 0.0)
+        IANUS_FATAL("trace start must be non-negative, got ",
+                    opts.startMs, " ms");
+
+    // Fold the whole 64-bit seed in; plain mt19937(seed) would silently
+    // truncate to 32 bits. seed_seq is fully specified by the standard,
+    // so this stays cross-platform deterministic.
+    std::seed_seq seq{static_cast<std::uint32_t>(opts.seed),
+                      static_cast<std::uint32_t>(opts.seed >> 32)};
+    std::mt19937 rng(seq);
+    ArrivalTrace trace;
+    trace.requests.reserve(opts.requests);
+    double clock = opts.startMs;
+    for (std::size_t i = 0; i < opts.requests; ++i) {
+        TimedRequest t;
+        t.request.inputTokens = pick(rng, opts.inputTokenChoices);
+        t.request.outputTokens = pick(rng, opts.outputTokenChoices);
+        clock += expGapMs(rng, opts.arrivalsPerSec);
+        t.arrivalMs = clock;
+        trace.requests.push_back(t);
+    }
+    return trace;
+}
+
+std::vector<std::uint64_t>
+submitAll(const ArrivalTrace &trace, ServingEngine &engine)
+{
+    std::vector<std::uint64_t> ids;
+    ids.reserve(trace.requests.size());
+    for (const TimedRequest &t : trace.requests)
+        ids.push_back(engine.submit(t.request, t.arrivalMs));
+    return ids;
+}
+
+} // namespace ianus::serve

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic open-loop arrival traces.
+ *
+ * generatePoissonTrace() draws Poisson inter-arrival gaps (exponential,
+ * via explicit inverse-CDF sampling over a seeded std::mt19937 — no
+ * std::*_distribution, whose output is implementation-defined, and no
+ * wall clock) and uniform request shapes from caller-supplied choice
+ * lists. The same TraceOptions always produce the same trace, on any
+ * platform, so benches and tests can replay identical traffic against
+ * different pool sizes, routers, and scheduling policies.
+ */
+
+#ifndef IANUS_SERVE_TRACE_GEN_HH
+#define IANUS_SERVE_TRACE_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/model_config.hh"
+
+namespace ianus::serve
+{
+
+class ServingEngine;
+
+/** One request with its open-loop arrival time. */
+struct TimedRequest
+{
+    workloads::InferenceRequest request{};
+    double arrivalMs = 0.0;
+};
+
+/** Knobs of the synthetic arrival process. */
+struct TraceOptions
+{
+    std::uint64_t seed = 1;
+
+    /** Number of requests to generate. */
+    std::size_t requests = 100;
+
+    /** Poisson arrival rate (requests per second of serving clock). */
+    double arrivalsPerSec = 50.0;
+
+    /** Clock origin: the first arrival lands one inter-arrival gap
+     *  after this point, not at it. */
+    double startMs = 0.0;
+
+    /** Uniform choice lists for the request shape (paper Section 6.1
+     *  evaluation ranges by default; keep in sync with llm_serving). */
+    std::vector<std::uint64_t> inputTokenChoices = {128, 256, 512};
+    std::vector<std::uint64_t> outputTokenChoices = {8, 16, 64, 128};
+};
+
+/** A generated trace: requests in non-decreasing arrival order. */
+struct ArrivalTrace
+{
+    std::vector<TimedRequest> requests;
+
+    std::size_t size() const { return requests.size(); }
+
+    /** Last arrival time (0 for an empty trace). */
+    double horizonMs() const;
+
+    /** Offered generation load: output tokens per second of horizon. */
+    double offeredTokensPerSec() const;
+};
+
+/** Generate a trace; rejects a non-positive rate or empty choice lists. */
+ArrivalTrace generatePoissonTrace(const TraceOptions &opts);
+
+/** Submit every trace request; returns the ids in trace order. */
+std::vector<std::uint64_t> submitAll(const ArrivalTrace &trace,
+                                     ServingEngine &engine);
+
+} // namespace ianus::serve
+
+#endif // IANUS_SERVE_TRACE_GEN_HH

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "ianus/ianus_system.hh"
+#include "serve/compiled_model.hh"
 
 namespace
 {
@@ -52,6 +53,30 @@ TEST(MultiDevice, TokensPerSecondDefinition)
     EXPECT_DOUBLE_EQ(MultiDeviceSystem::tokensPerSecond(r), 10.0);
     InferenceReport empty;
     EXPECT_DOUBLE_EQ(MultiDeviceSystem::tokensPerSecond(empty), 0.0);
+}
+
+TEST(MultiDevice, CompileMemoizesAcrossRuns)
+{
+    workloads::ModelConfig m67 = workloads::gptLarge("6.7b");
+    MultiDeviceSystem sys(SystemConfig::ianusDefault(), 2);
+
+    const serve::CompiledModel &c1 = sys.compile(m67);
+    const serve::CompiledModel &c2 = sys.compile(m67);
+    EXPECT_EQ(&c1, &c2); // same cached instance
+
+    // A different build option compiles separately.
+    compiler::BuildOptions naive;
+    naive.policy = compiler::SchedulingPolicy::Naive;
+    EXPECT_NE(&sys.compile(m67, naive), &c1);
+
+    // Repeated run() calls hit the shared program cache instead of
+    // rebuilding: the second identical request adds no builds.
+    InferenceReport a = sys.run(m67, {128, 3}, {}, 1);
+    std::uint64_t builds = c1.cacheStats().builds();
+    InferenceReport b = sys.run(m67, {128, 3}, {}, 1);
+    EXPECT_EQ(c1.cacheStats().builds(), builds);
+    EXPECT_GT(c1.cacheStats().hits(), 0u);
+    EXPECT_EQ(a.totalTicks(), b.totalTicks());
 }
 
 TEST(MultiDevice, MoreDevicesCostMorePcieTime)

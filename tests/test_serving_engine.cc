@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "serve/serving_engine.hh"
 
 namespace
@@ -124,6 +127,12 @@ TEST(ServingEngine, RejectsInvalidSubmitsAndOptions)
     serve::ServingEngine engine(model);
     EXPECT_THROW(engine.submit({0, 8}), std::runtime_error);
     EXPECT_THROW(engine.submit({64, 0}), std::runtime_error);
+    EXPECT_THROW(engine.submit({64, 4}, std::nan("")),
+                 std::runtime_error);
+    EXPECT_THROW(engine.submit({64, 4},
+                               std::numeric_limits<double>::infinity()),
+                 std::runtime_error);
+    EXPECT_THROW(engine.submit({64, 4}, -1.0), std::runtime_error);
     engine.submit({64, 4}, 5.0);
     EXPECT_THROW(engine.submit({64, 4}, 1.0), std::runtime_error);
 
@@ -152,6 +161,40 @@ TEST(ServingReport, PercentileMath)
         ten.push_back(i * 10.0);
     EXPECT_DOUBLE_EQ(ServingReport::percentile(ten, 95), 95.5);
     EXPECT_DOUBLE_EQ(ServingReport::percentile(ten, 99), 99.1);
+}
+
+TEST(ServingReport, BatchPercentilesShareOneSort)
+{
+    // percentiles() computes all ranks from one shared sort and must
+    // agree with repeated single-percentile calls.
+    std::vector<double> v = {40, 10, 20, 30};
+    std::vector<double> ps = {0, 25, 50, 75, 95, 100};
+    std::vector<double> batch = ServingReport::percentiles(v, ps);
+    ASSERT_EQ(batch.size(), ps.size());
+    for (std::size_t i = 0; i < ps.size(); ++i)
+        EXPECT_DOUBLE_EQ(batch[i], ServingReport::percentile(v, ps[i]));
+    EXPECT_TRUE(
+        ServingReport::percentiles({}, {50, 99}) ==
+        (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(ServingReport, ServiceTimePercentileExcludesQueueing)
+{
+    serve::CompiledModel model(SystemConfig::ianusDefault(), m);
+    std::vector<InferenceRequest> mix = {{64, 4}, {64, 4}, {64, 4}};
+    ServingReport rep = runMix(model, mix);
+    // Identical requests: every service-time percentile is the same,
+    // while end-to-end latency grows with queueing.
+    EXPECT_DOUBLE_EQ(rep.serviceTimePercentile(0),
+                     rep.serviceTimePercentile(100));
+    EXPECT_DOUBLE_EQ(rep.serviceTimePercentile(50),
+                     rep.results[0].serviceMs);
+    EXPECT_GT(rep.latencyPercentile(100), rep.serviceTimePercentile(100));
+    std::vector<double> lat = rep.latencyPercentiles({50, 95, 99});
+    EXPECT_DOUBLE_EQ(lat[0], rep.latencyPercentile(50));
+    EXPECT_DOUBLE_EQ(lat[2], rep.latencyPercentile(99));
+    std::vector<double> ttft = rep.ttftPercentiles({50});
+    EXPECT_DOUBLE_EQ(ttft[0], rep.ttftPercentile(50));
 }
 
 TEST(ServingReport, AggregateStatsAccumulate)

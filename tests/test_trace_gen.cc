@@ -1,0 +1,131 @@
+/** @file Deterministic Poisson arrival traces. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "serve/serving_engine.hh"
+#include "serve/trace_gen.hh"
+
+namespace
+{
+
+using namespace ianus;
+using serve::ArrivalTrace;
+using serve::TraceOptions;
+
+TEST(TraceGen, SameSeedSameTrace)
+{
+    TraceOptions opts;
+    opts.seed = 123;
+    opts.requests = 64;
+    ArrivalTrace a = serve::generatePoissonTrace(opts);
+    ArrivalTrace b = serve::generatePoissonTrace(opts);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.requests[i].arrivalMs, b.requests[i].arrivalMs);
+        EXPECT_EQ(a.requests[i].request.inputTokens,
+                  b.requests[i].request.inputTokens);
+        EXPECT_EQ(a.requests[i].request.outputTokens,
+                  b.requests[i].request.outputTokens);
+    }
+}
+
+TEST(TraceGen, DifferentSeedsDiffer)
+{
+    TraceOptions opts;
+    opts.requests = 64;
+    opts.seed = 1;
+    ArrivalTrace a = serve::generatePoissonTrace(opts);
+    opts.seed = 2;
+    ArrivalTrace b = serve::generatePoissonTrace(opts);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differs = differs ||
+                  a.requests[i].arrivalMs != b.requests[i].arrivalMs;
+    EXPECT_TRUE(differs);
+}
+
+TEST(TraceGen, ArrivalsAreOpenLoopNonDecreasing)
+{
+    TraceOptions opts;
+    opts.requests = 200;
+    opts.startMs = 5.0;
+    ArrivalTrace trace = serve::generatePoissonTrace(opts);
+    ASSERT_EQ(trace.size(), 200u);
+    double prev = opts.startMs;
+    for (const auto &t : trace.requests) {
+        EXPECT_GE(t.arrivalMs, prev);
+        prev = t.arrivalMs;
+    }
+    EXPECT_EQ(trace.horizonMs(), trace.requests.back().arrivalMs);
+}
+
+TEST(TraceGen, MeanInterArrivalMatchesRate)
+{
+    TraceOptions opts;
+    opts.requests = 4000;
+    opts.arrivalsPerSec = 200.0; // 5 ms mean gap
+    ArrivalTrace trace = serve::generatePoissonTrace(opts);
+    double mean_gap = trace.horizonMs() /
+                      static_cast<double>(trace.size());
+    EXPECT_NEAR(mean_gap, 5.0, 0.5); // within 10% at n=4000
+}
+
+TEST(TraceGen, ShapesComeFromTheChoiceLists)
+{
+    TraceOptions opts;
+    opts.requests = 100;
+    opts.inputTokenChoices = {32, 64};
+    opts.outputTokenChoices = {3};
+    ArrivalTrace trace = serve::generatePoissonTrace(opts);
+    for (const auto &t : trace.requests) {
+        EXPECT_TRUE(t.request.inputTokens == 32 ||
+                    t.request.inputTokens == 64);
+        EXPECT_EQ(t.request.outputTokens, 3u);
+    }
+    EXPECT_GT(trace.offeredTokensPerSec(), 0.0);
+}
+
+TEST(TraceGen, RejectsUnsatisfiableOptions)
+{
+    TraceOptions bad_rate;
+    bad_rate.arrivalsPerSec = 0.0;
+    EXPECT_THROW(serve::generatePoissonTrace(bad_rate),
+                 std::runtime_error);
+    TraceOptions bad_choices;
+    bad_choices.inputTokenChoices.clear();
+    EXPECT_THROW(serve::generatePoissonTrace(bad_choices),
+                 std::runtime_error);
+    TraceOptions bad_start;
+    bad_start.startMs = -1.0;
+    EXPECT_THROW(serve::generatePoissonTrace(bad_start),
+                 std::runtime_error);
+}
+
+TEST(TraceGen, EmptyTraceIsValid)
+{
+    TraceOptions opts;
+    opts.requests = 0;
+    ArrivalTrace trace = serve::generatePoissonTrace(opts);
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_EQ(trace.horizonMs(), 0.0);
+    EXPECT_EQ(trace.offeredTokensPerSec(), 0.0);
+}
+
+TEST(TraceGen, SubmitAllQueuesTheWholeTrace)
+{
+    TraceOptions opts;
+    opts.requests = 10;
+    ArrivalTrace trace = serve::generatePoissonTrace(opts);
+    serve::CompiledModel model(SystemConfig::ianusDefault(),
+                               workloads::gpt2("m"));
+    serve::ServingEngine engine(model);
+    std::vector<std::uint64_t> ids = serve::submitAll(trace, engine);
+    EXPECT_EQ(engine.pending(), trace.size());
+    ASSERT_EQ(ids.size(), trace.size());
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        EXPECT_EQ(ids[i], i);
+}
+
+} // namespace
