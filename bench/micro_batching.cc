@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Batching microbenchmark: goodput of one replica under continuous
+ * batching as the batch cap grows 1 -> 16, for each scheduling policy
+ * (FCFS, SJF, EDF).
+ *
+ * One deterministic, oversubscribing Poisson trace is replayed against
+ * every (policy, max-batch) cell, so differences are attributable to
+ * the batching configuration alone. Two sanity gates (exit 1 on
+ * violation):
+ *
+ *  - tokens/s must be monotone non-decreasing in the batch cap for
+ *    every policy — the batched-step cost model must never make a
+ *    bigger batch serve fewer tokens per second;
+ *  - continuous batching capped at 1 must reproduce the unbatched
+ *    (PR-2) single-replica FCFS drain bit for bit, request by request —
+ *    the batch-1 equivalence anchor of the whole cost model.
+ *
+ *   ./micro_batching [--fast] [--csv]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bench_common.hh"
+#include "serve/serving_engine.hh"
+#include "serve/trace_gen.hh"
+
+namespace
+{
+
+ianus::serve::ServingReport
+drainTrace(const ianus::SystemConfig &cfg,
+           const ianus::workloads::ModelConfig &model,
+           const ianus::serve::ArrivalTrace &trace,
+           const std::string &policy, ianus::serve::ServingOptions opts)
+{
+    using namespace ianus;
+    // A fresh model per cell: every replica owns a program cache, so
+    // each cell pays compilation for its own distinct (batched) shapes
+    // and replays them — the serving regime under test.
+    serve::CompiledModel m(cfg, model);
+    serve::ServingEngine engine(m, opts, serve::makePolicy(policy));
+    serve::submitAll(trace, engine);
+    return engine.drain();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ianus;
+    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::banner("micro: continuous batching",
+                  "one replica, batch cap 1 -> 16 x {fcfs, sjf, edf} "
+                  "under one deterministic Poisson trace (goodput must "
+                  "not drop; batch-1 must equal the unbatched drain)");
+
+    workloads::ModelConfig model = workloads::gpt2("m");
+    SystemConfig cfg = SystemConfig::ianusDefault();
+    const unsigned stride = 8;
+    const std::vector<std::size_t> caps = {1, 2, 4, 8, 16};
+    const std::vector<std::string> policies = {"fcfs", "sjf", "edf"};
+
+    // Oversubscribe a single replica ~4x so the queue is never the
+    // bottleneck and batches actually fill.
+    serve::CompiledModel probe(cfg, model);
+    double svc_ms = probe.run({256, 16}, stride).totalMs();
+    serve::TraceOptions trace_opts;
+    trace_opts.seed = 42;
+    trace_opts.requests = opts.fast ? 24 : 48;
+    trace_opts.arrivalsPerSec = 4.0 * 1000.0 / svc_ms;
+    if (opts.fast)
+        trace_opts.outputTokenChoices = {8, 16, 64};
+    serve::ArrivalTrace trace = serve::generatePoissonTrace(trace_opts);
+
+    std::printf("trace: %zu requests, %.1f req/s, horizon %.1f ms, "
+                "offered %.0f tok/s\n\n",
+                trace.size(), trace_opts.arrivalsPerSec,
+                trace.horizonMs(), trace.offeredTokensPerSec());
+
+    serve::ServingOptions base;
+    base.tokenStride = stride;
+
+    bench::Table table({"policy", "max_batch", "tok_per_s", "speedup",
+                        "occupancy", "p50_ms", "p99_ms", "ttft_p99",
+                        "slo_miss"});
+    bool ok = true;
+    for (const std::string &policy : policies) {
+        // The unbatched reference drain for the equivalence gate.
+        serve::ServingReport legacy =
+            drainTrace(cfg, model, trace, policy, base);
+
+        double base_tps = 0.0;
+        double prev_tps = 0.0;
+        for (std::size_t cap : caps) {
+            serve::ServingOptions cell = base;
+            cell.batching = serve::BatchingMode::Continuous;
+            cell.maxBatch = cap;
+            serve::ServingReport rep =
+                drainTrace(cfg, model, trace, policy, cell);
+
+            if (cap == 1) {
+                // Batch-1 equivalence: identical numbers, bit for bit.
+                bool same = rep.requests() == legacy.requests() &&
+                            rep.makespanMs == legacy.makespanMs;
+                for (std::size_t i = 0; same && i < rep.requests(); ++i) {
+                    const serve::RequestResult &a = legacy.results[i];
+                    const serve::RequestResult &b = rep.results[i];
+                    same = a.id == b.id && a.startMs == b.startMs &&
+                           a.finishMs == b.finishMs &&
+                           a.firstTokenMs == b.firstTokenMs &&
+                           a.msPerToken == b.msPerToken;
+                }
+                if (!same) {
+                    std::printf("FAIL: %s continuous max-batch 1 "
+                                "diverged from the unbatched drain\n",
+                                policy.c_str());
+                    ok = false;
+                }
+            }
+
+            double tps = rep.tokensPerSecond();
+            if (base_tps == 0.0)
+                base_tps = tps;
+            if (cap > 1 && tps < prev_tps) {
+                std::printf("FAIL: %s tok/s dropped raising the batch "
+                            "cap to %zu (%.1f -> %.1f)\n",
+                            policy.c_str(), cap, prev_tps, tps);
+                ok = false;
+            }
+            prev_tps = tps;
+
+            std::vector<double> lat = rep.latencyPercentiles({50, 99});
+            table.addRow({policy, bench::Table::num(cap, 0),
+                          bench::Table::num(tps, 1),
+                          bench::Table::ratio(tps / base_tps),
+                          bench::Table::num(rep.meanBatchOccupancy(), 2),
+                          bench::Table::num(lat[0], 1),
+                          bench::Table::num(lat[1], 1),
+                          bench::Table::num(rep.ttftPercentile(99), 1),
+                          bench::Table::num(rep.sloMissRate(), 2)});
+        }
+    }
+    table.print(opts);
+
+    std::printf("\nbatching sanity: %s\n",
+                ok ? "goodput monotone, batch-1 bit-identical"
+                   : "VIOLATED — BUG");
+    return ok ? 0 : 1;
+}

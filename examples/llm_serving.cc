@@ -11,12 +11,14 @@
  *
  * Cluster mode (--replicas N) builds a DevicePool of N IANUS replicas,
  * generates a deterministic Poisson arrival trace, and serves it under
- * the chosen scheduling policy and router, reporting per-replica
- * utilization alongside the fleet report.
+ * the chosen scheduling policy, router, and batching mode, reporting
+ * per-replica utilization and batch occupancy alongside the fleet
+ * report. See docs/SERVING.md for the full option matrix.
  *
  *   ./llm_serving [model] [requests] [slo_ms_per_token]
  *                 [--replicas N] [--policy fcfs|sjf|edf]
  *                 [--router round-robin|least-loaded]
+ *                 [--batching none|static|continuous] [--max-batch B]
  *                 [--rate req_per_s] [--seed S]
  */
 
@@ -41,6 +43,8 @@ struct Args
     unsigned replicas = 0; ///< 0 = classic single-device comparison
     std::string policy = "fcfs";
     std::string router = "round-robin";
+    std::string batching = "none";
+    unsigned maxBatch = 1;
     double rate = 0.0; ///< req/s; 0 = auto (saturate the pool)
     std::uint64_t seed = 7;
 };
@@ -107,6 +111,11 @@ parseArgs(int argc, char **argv)
             args.policy = next(), cluster_flag = true;
         else if (a == "--router")
             args.router = next(), cluster_flag = true;
+        else if (a == "--batching")
+            args.batching = next(), cluster_flag = true;
+        else if (a == "--max-batch")
+            args.maxBatch = parseCount(a, next(), 64),
+            cluster_flag = true;
         else if (a == "--rate")
             args.rate = parsePositive(a, next()), cluster_flag = true;
         else if (a == "--seed")
@@ -125,8 +134,25 @@ parseArgs(int argc, char **argv)
         }
     }
     if (cluster_flag && args.replicas == 0) {
-        std::fprintf(stderr, "--policy/--router/--rate/--seed only apply "
-                             "to cluster mode; add --replicas N\n");
+        std::fprintf(stderr,
+                     "--policy/--router/--batching/--max-batch/--rate/"
+                     "--seed only apply to cluster mode; add "
+                     "--replicas N\n");
+        std::exit(2);
+    }
+    if (args.maxBatch > 1 && args.batching == "none") {
+        std::fprintf(stderr, "--max-batch %u needs --batching static or "
+                             "continuous\n",
+                     args.maxBatch);
+        std::exit(2);
+    }
+    if (args.maxBatch == 1 && args.batching != "none") {
+        // The engine treats max batch 1 as the legacy batch-1 path in
+        // any mode; don't let a report claim batching that never ran.
+        std::fprintf(stderr, "--batching %s needs --max-batch B with "
+                             "B >= 2 (batch 1 is the unbatched path; "
+                             "use --batching none)\n",
+                     args.batching.c_str());
         std::exit(2);
     }
     return args;
@@ -228,9 +254,10 @@ clusterMode(const Args &args)
     serve::ArrivalTrace trace = serve::generatePoissonTrace(trace_opts);
 
     std::printf("cluster serving on %s: %u replicas, policy %s, "
-                "router %s\n",
+                "router %s, batching %s (max %u)\n",
                 model.describe().c_str(), args.replicas,
-                args.policy.c_str(), args.router.c_str());
+                args.policy.c_str(), args.router.c_str(),
+                args.batching.c_str(), args.maxBatch);
     std::printf("trace: %zu requests, %.1f req/s Poisson (seed %llu), "
                 "horizon %.1f ms\n\n",
                 trace.size(), rate, (unsigned long long)args.seed,
@@ -239,6 +266,8 @@ clusterMode(const Args &args)
     serve::ServingOptions opts;
     opts.sloMsPerToken = args.slo;
     opts.tokenStride = 8;
+    opts.batching = serve::makeBatchingMode(args.batching);
+    opts.maxBatch = args.maxBatch;
     serve::ServingEngine engine(pool, opts,
                                 serve::makePolicy(args.policy),
                                 serve::makeRouter(args.router));
@@ -259,6 +288,10 @@ clusterMode(const Args &args)
                 rep.ttftPercentile(50), rep.ttftPercentile(99),
                 rep.serviceTimePercentile(50),
                 rep.serviceTimePercentile(99));
+    if (opts.batching != serve::BatchingMode::None)
+        std::printf("batch occupancy %.2f (token-weighted mean over "
+                    "generation steps)\n",
+                    rep.meanBatchOccupancy());
     return 0;
 }
 

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Fail on dead *relative* links in the repo's markdown files.
+#
+# Extracts every inline markdown link target, skips absolute URLs,
+# mailto:, and pure in-page anchors, strips any #fragment, resolves the
+# rest against the linking file's directory, and requires the target to
+# exist. Usage: scripts/check_links.sh [file.md ...] (default: all
+# tracked/on-disk *.md outside build directories).
+set -u
+
+files=("$@")
+if [ "${#files[@]}" -eq 0 ]; then
+    while IFS= read -r f; do
+        files+=("$f")
+    done < <(find . -name '*.md' -not -path './build*/*' \
+                 -not -path './.git/*' | sort)
+fi
+
+dead=0
+for f in "${files[@]}"; do
+    dir=$(dirname "$f")
+    # Inline links/images: capture the (...) target of ](...), first
+    # token only (drops optional "title" suffixes).
+    while IFS= read -r target; do
+        case "$target" in
+        http://*|https://*|mailto:*|'#'*|'') continue ;;
+        esac
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "dead link: $f -> $target"
+            dead=1
+        fi
+    done < <(grep -oE '\]\(([^)[:space:]]+)' "$f" | sed 's/^](//')
+done
+
+if [ "$dead" -ne 0 ]; then
+    echo "FAIL: dead relative markdown links found"
+    exit 1
+fi
+echo "ok: all relative markdown links resolve"

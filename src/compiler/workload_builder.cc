@@ -446,50 +446,61 @@ WorkloadBuilder::attentionGenerationPim(Ctx &ctx, std::uint16_t core,
 }
 
 void
-WorkloadBuilder::blockGeneration(Ctx &ctx, std::uint64_t kv_len) const
+WorkloadBuilder::blockGeneration(
+    Ctx &ctx, const std::vector<std::uint64_t> &kv_lens) const
 {
     const std::uint64_t e = model_.embDim;
     const std::uint64_t ffn = model_.ffnDim();
+    const std::uint64_t b = kv_lens.size();
 
-    // LN1 + multi-head attention (head-parallel across cores).
+    // LN1 over the batch + multi-head attention (head-parallel across
+    // cores, per request within each core: every request owns its KV
+    // cache, so QKV GEMVs and QKᵀ/SV never batch across requests).
     std::vector<std::uint32_t> ln(sys_.cores);
     for (std::uint16_t c = 0; c < sys_.cores; ++c) {
-        isa::VuArgs args{VuOpKind::LayerNorm, e};
+        isa::VuArgs args{VuOpKind::LayerNorm, b * e};
         ln[c] = emit(ctx, c, UnitKind::VectorUnit, OpClass::LayerNorm,
                      args, {});
     }
     for (std::uint16_t c = 0; c < sys_.cores; ++c) {
-        if (opts_.attnMapping == AttnMapping::MatrixUnit)
-            attentionGenerationMu(ctx, c, kv_len, ln[c]);
-        else
-            attentionGenerationPim(ctx, c, kv_len, ln[c]);
+        for (std::uint64_t kv_len : kv_lens) {
+            if (opts_.attnMapping == AttnMapping::MatrixUnit)
+                attentionGenerationMu(ctx, c, kv_len, ln[c]);
+            else
+                attentionGenerationPim(ctx, c, kv_len, ln[c]);
+        }
     }
-    barrier(ctx, OpClass::SelfAttention, e * pim::elemBytes); // sync 1
+    barrier(ctx, OpClass::SelfAttention, b * e * pim::elemBytes); // sync 1
 
-    // Attention output FC (column-split) + residual add.
-    FcMappingDecision attn_dec = decideFc(1, e, colSlice(e), false, {});
+    // Attention output FC (column-split) + residual add. From here on
+    // the batch is one multi-token activation matrix: a matrix-unit FC
+    // streams its weights once for all b tokens, a PIM FC repeats its
+    // GEMV b times — the trade-off the adaptive mapper re-evaluates at
+    // this token count.
+    FcMappingDecision attn_dec = decideFc(b, e, colSlice(e), false, {});
     for (std::uint16_t c = 0; c < sys_.cores; ++c) {
-        std::uint32_t g = emitGather(ctx, c, e * pim::elemBytes,
+        std::uint32_t g = emitGather(ctx, c, b * e * pim::elemBytes,
                                      OpClass::FcAttnAdd, {});
-        std::uint32_t fc = emitFc(ctx, c, OpClass::FcAttnAdd, attn_dec, 1,
+        std::uint32_t fc = emitFc(ctx, c, OpClass::FcAttnAdd, attn_dec, b,
                                   e, colSlice(e), false, false, {g});
-        isa::VuArgs add{VuOpKind::Add, colSlice(e)};
+        isa::VuArgs add{VuOpKind::Add, b * colSlice(e)};
         emit(ctx, c, UnitKind::VectorUnit, OpClass::FcAttnAdd, add, {fc});
     }
-    barrier(ctx, OpClass::FcAttnAdd, e * pim::elemBytes); // sync 2
+    barrier(ctx, OpClass::FcAttnAdd, b * e * pim::elemBytes); // sync 2
 
     // LN2 + FFN1 (+GELU).
-    FcMappingDecision ffn1_dec = decideFc(1, e, colSlice(ffn), true, e);
+    FcMappingDecision ffn1_dec = decideFc(b, e, colSlice(ffn), true,
+                                          b * e);
     for (std::uint16_t c = 0; c < sys_.cores; ++c) {
-        std::uint32_t g = emitGather(ctx, c, e * pim::elemBytes,
+        std::uint32_t g = emitGather(ctx, c, b * e * pim::elemBytes,
                                      OpClass::LayerNorm, {});
-        isa::VuArgs lnv{VuOpKind::LayerNorm, e};
+        isa::VuArgs lnv{VuOpKind::LayerNorm, b * e};
         std::uint32_t ln2 = emit(ctx, c, UnitKind::VectorUnit,
                                  OpClass::LayerNorm, lnv, {g});
-        emitFc(ctx, c, OpClass::FfnAdd, ffn1_dec, 1, e, colSlice(ffn),
+        emitFc(ctx, c, OpClass::FfnAdd, ffn1_dec, b, e, colSlice(ffn),
                true, false, {ln2});
     }
-    barrier(ctx, OpClass::FfnAdd, ffn * pim::elemBytes); // sync 3 (GELU)
+    barrier(ctx, OpClass::FfnAdd, b * ffn * pim::elemBytes); // sync 3
 
     // FFN2 + residual add.
     bool non_dup = ffn2NonDuplicated(ctx.blockIndex);
@@ -500,17 +511,17 @@ WorkloadBuilder::blockGeneration(Ctx &ctx, std::uint64_t kv_len) const
         // stream collides with PIM compute (Section 6.2).
         ffn2_dec.unit = FcUnit::MatrixUnit;
     } else {
-        ffn2_dec = decideFc(1, ffn, colSlice(e), false, {});
+        ffn2_dec = decideFc(b, ffn, colSlice(e), false, {});
     }
     for (std::uint16_t c = 0; c < sys_.cores; ++c) {
-        std::uint32_t g = emitGather(ctx, c, ffn * pim::elemBytes,
+        std::uint32_t g = emitGather(ctx, c, b * ffn * pim::elemBytes,
                                      OpClass::FfnAdd, {});
-        std::uint32_t fc = emitFc(ctx, c, OpClass::FfnAdd, ffn2_dec, 1,
+        std::uint32_t fc = emitFc(ctx, c, OpClass::FfnAdd, ffn2_dec, b,
                                   ffn, colSlice(e), false, non_dup, {g});
-        isa::VuArgs add{VuOpKind::Add, colSlice(e)};
+        isa::VuArgs add{VuOpKind::Add, b * colSlice(e)};
         emit(ctx, c, UnitKind::VectorUnit, OpClass::FfnAdd, add, {fc});
     }
-    barrier(ctx, OpClass::FfnAdd, e * pim::elemBytes); // sync 4
+    barrier(ctx, OpClass::FfnAdd, b * e * pim::elemBytes); // sync 4
 
     ++ctx.blockIndex;
 }
@@ -662,20 +673,21 @@ WorkloadBuilder::blockSummarization(Ctx &ctx, std::uint64_t n) const
 // ---------------------------------------------------------------------
 
 void
-WorkloadBuilder::lmHead(Ctx &ctx) const
+WorkloadBuilder::lmHead(Ctx &ctx, std::uint64_t tokens) const
 {
-    // Logits for one token: a matrix-vector product over the vocabulary —
-    // the one summarization-stage operation that runs on PIM (Fig 9's
-    // "PIM operates as standard GDDR6 except for the LM head").
+    // Logits for @p tokens tokens (one per batched request): a
+    // matrix-vector product over the vocabulary — the one
+    // summarization-stage operation that runs on PIM (Fig 9's "PIM
+    // operates as standard GDDR6 except for the LM head").
     const std::uint64_t e = model_.embDim;
     std::uint64_t slice = colSlice(model_.vocab);
-    FcMappingDecision dec = decideFc(1, e, slice, false, e);
+    FcMappingDecision dec = decideFc(tokens, e, slice, false, tokens * e);
     for (std::uint16_t c = 0; c < sys_.cores; ++c) {
-        isa::VuArgs lnv{VuOpKind::LayerNorm, e};
+        isa::VuArgs lnv{VuOpKind::LayerNorm, tokens * e};
         std::uint32_t ln = emit(ctx, c, UnitKind::VectorUnit,
                                 OpClass::LayerNorm, lnv, {});
-        emitFc(ctx, c, OpClass::LmHead, dec, 1, e, slice, false, false,
-               {ln});
+        emitFc(ctx, c, OpClass::LmHead, dec, tokens, e, slice, false,
+               false, {ln});
     }
     barrier(ctx, OpClass::LmHead);
 }
@@ -697,7 +709,7 @@ WorkloadBuilder::buildSummarization(std::uint64_t input_tokens) const
         blockSummarization(ctx, input_tokens);
 
     if (model_.decoder()) {
-        lmHead(ctx);
+        lmHead(ctx, 1);
     } else {
         // BERT QA head: span start/end logits from the final states.
         isa::MuGemmArgs qa;
@@ -716,20 +728,33 @@ WorkloadBuilder::buildSummarization(std::uint64_t input_tokens) const
 isa::Program
 WorkloadBuilder::buildGenerationToken(std::uint64_t kv_len) const
 {
+    // The batch-of-one program *is* the scalar program: same commands,
+    // same order, same payloads (the regression anchor for batching).
+    return buildGenerationBatch({kv_len});
+}
+
+isa::Program
+WorkloadBuilder::buildGenerationBatch(
+    const std::vector<std::uint64_t> &kv_lens) const
+{
     IANUS_ASSERT(model_.decoder(), "generation needs a decoder model");
-    IANUS_ASSERT(kv_len > 0, "generation with empty KV cache");
-    checkCapacity(1);
+    IANUS_ASSERT(!kv_lens.empty(),
+                 "a generation batch needs at least one request");
+    for (std::uint64_t kv_len : kv_lens)
+        IANUS_ASSERT(kv_len > 0, "generation with empty KV cache");
+    const std::uint64_t b = kv_lens.size();
+    checkCapacity(b);
     Ctx ctx(sys_.cores);
 
     for (std::uint16_t c = 0; c < sys_.cores; ++c) {
         isa::DmaArgs emb;
-        emb.bytes = model_.embDim * pim::elemBytes;
+        emb.bytes = b * model_.embDim * pim::elemBytes;
         emb.channels = sys_.dramChannelMask();
         emit(ctx, c, UnitKind::DmaIn, OpClass::Embedding, emb, {});
     }
-    for (std::uint64_t b = 0; b < model_.nBlocks; ++b)
-        blockGeneration(ctx, kv_len);
-    lmHead(ctx);
+    for (std::uint64_t blk = 0; blk < model_.nBlocks; ++blk)
+        blockGeneration(ctx, kv_lens);
+    lmHead(ctx, b);
     ctx.prog.validate();
     return std::move(ctx.prog);
 }

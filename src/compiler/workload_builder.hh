@@ -91,6 +91,23 @@ class WorkloadBuilder
     /** One generation step with @p kv_len keys/values already cached. */
     isa::Program buildGenerationToken(std::uint64_t kv_len) const;
 
+    /**
+     * One *batched* generation step: each entry of @p kv_lens is one
+     * request's current KV length, and the step emits one token per
+     * request. FC layers outside attention (attention output, FFN, LM
+     * head) see the whole batch as one multi-token GEMM, so on the
+     * matrix unit their weight traffic is shared across the batch —
+     * while QKV generation and QKᵀ/SV attention stay per request (the
+     * PIM has no token batching; each request repeats its own GEMV over
+     * its own KV cache). The adaptive mapper re-decides every shared FC
+     * at the batched token count, so a batch can flip an FC from PIM
+     * back to the matrix unit once amortized weight streaming wins.
+     *
+     * A batch of one emits exactly the buildGenerationToken program.
+     */
+    isa::Program
+    buildGenerationBatch(const std::vector<std::uint64_t> &kv_lens) const;
+
     /** FC-only program (all blocks) for the Fig 12 mapping study. */
     isa::Program buildFcSweep(std::uint64_t tokens) const;
 
@@ -149,7 +166,8 @@ class WorkloadBuilder
                          std::vector<std::uint32_t> deps) const;
 
     // Stage pieces ------------------------------------------------------
-    void blockGeneration(Ctx &ctx, std::uint64_t kv_len) const;
+    void blockGeneration(Ctx &ctx,
+                         const std::vector<std::uint64_t> &kv_lens) const;
     void blockSummarization(Ctx &ctx, std::uint64_t n) const;
     void attentionGenerationMu(Ctx &ctx, std::uint16_t core,
                                std::uint64_t kv_len,
@@ -157,7 +175,7 @@ class WorkloadBuilder
     void attentionGenerationPim(Ctx &ctx, std::uint16_t core,
                                 std::uint64_t kv_len,
                                 std::uint32_t ln_dep) const;
-    void lmHead(Ctx &ctx) const;
+    void lmHead(Ctx &ctx, std::uint64_t tokens) const;
 
     // Placement ----------------------------------------------------------
     FcMappingDecision decideFc(std::uint64_t tokens, std::uint64_t k,

@@ -6,7 +6,12 @@
  * busy time per unit and per Fig-10 operation class, datapath activity
  * counts (the energy model's inputs), and DRAM/PIM traffic. An
  * InferenceReport aggregates the summarization stage and every generation
- * step of one request.
+ * step of one request. Under batched serving the generation stats are a
+ * per-request *share* — each batched step contributes 1/B of its
+ * RunStats to each of its B riders; the double fields re-sum exactly in
+ * aggregate, while the integer wallTicks truncates per share (up to
+ * B-1 ticks, i.e. picoseconds, below the step's wall time) — and
+ * generationSteps still counts this request's own tokens.
  */
 
 #ifndef IANUS_IANUS_REPORT_HH
@@ -68,7 +73,8 @@ struct RunStats
     double span(isa::OpClass cls) const;
     double exclusive(isa::OpClass cls) const;
 
-    /** Accumulate @p o scaled by @p w (stride integration, merging). */
+    /** Accumulate @p o scaled by @p w (stride integration, trapezoid
+     *  segment costing, per-request 1/B shares of batched steps). */
     void scaleAdd(const RunStats &o, double w);
 
     /** this += o. */

@@ -1,5 +1,6 @@
 #include "serve/compiled_model.hh"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/logging.hh"
@@ -22,7 +23,8 @@ CompiledModel::CompiledModel(const SystemConfig &sys,
 std::size_t
 CompiledModel::cachedPrograms() const
 {
-    return summarizationCache_.size() + generationCache_.size();
+    return summarizationCache_.size() + generationCache_.size() +
+           batchCache_.size();
 }
 
 void
@@ -30,6 +32,8 @@ CompiledModel::clearCache() const
 {
     summarizationCache_.clear();
     generationCache_.clear();
+    batchCache_.clear();
+    batchOrder_.clear();
     cache_ = CacheStats{};
 }
 
@@ -70,6 +74,52 @@ CompiledModel::generation(std::uint64_t kv_len) const
     ++cache_.generationBuilds;
     return generationCache_.emplace(kv_len, std::move(entry))
         .first->second;
+}
+
+const RunStats &
+CompiledModel::summarizationStats(std::uint64_t input_tokens) const
+{
+    if (input_tokens == 0)
+        IANUS_FATAL("summarization needs at least one input token");
+    return summarization(input_tokens).stats;
+}
+
+RunStats
+CompiledModel::generationStepStats(
+    std::vector<std::uint64_t> kv_lens) const
+{
+    if (kv_lens.empty())
+        IANUS_FATAL("a generation step needs at least one request");
+    for (std::uint64_t kv : kv_lens)
+        if (kv == 0)
+            IANUS_FATAL("a generation step needs a non-empty KV cache "
+                        "for every request");
+    // A batch of one is the scalar entry — sharing the cache makes
+    // batch-1 equivalence structural rather than numerical.
+    if (kv_lens.size() == 1)
+        return generation(kv_lens.front()).stats;
+
+    std::sort(kv_lens.begin(), kv_lens.end());
+    auto it = batchCache_.find(kv_lens);
+    if (it != batchCache_.end()) {
+        ++cache_.batchHits;
+        return it->second;
+    }
+    // The program is discarded after execution and the oldest entry
+    // evicted beyond the cap: batched keys rarely recur (all KV
+    // lengths advance together), so only recent stats are worth the
+    // memory. Eviction is deterministic — a re-miss just recomputes
+    // the same pure function.
+    RunStats stats = execute(builder_.buildGenerationBatch(kv_lens));
+    ++cache_.batchBuilds;
+    if (batchCache_.size() >= maxBatchEntries) {
+        batchCache_.erase(batchOrder_.front());
+        batchOrder_.pop_front();
+        ++cache_.batchEvictions;
+    }
+    batchOrder_.push_back(kv_lens);
+    batchCache_.emplace(std::move(kv_lens), stats);
+    return stats;
 }
 
 InferenceReport

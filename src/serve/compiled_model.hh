@@ -5,11 +5,12 @@
  * CompiledModel binds one (SystemConfig, ModelConfig, BuildOptions)
  * triple to a WorkloadBuilder and memoizes what the one-shot
  * IanusSystem::run path recomputes on every call: summarization
- * programs keyed by input length and generation-step programs keyed by
- * KV length, each together with the RunStats its (deterministic)
- * execution produced. A serving workload that replays a request mix —
- * or a strided generation that revisits the same KV samples — pays for
- * each distinct program exactly once.
+ * programs keyed by input length, generation-step programs keyed by KV
+ * length, and *batched* generation steps keyed by the sorted KV-length
+ * multiset of the batch, each together with the RunStats its
+ * (deterministic) execution produced. A serving workload that replays
+ * a request mix — or a strided generation that revisits the same KV
+ * samples — pays for each distinct program exactly once.
  *
  * run() reproduces IanusSystem::run bit for bit: the same programs are
  * built, the same engine executes them, and the same trapezoidal stride
@@ -20,6 +21,7 @@
 #define IANUS_SERVE_COMPILED_MODEL_HH
 
 #include <cstdint>
+#include <deque>
 #include <map>
 
 #include "compiler/workload_builder.hh"
@@ -37,14 +39,21 @@ struct CacheStats
     std::uint64_t summarizationHits = 0;
     std::uint64_t generationBuilds = 0;
     std::uint64_t generationHits = 0;
+    std::uint64_t batchBuilds = 0; ///< batched steps (>= 2 requests)
+    std::uint64_t batchHits = 0;
+    std::uint64_t batchEvictions = 0; ///< FIFO-evicted batched entries
 
     std::uint64_t
     builds() const
     {
-        return summarizationBuilds + generationBuilds;
+        return summarizationBuilds + generationBuilds + batchBuilds;
     }
 
-    std::uint64_t hits() const { return summarizationHits + generationHits; }
+    std::uint64_t
+    hits() const
+    {
+        return summarizationHits + generationHits + batchHits;
+    }
 };
 
 /** One model compiled onto one device configuration, ready to serve. */
@@ -68,6 +77,31 @@ class CompiledModel
     InferenceReport run(const workloads::InferenceRequest &request,
                         unsigned token_stride = 1) const;
 
+    /**
+     * Executed statistics of the summarization (prefill) stage over
+     * @p input_tokens, from the same cache run() uses.
+     */
+    const RunStats &summarizationStats(std::uint64_t input_tokens) const;
+
+    /**
+     * Executed statistics of one *batched* generation step: each entry
+     * of @p kv_lens is one request's current KV length and the step
+     * emits one token per request. The entry is memoized under the
+     * sorted KV-length multiset — request order never changes the cost
+     * — in a bounded FIFO cache (batched keys rarely recur within a
+     * drain, since every member's KV length advances each step).
+     * Returned by value: an entry may be evicted at any later call.
+     *
+     * A batch of one resolves to the scalar generation-step entry that
+     * run() uses, so batch-1 numbers equal the unbatched path bit for
+     * bit (the batching cost model's regression anchor).
+     */
+    RunStats generationStepStats(std::vector<std::uint64_t> kv_lens) const;
+
+    /** Most batched-step entries retained (FIFO eviction; safe because
+     *  entries are pure recomputable functions of the key). */
+    static constexpr std::size_t maxBatchEntries = 1024;
+
     const SystemConfig &config() const { return cfg_; }
     const workloads::ModelConfig &model() const { return model_; }
     const compiler::BuildOptions &options() const { return opts_; }
@@ -75,7 +109,8 @@ class CompiledModel
 
     const CacheStats &cacheStats() const { return cache_; }
 
-    /** Cached program count (summarization + generation entries). */
+    /** Cached entry count (summarization + generation programs plus
+     *  batched-step stats entries). */
     std::size_t cachedPrograms() const;
 
     /** Drop all memoized programs and statistics. */
@@ -102,6 +137,15 @@ class CompiledModel
     // alongside the program makes a replayed request nearly free.
     mutable std::map<std::uint64_t, Entry> summarizationCache_;
     mutable std::map<std::uint64_t, Entry> generationCache_;
+    // Batched steps, keyed by the sorted KV-length multiset. Stats
+    // only (no program), bounded to maxBatchEntries FIFO: every
+    // member's KV length advances each step, so keys rarely recur
+    // within a drain, and an unbounded cache would grow linearly with
+    // simulated tokens. The bound keeps the hit pattern that matters —
+    // consecutive segments share trapezoid endpoints — while capping
+    // memory.
+    mutable std::map<std::vector<std::uint64_t>, RunStats> batchCache_;
+    mutable std::deque<std::vector<std::uint64_t>> batchOrder_;
     mutable CacheStats cache_;
 };
 

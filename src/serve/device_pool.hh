@@ -7,7 +7,10 @@
  * IANUS device by default, or a tensor-parallel group when
  * PoolOptions::build.devices > 1 (the Section 7.1 multi-device
  * partitioning) — replicas scale throughput, tensor-parallel devices
- * scale per-request latency.
+ * scale per-request latency. Under a batching ServingEngine a replica
+ * serves a multi-request batch per token step, costed by its
+ * CompiledModel's batched-step entries (generationStepStats), so each
+ * replica's cache also memoizes the KV-length multisets it has seen.
  *
  * The homogeneous constructor clones one (SystemConfig, ModelConfig,
  * BuildOptions) triple across the pool; addReplica() admits

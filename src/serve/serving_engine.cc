@@ -85,6 +85,32 @@ makePolicy(const std::string &name)
                 "' (expected fcfs, sjf, or edf)");
 }
 
+// --- Batching modes ---------------------------------------------------------
+
+const char *
+toString(BatchingMode mode)
+{
+    switch (mode) {
+      case BatchingMode::None: return "none";
+      case BatchingMode::Static: return "static";
+      case BatchingMode::Continuous: return "continuous";
+    }
+    return "?";
+}
+
+BatchingMode
+makeBatchingMode(const std::string &name)
+{
+    if (name == "none")
+        return BatchingMode::None;
+    if (name == "static")
+        return BatchingMode::Static;
+    if (name == "continuous")
+        return BatchingMode::Continuous;
+    IANUS_FATAL("unknown batching mode '", name,
+                "' (expected none, static, or continuous)");
+}
+
 // --- Routers ----------------------------------------------------------------
 
 std::size_t
@@ -267,12 +293,25 @@ ServingReport::meanUtilization() const
     return sum / static_cast<double>(replicas.size());
 }
 
+double
+ServingReport::meanBatchOccupancy() const
+{
+    double steps = 0.0;
+    double weighted = 0.0;
+    for (const RequestResult &r : results) {
+        double s = static_cast<double>(r.report.generationSteps);
+        steps += s;
+        weighted += s * r.meanBatchSize;
+    }
+    return steps > 0.0 ? weighted / steps : 0.0;
+}
+
 std::string
 ServingReport::summary() const
 {
     std::vector<double> lat = latencyPercentiles({50.0, 95.0, 99.0});
     char buf[320];
-    int len = std::snprintf(
+    std::snprintf(
         buf, sizeof(buf),
         "%zu requests | %llu tokens | %.1f ms makespan | "
         "%.1f tok/s | latency p50/p95/p99 %.1f/%.1f/%.1f ms | "
@@ -280,13 +319,21 @@ ServingReport::summary() const
         requests(), (unsigned long long)generatedTokens, makespanMs,
         tokensPerSecond(), lat[0], lat[1], lat[2], sloMsPerToken,
         100.0 * sloMissRate());
-    if (len > 0 && len < static_cast<int>(sizeof(buf)) &&
-        replicas.size() > 1)
-        std::snprintf(buf + len, sizeof(buf) - static_cast<size_t>(len),
+    std::string out = buf;
+    if (replicas.size() > 1) {
+        std::snprintf(buf, sizeof(buf),
                       " | %zu replicas (%s, mean util %.0f%%)",
                       replicas.size(), router.c_str(),
                       100.0 * meanUtilization());
-    return buf;
+        out += buf;
+    }
+    if (!batching.empty() && batching != "none") {
+        std::snprintf(buf, sizeof(buf),
+                      " | batching %s (max %zu, occupancy %.2f)",
+                      batching.c_str(), maxBatch, meanBatchOccupancy());
+        out += buf;
+    }
+    return out;
 }
 
 // --- ServingEngine ----------------------------------------------------------
@@ -327,6 +374,11 @@ ServingEngine::validateOptions() const
         IANUS_FATAL("token stride must be positive (1 = exact)");
     if (opts_.sloMsPerToken <= 0.0)
         IANUS_FATAL("SLO must be a positive per-token latency in ms");
+    if (opts_.maxBatch == 0)
+        IANUS_FATAL("max batch must be at least 1");
+    if (opts_.maxBatch > 1 && opts_.batching == BatchingMode::None)
+        IANUS_FATAL("max batch ", opts_.maxBatch,
+                    " needs a batching mode (static or continuous)");
 }
 
 std::uint64_t
@@ -359,6 +411,8 @@ ServingEngine::drain()
     ServingReport report;
     report.policy = policy_->name();
     report.router = router_->name();
+    report.batching = toString(opts_.batching);
+    report.maxBatch = opts_.maxBatch;
     report.sloMsPerToken = opts_.sloMsPerToken;
 
     const std::size_t n = replicas_.size();
@@ -367,24 +421,182 @@ ServingEngine::drain()
     const double first_arrival =
         queue_.empty() ? 0.0 : queue_.front().arrivalMs;
 
-    // The discrete-event loop. Ticks only sequence events (arrivals and
-    // completions, on the shared picosecond time base); all report math
-    // carries exact doubles, so a single-replica FCFS drain reproduces
-    // the synchronous PR-1 loop bit for bit.
+    // The discrete-event loop. Ticks only sequence events (arrivals,
+    // completions, and batch-segment boundaries, on the shared
+    // picosecond time base); all report math carries exact doubles.
+    // With maxBatch == 1 every admitted request takes the legacy
+    // whole-request service path, so a single-replica FCFS drain
+    // reproduces the synchronous PR-1 loop bit for bit.
     sim::EventQueue events;
     std::vector<QueuedRequest> ready; // arrived, waiting to dispatch
     std::vector<double> freeAt(n, 0.0);
     std::vector<bool> busy(n, false);
 
-    // Dispatch as many waiting requests onto idle replicas as the policy
-    // and router allow. Re-entered at every arrival and completion.
-    std::function<void(double)> dispatch = [&](double now) {
+    // Per-replica batch runtime (populated only when maxBatch > 1). A
+    // resident request is either awaiting its prefill (admitted at a
+    // boundary, summarization not yet run) or generating.
+    struct Member
+    {
+        RequestResult res;
+        std::uint64_t kvLen = 0;     ///< KV length the next step sees
+        std::uint64_t remaining = 0; ///< generation steps left
+        double weightedBatch = 0.0;  ///< sum of batch size over steps
+        std::uint64_t doneSteps = 0;
+    };
+    struct ReplicaRun
+    {
+        std::vector<Member> prefill; ///< admission order
+        std::vector<Member> gen;     ///< admission order
+        /** Static mode: membership is frozen once generation starts,
+         *  until the replica drains completely. */
+        bool sealed = false;
+    };
+    std::vector<ReplicaRun> rt(n);
+
+    // Open batch slots on replica d. A replica accepts only at a token
+    // boundary (not mid-segment): continuous batching tops the batch up
+    // to maxBatch, static batching forms a batch only until its first
+    // generation segment (then seals membership until the replica
+    // drains), and maxBatch == 1 reduces to plain idleness.
+    auto capacity = [&](std::size_t d) -> std::size_t {
+        if (busy[d])
+            return 0;
+        std::size_t resident = rt[d].prefill.size() + rt[d].gen.size();
+        if (opts_.maxBatch == 1)
+            return resident == 0 ? 1 : 0;
+        if (opts_.batching == BatchingMode::Static && rt[d].sealed)
+            return 0;
+        return opts_.maxBatch > resident ? opts_.maxBatch - resident : 0;
+    };
+
+    // Close out a batched member whose last token was emitted at @p now.
+    auto finalize = [&](Member &m, double now) {
+        RequestResult res = std::move(m.res);
+        res.finishMs = now;
+        res.serviceMs = res.finishMs - res.startMs;
+        std::uint64_t steps = res.report.generationSteps;
+        res.msPerToken =
+            steps ? (res.finishMs - res.arrivalMs - res.firstTokenMs) /
+                        static_cast<double>(steps)
+                  : 0.0;
+        res.sloMiss = steps > 0 && res.msPerToken > opts_.sloMsPerToken;
+        res.meanBatchSize =
+            m.doneSteps ? m.weightedBatch /
+                              static_cast<double>(m.doneSteps)
+                        : 1.0;
+        report.generatedTokens += res.request.outputTokens;
+        report.aggregate.merge(res.report.combined());
+        report.makespanMs =
+            std::max(report.makespanMs, now - first_arrival);
+        report.results.push_back(std::move(res));
+    };
+
+    std::function<void(double)> pump; // forward: segments re-enter it
+
+    // Run the next segment on replica d: one admitted request's prefill
+    // (a joiner stalls the whole batch for its summarization, as in
+    // continuous-batching serving systems), or a stride-bounded run of
+    // batched generation steps over the current members.
+    auto startSegment = [&](std::size_t d, double now) {
+        ReplicaRun &r = rt[d];
+        double dur = 0.0;
+        if (!r.prefill.empty()) {
+            Member m = std::move(r.prefill.front());
+            r.prefill.erase(r.prefill.begin());
+            const RunStats &s = replicas_[d]->summarizationStats(
+                m.res.request.inputTokens);
+            dur = s.wallMs();
+            // The prefill is exclusively this request's work: attribute
+            // it whole. TTFT counts queueing, the batch stall, and the
+            // prefill itself — the summarization emits the first token.
+            m.res.report.summarization = s;
+            m.res.firstTokenMs = (now + dur) - m.res.arrivalMs;
+            m.kvLen = m.res.request.inputTokens + 1;
+            m.remaining = replicas_[d]->model().decoder()
+                              ? m.res.request.outputTokens - 1
+                              : 0;
+            r.gen.push_back(std::move(m));
+        } else {
+            // Generation segment: every member advances g tokens
+            // together, g capped by the stride (the join/leave
+            // granularity) and by the member closest to finishing.
+            r.sealed = true; // static batches freeze at first token
+            std::uint64_t g = opts_.tokenStride;
+            std::vector<std::uint64_t> kv;
+            kv.reserve(r.gen.size());
+            for (const Member &m : r.gen) {
+                g = std::min<std::uint64_t>(g, m.remaining);
+                kv.push_back(m.kvLen);
+            }
+            const RunStats first = replicas_[d]->generationStepStats(kv);
+            RunStats seg;
+            if (g == 1) {
+                seg = first;
+            } else {
+                // Trapezoid over the segment: cost g steps from the
+                // entry and exit samples (KV lengths all advance
+                // together, so only those two entries differ). The
+                // exit sample sits at kv + g — the next segment's
+                // entry — so back-to-back segments with unchanged
+                // membership share cache entries, like the legacy
+                // strided run() shares its sample points.
+                for (std::uint64_t &v : kv)
+                    v += g;
+                const RunStats exit_ =
+                    replicas_[d]->generationStepStats(kv);
+                seg.scaleAdd(first, static_cast<double>(g) / 2.0);
+                seg.scaleAdd(exit_, static_cast<double>(g) / 2.0);
+            }
+            dur = seg.wallMs();
+            // Each member owes a 1/B share of the shared step work.
+            double share = 1.0 / static_cast<double>(r.gen.size());
+            for (Member &m : r.gen) {
+                m.res.report.generation.scaleAdd(seg, share);
+                m.res.report.generationSteps += g;
+                m.kvLen += g;
+                m.remaining -= g;
+                m.weightedBatch += static_cast<double>(
+                    g * r.gen.size());
+                m.doneSteps += g;
+            }
+        }
+
+        double end = now + dur;
+        busy[d] = true;
+        freeAt[d] = end;
+        report.replicas[d].busyMs += dur;
+        events.schedule(msToTicks(end), [&, d, end]() {
+            busy[d] = false;
+            ReplicaRun &rr = rt[d];
+            for (auto it = rr.gen.begin(); it != rr.gen.end();) {
+                if (it->remaining == 0) {
+                    finalize(*it, end);
+                    it = rr.gen.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            if (rr.gen.empty() && rr.prefill.empty())
+                rr.sealed = false; // drained: the next batch may form
+            // Admissions run in a same-tick follow-up event so every
+            // replica whose boundary lands on this tick is free first —
+            // otherwise the earliest boundary would greedily claim the
+            // whole queue while its peers are still marked busy.
+            events.schedule(events.now(), [&, end]() { pump(end); });
+        });
+    };
+
+    // Admit as many waiting requests into open batch slots as the
+    // policy and router allow, then start segments on every replica at
+    // a boundary with work. Re-entered at every arrival, completion,
+    // and segment boundary.
+    pump = [&](double now) {
         while (!ready.empty()) {
-            std::size_t idle = 0;
+            std::size_t slots = 0;
             for (std::size_t d = 0; d < n; ++d)
-                idle += busy[d] ? 0 : 1;
-            if (idle == 0)
-                return;
+                slots += capacity(d);
+            if (slots == 0)
+                break;
 
             SchedulerContext ctx;
             ctx.nowMs = now;
@@ -393,6 +605,11 @@ ServingEngine::drain()
             std::vector<std::size_t> batch =
                 policy_->selectBatch(ready, ctx);
 
+            // The selectBatch contract, enforced: a policy must return
+            // at least one index for a non-empty queue, every index in
+            // range and distinct. The engine dispatches the returned
+            // prefix that fits into open slots and re-consults at the
+            // next boundary.
             if (batch.empty())
                 IANUS_FATAL("scheduling policy '", policy_->name(),
                             "' returned an empty batch for a non-empty "
@@ -413,66 +630,87 @@ ServingEngine::drain()
             std::size_t launched = 0;
             std::vector<char> consumed(ready.size(), 0);
             for (std::size_t idx : batch) {
-                if (launched == idle)
-                    break; // rest of the batch waits for a completion
+                if (launched == slots)
+                    break; // rest of the batch waits for a boundary
                 const QueuedRequest &q = ready[idx];
 
                 std::vector<ReplicaStatus> statuses(n);
                 for (std::size_t d = 0; d < n; ++d) {
                     statuses[d].index = d;
-                    statuses[d].idle = !busy[d];
+                    statuses[d].idle = capacity(d) > 0;
                     statuses[d].freeAtMs = freeAt[d];
                     statuses[d].busyMs = report.replicas[d].busyMs;
                     statuses[d].dispatched =
                         report.replicas[d].dispatched;
+                    statuses[d].resident =
+                        rt[d].prefill.size() + rt[d].gen.size();
                 }
                 std::size_t dev = router_->route(q, statuses, now);
                 if (dev >= n)
                     IANUS_FATAL("router '", router_->name(),
                                 "' returned out-of-range replica ", dev,
                                 " (pool has ", n, ")");
-                if (busy[dev])
+                if (capacity(dev) == 0)
                     IANUS_FATAL("router '", router_->name(),
                                 "' routed to busy replica ", dev);
 
-                RequestResult res;
-                res.id = q.id;
-                res.request = q.request;
-                res.arrivalMs = q.arrivalMs;
-                res.startMs = std::max(now, q.arrivalMs);
-                res.report =
-                    replicas_[dev]->run(q.request, opts_.tokenStride);
-                res.serviceMs = res.report.totalMs();
-                res.finishMs = res.startMs + res.serviceMs;
-                res.firstTokenMs = (res.startMs - res.arrivalMs) +
-                                   res.report.summarizationMs();
-                res.msPerToken = res.report.msPerGeneratedToken();
-                res.sloMiss = res.report.generationSteps > 0 &&
-                              res.msPerToken > opts_.sloMsPerToken;
-                res.deviceIndex = dev;
+                if (opts_.maxBatch == 1) {
+                    // Legacy whole-request service: the request holds
+                    // its replica to completion, costed by the same
+                    // CompiledModel::run the synchronous loop used.
+                    RequestResult res;
+                    res.id = q.id;
+                    res.request = q.request;
+                    res.arrivalMs = q.arrivalMs;
+                    res.startMs = std::max(now, q.arrivalMs);
+                    res.report =
+                        replicas_[dev]->run(q.request, opts_.tokenStride);
+                    res.serviceMs = res.report.totalMs();
+                    res.finishMs = res.startMs + res.serviceMs;
+                    res.firstTokenMs = (res.startMs - res.arrivalMs) +
+                                       res.report.summarizationMs();
+                    res.msPerToken = res.report.msPerGeneratedToken();
+                    res.sloMiss = res.report.generationSteps > 0 &&
+                                  res.msPerToken > opts_.sloMsPerToken;
+                    res.deviceIndex = dev;
 
-                busy[dev] = true;
-                freeAt[dev] = res.finishMs;
-                report.replicas[dev].dispatched += 1;
-                report.replicas[dev].busyMs += res.serviceMs;
+                    busy[dev] = true;
+                    freeAt[dev] = res.finishMs;
+                    report.replicas[dev].dispatched += 1;
+                    report.replicas[dev].busyMs += res.serviceMs;
 
-                // Hoisted: argument evaluation is unsequenced, so the
-                // move-capture below must not race the finishMs read.
-                Tick completion = msToTicks(res.finishMs);
-                events.schedule(
-                    completion,
-                    [&, dev, res = std::move(res)]() mutable {
-                        busy[dev] = false;
-                        double finish = res.finishMs;
-                        report.generatedTokens +=
-                            res.request.outputTokens;
-                        report.aggregate.merge(res.report.combined());
-                        report.makespanMs =
-                            std::max(report.makespanMs,
-                                     finish - first_arrival);
-                        report.results.push_back(std::move(res));
-                        dispatch(finish);
-                    });
+                    // Hoisted: argument evaluation is unsequenced, so
+                    // the move-capture below must not race the finishMs
+                    // read.
+                    Tick completion = msToTicks(res.finishMs);
+                    events.schedule(
+                        completion,
+                        [&, dev, res = std::move(res)]() mutable {
+                            busy[dev] = false;
+                            double finish = res.finishMs;
+                            report.generatedTokens +=
+                                res.request.outputTokens;
+                            report.aggregate.merge(res.report.combined());
+                            report.makespanMs =
+                                std::max(report.makespanMs,
+                                         finish - first_arrival);
+                            report.results.push_back(std::move(res));
+                            pump(finish);
+                        });
+                } else {
+                    // Batched admission: the request joins the routed
+                    // replica's batch and waits for a prefill segment.
+                    Member m;
+                    m.res.id = q.id;
+                    m.res.request = q.request;
+                    m.res.arrivalMs = q.arrivalMs;
+                    m.res.startMs = std::max(now, q.arrivalMs);
+                    m.res.deviceIndex = dev;
+                    m.res.report.inputTokens = q.request.inputTokens;
+                    m.res.report.outputTokens = q.request.outputTokens;
+                    rt[dev].prefill.push_back(std::move(m));
+                    report.replicas[dev].dispatched += 1;
+                }
 
                 consumed[idx] = 1;
                 ++launched;
@@ -486,8 +724,14 @@ ServingEngine::drain()
             ready = std::move(rest);
 
             if (launched < batch.size())
-                return; // idle replicas exhausted mid-batch
+                break; // open slots exhausted mid-batch
         }
+
+        if (opts_.maxBatch > 1)
+            for (std::size_t d = 0; d < n; ++d)
+                if (!busy[d] &&
+                    (!rt[d].prefill.empty() || !rt[d].gen.empty()))
+                    startSegment(d, now);
     };
 
     // One arrival event per distinct arrival tick: simultaneous
@@ -501,7 +745,7 @@ ServingEngine::drain()
         events.schedule(when, [&, i, j]() {
             for (std::size_t k = i; k < j; ++k)
                 ready.push_back(queue_[k]);
-            dispatch(queue_[i].arrivalMs);
+            pump(queue_[i].arrivalMs);
         });
         i = j;
     }

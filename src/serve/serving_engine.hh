@@ -1,28 +1,40 @@
 /**
  * @file
  * Event-driven cluster serving: the paper's motivating datacenter
- * scenario (Section 1/6.1 — non-batched requests, heavy traffic) scaled
- * from one device to a pool of replicas.
+ * scenario (Section 1/6.1, heavy traffic) scaled from one device to a
+ * pool of replicas, with optional request batching on each replica.
  *
  * ServingEngine queues InferenceRequests (submit) and replays them on a
  * DevicePool (drain) under a pluggable SchedulingPolicy and Router. The
  * drain loop is discrete-event simulation on sim::EventQueue: request
- * arrivals and per-replica completions are events; whenever a replica is
- * idle and requests wait, the policy picks *which* request dispatches
- * next (FCFS, shortest-job-first, earliest-deadline-first) and the
- * router picks *which idle replica* serves it (round-robin,
- * least-loaded). Each replica serves one request at a time (batch 1, as
- * evaluated in the paper), so queueing delay is part of each request's
- * latency and time-to-first-token.
+ * arrivals and per-replica completions are events; whenever a replica
+ * can accept work and requests wait, the policy picks *which* requests
+ * dispatch next (FCFS, shortest-job-first, earliest-deadline-first) and
+ * the router picks *which accepting replica* serves each one
+ * (round-robin, least-loaded).
  *
- * A single-replica FCFS drain reproduces the synchronous PR-1 serving
- * loop bit for bit: the same model.run calls, the same double
- * arithmetic, the same ordering.
+ * ServingOptions::batching selects how many requests a replica serves
+ * at once:
+ *  - none (default): batch 1, the paper's Section 6.1 regime — each
+ *    dispatched request holds its replica to completion;
+ *  - static: an idle replica seals a batch of up to maxBatch waiting
+ *    requests and serves it to completion (the batch shrinks as
+ *    requests finish but admits no one new);
+ *  - continuous: requests join a replica's running batch at token
+ *    boundaries and leave as they finish — per-token batching over
+ *    CompiledModel's batched-step cost model (shared FC weight traffic
+ *    on the NPU, per-request PIM GEMV/attention).
+ *
+ * With maxBatch == 1 (any mode) the batched machinery degrades to the
+ * exact legacy path — the same model.run calls, the same double
+ * arithmetic, the same event ordering — so a single-replica FCFS drain
+ * still reproduces the synchronous PR-1 serving loop bit for bit.
  *
  * drain() produces per-request RequestResults (completion order) and an
  * aggregated ServingReport: latency percentiles, generation throughput,
  * SLO miss rate, per-replica utilization / busy-idle split / dispatch
- * counts, and a merged RunStats suitable for the energy model.
+ * counts, batch occupancy, and a merged RunStats suitable for the
+ * energy model.
  */
 
 #ifndef IANUS_SERVE_SERVING_ENGINE_HH
@@ -65,16 +77,19 @@ struct SchedulerContext
 };
 
 /**
- * Dispatch-order policy. Whenever at least one replica is idle and the
+ * Dispatch-order policy. Whenever at least one replica can accept a
+ * request (it is at a token boundary with a free batch slot) and the
  * queue is non-empty, the engine hands the policy the waiting queue
  * (arrival order) and the cluster state; the policy returns the queue
  * indices to dispatch next, in order. FCFS returns {0}; SJF/EDF return
  * the full queue ordered by their key. The engine dispatches the
- * returned prefix that fits onto idle replicas and re-consults the
- * policy at the next arrival or completion.
+ * returned prefix that fits into open batch slots (one request per
+ * slot, routed individually) and re-consults the policy at the next
+ * arrival or boundary.
  *
- * Contract (enforced with IANUS_FATAL): the batch must be non-empty and
- * every index must be in range and distinct.
+ * Contract (enforced with IANUS_FATAL where drain() consumes the batch,
+ * see serving_engine.cc): the batch must be non-empty and every index
+ * must be in range and distinct.
  */
 class SchedulingPolicy
 {
@@ -147,16 +162,20 @@ std::unique_ptr<SchedulingPolicy> makePolicy(const std::string &name);
 struct ReplicaStatus
 {
     std::size_t index = 0;
+    /** Accepting: at a token boundary with a free batch slot. Without
+     *  batching this is plain idleness (no request in service). */
     bool idle = true;
     double freeAtMs = 0.0; ///< busy-until time; <= now_ms when idle
     double busyMs = 0.0;   ///< cumulative service time dispatched so far
     std::uint64_t dispatched = 0;
+    /** Requests currently resident in the replica's batch. */
+    std::size_t resident = 0;
 };
 
 /**
- * Placement policy: which idle replica a dispatched request lands on.
- * Called only when at least one replica is idle; must return the index
- * of an idle replica (IANUS_FATAL otherwise).
+ * Placement policy: which accepting replica a dispatched request lands
+ * on. Called only when at least one replica accepts; must return the
+ * index of an accepting replica (IANUS_FATAL otherwise).
  */
 class Router
 {
@@ -210,13 +229,27 @@ struct RequestResult
     double startMs = 0.0;  ///< when a replica picked it up
     double finishMs = 0.0; ///< when the last token was emitted
 
-    double serviceMs = 0.0;    ///< device time (== report.totalMs())
-    double firstTokenMs = 0.0; ///< TTFT: queueing + summarization
-    double msPerToken = 0.0;   ///< generation-stage ms per token
+    /** Device residency (finish - start). Served alone this equals
+     *  report.totalMs(); in a batch it is wall time sharing the
+     *  replica, so summing it across requests double-counts. */
+    double serviceMs = 0.0;
+    double firstTokenMs = 0.0; ///< TTFT: queueing (+ batch stall) + prefill
+    /** Generation-stage wall ms per token as the client observes it
+     *  ((finish - arrival - TTFT) / steps); batching inflates a single
+     *  step but deflates nothing — throughput gains show up in
+     *  tokensPerSecond(), not here. */
+    double msPerToken = 0.0;
     bool sloMiss = false;
 
     std::size_t deviceIndex = 0; ///< replica that served the request
 
+    /** Token-weighted mean batch occupancy over this request's
+     *  generation steps; 1.0 when it was served alone. */
+    double meanBatchSize = 1.0;
+
+    /** Per-request attribution: the prefill is exclusive; each batched
+     *  generation step contributes a 1/B share of its RunStats, so
+     *  fleet aggregates stay additive (energy-model input). */
     InferenceReport report;
 
     double queueMs() const { return startMs - arrivalMs; }
@@ -240,6 +273,8 @@ struct ServingReport
     std::vector<RequestResult> results; ///< completion order
     std::string policy;
     std::string router;
+    std::string batching;     ///< batching mode name ("none" when off)
+    std::size_t maxBatch = 1; ///< per-replica batch-size cap
 
     /** Per-replica utilization, indexed like the pool. */
     std::vector<ReplicaUtilization> replicas;
@@ -290,9 +325,26 @@ struct ServingReport
     /** Mean per-replica utilization. */
     double meanUtilization() const;
 
+    /** Token-weighted mean batch occupancy over all generation steps
+     *  (1.0 when every request ran alone; 0 with no generated steps). */
+    double meanBatchOccupancy() const;
+
     /** One-line fleet summary. */
     std::string summary() const;
 };
+
+/** How a replica forms request batches. */
+enum class BatchingMode : std::uint8_t
+{
+    None,       ///< batch 1: a request holds its replica to completion
+    Static,     ///< an idle replica seals a batch and drains it
+    Continuous  ///< join/leave a running batch at token boundaries
+};
+
+const char *toString(BatchingMode mode);
+
+/** Mode by name: "none", "static", "continuous". Unknown is fatal. */
+BatchingMode makeBatchingMode(const std::string &name);
 
 /** Serving-loop knobs. */
 struct ServingOptions
@@ -300,8 +352,25 @@ struct ServingOptions
     /** Per-token latency SLO used for the miss rate (Section 6.1). */
     double sloMsPerToken = 10.0;
 
-    /** Generation-step sampling stride handed to CompiledModel::run. */
+    /**
+     * Generation-step sampling stride. Unbatched (maxBatch == 1) it is
+     * handed to CompiledModel::run (trapezoidal integration). Batched,
+     * it is the segment granularity: a replica advances its batch up to
+     * tokenStride tokens per segment (costed by trapezoid over the
+     * segment's entry and exit batched-step samples), and joins/leaves
+     * happen at segment boundaries.
+     */
     unsigned tokenStride = 1;
+
+    /** Batch formation discipline (see BatchingMode). */
+    BatchingMode batching = BatchingMode::None;
+
+    /**
+     * Most requests a replica serves at once. 1 forces the legacy
+     * batch-1 service path whatever the mode (bit-identical numbers);
+     * > 1 requires batching != None.
+     */
+    std::size_t maxBatch = 1;
 };
 
 /** Replays queued requests on a pool of replicas, event-driven. */
