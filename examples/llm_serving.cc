@@ -19,6 +19,7 @@
  *                 [--replicas N] [--policy fcfs|sjf|edf]
  *                 [--router round-robin|least-loaded]
  *                 [--batching none|static|continuous] [--max-batch B]
+ *                 [--prefill-chunk T] [--preempt]
  *                 [--rate req_per_s] [--seed S]
  */
 
@@ -45,6 +46,8 @@ struct Args
     std::string router = "round-robin";
     std::string batching = "none";
     unsigned maxBatch = 1;
+    unsigned prefillChunk = 0; ///< prompt tokens per prefill segment
+    bool preempt = false;      ///< token-boundary preemption
     double rate = 0.0; ///< req/s; 0 = auto (saturate the pool)
     std::uint64_t seed = 7;
 };
@@ -74,6 +77,21 @@ parsePositive(const std::string &what, const char *value)
         std::exit(2);
     }
     return parsed;
+}
+
+/** Like parseCount but admits 0 (= disabled / whole prefill). */
+unsigned
+parseCountOrZero(const std::string &what, const char *value, long max)
+{
+    char *end = nullptr;
+    long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed < 0 || parsed > max) {
+        std::fprintf(stderr,
+                     "%s wants an integer in [0, %ld], got '%s'\n",
+                     what.c_str(), max, value);
+        std::exit(2);
+    }
+    return static_cast<unsigned>(parsed);
 }
 
 std::uint64_t
@@ -116,6 +134,11 @@ parseArgs(int argc, char **argv)
         else if (a == "--max-batch")
             args.maxBatch = parseCount(a, next(), 64),
             cluster_flag = true;
+        else if (a == "--prefill-chunk")
+            args.prefillChunk = parseCountOrZero(a, next(), 1 << 20),
+            cluster_flag = true;
+        else if (a == "--preempt")
+            args.preempt = true, cluster_flag = true;
         else if (a == "--rate")
             args.rate = parsePositive(a, next()), cluster_flag = true;
         else if (a == "--seed")
@@ -135,9 +158,15 @@ parseArgs(int argc, char **argv)
     }
     if (cluster_flag && args.replicas == 0) {
         std::fprintf(stderr,
-                     "--policy/--router/--batching/--max-batch/--rate/"
-                     "--seed only apply to cluster mode; add "
-                     "--replicas N\n");
+                     "--policy/--router/--batching/--max-batch/"
+                     "--prefill-chunk/--preempt/--rate/--seed only "
+                     "apply to cluster mode; add --replicas N\n");
+        std::exit(2);
+    }
+    if (args.preempt && args.batching == "static") {
+        std::fprintf(stderr, "--preempt cannot evict from a sealed "
+                             "static batch; use --batching none or "
+                             "continuous\n");
         std::exit(2);
     }
     if (args.maxBatch > 1 && args.batching == "none") {
@@ -254,10 +283,14 @@ clusterMode(const Args &args)
     serve::ArrivalTrace trace = serve::generatePoissonTrace(trace_opts);
 
     std::printf("cluster serving on %s: %u replicas, policy %s, "
-                "router %s, batching %s (max %u)\n",
+                "router %s, batching %s (max %u)%s",
                 model.describe().c_str(), args.replicas,
                 args.policy.c_str(), args.router.c_str(),
-                args.batching.c_str(), args.maxBatch);
+                args.batching.c_str(), args.maxBatch,
+                args.preempt ? ", preemption on" : "");
+    if (args.prefillChunk > 0)
+        std::printf(", prefill chunk %u", args.prefillChunk);
+    std::printf("\n");
     std::printf("trace: %zu requests, %.1f req/s Poisson (seed %llu), "
                 "horizon %.1f ms\n\n",
                 trace.size(), rate, (unsigned long long)args.seed,
@@ -268,6 +301,8 @@ clusterMode(const Args &args)
     opts.tokenStride = 8;
     opts.batching = serve::makeBatchingMode(args.batching);
     opts.maxBatch = args.maxBatch;
+    opts.prefillChunk = args.prefillChunk;
+    opts.preempt = args.preempt;
     serve::ServingEngine engine(pool, opts,
                                 serve::makePolicy(args.policy),
                                 serve::makeRouter(args.router));
@@ -284,14 +319,20 @@ clusterMode(const Args &args)
     }
     std::printf("\nfleet    %s\n", rep.summary().c_str());
     std::printf("ttft p50/p99 %.1f/%.1f ms | service p50/p99 "
-                "%.1f/%.1f ms\n",
+                "%.1f/%.1f ms | deadline miss %.1f%%\n",
                 rep.ttftPercentile(50), rep.ttftPercentile(99),
                 rep.serviceTimePercentile(50),
-                rep.serviceTimePercentile(99));
+                rep.serviceTimePercentile(99),
+                100.0 * rep.deadlineMissRate());
     if (opts.batching != serve::BatchingMode::None)
         std::printf("batch occupancy %.2f (token-weighted mean over "
                     "generation steps)\n",
                     rep.meanBatchOccupancy());
+    if (opts.preempt)
+        std::printf("preemption: %llu evictions, %.1f%% of requests "
+                    "preempted at least once\n",
+                    (unsigned long long)rep.preemptions(),
+                    100.0 * rep.preemptionRate());
     return 0;
 }
 

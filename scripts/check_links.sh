@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
-# Fail on dead *relative* links in the repo's markdown files.
+# Fail on dead *relative* links in the repo's markdown files, and on
+# serving docs that reference --flags the serving CLI no longer has.
 #
-# Extracts every inline markdown link target, skips absolute URLs,
-# mailto:, and pure in-page anchors, strips any #fragment, resolves the
-# rest against the linking file's directory, and requires the target to
-# exist. Usage: scripts/check_links.sh [file.md ...] (default: all
-# tracked/on-disk *.md outside build directories).
+# Link check: extracts every inline markdown link target, skips
+# absolute URLs, mailto:, and pure in-page anchors, strips any
+# #fragment, resolves the rest against the linking file's directory,
+# and requires the target to exist. Usage: scripts/check_links.sh
+# [file.md ...] (default: all tracked/on-disk *.md outside build
+# directories).
+#
+# Flag check: every --flag token mentioned in the serving-facing docs
+# (docs/SERVING.md, docs/SCHEDULING.md) must be parsed somewhere in
+# examples/llm_serving.cc or the shared bench harness
+# (bench/common/bench_common.cc, for --fast/--csv) — a doc referencing
+# a flag the CLI dropped or never grew is as dead as a broken link.
 set -u
 
 files=("$@")
@@ -34,8 +42,31 @@ for f in "${files[@]}"; do
     done < <(grep -oE '\]\(([^)[:space:]]+)' "$f" | sed 's/^](//')
 done
 
+root=$(cd "$(dirname "$0")/.." && pwd)
+flag_srcs=("$root/examples/llm_serving.cc"
+           "$root/bench/common/bench_common.cc")
+for doc in "$root/docs/SERVING.md" "$root/docs/SCHEDULING.md"; do
+    [ -e "$doc" ] || continue
+    while IFS= read -r flag; do
+        found=0
+        for src in "${flag_srcs[@]}"; do
+            if grep -qF -- "\"$flag\"" "$src"; then
+                found=1
+                break
+            fi
+        done
+        if [ "$found" -eq 0 ]; then
+            echo "unknown flag: ${doc#"$root"/} references $flag," \
+                 "absent from examples/llm_serving.cc and" \
+                 "bench/common/bench_common.cc"
+            dead=1
+        fi
+    done < <(grep -oE -- '--[a-z][a-z-]*' "$doc" | sort -u)
+done
+
 if [ "$dead" -ne 0 ]; then
-    echo "FAIL: dead relative markdown links found"
+    echo "FAIL: dead links or unknown flags found"
     exit 1
 fi
-echo "ok: all relative markdown links resolve"
+echo "ok: all relative markdown links resolve and all documented" \
+     "flags exist"

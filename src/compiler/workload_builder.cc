@@ -227,6 +227,13 @@ WorkloadBuilder::kvMask(std::uint16_t core) const
 void
 WorkloadBuilder::checkCapacity(std::uint64_t tokens) const
 {
+    checkCapacity(0, tokens);
+}
+
+void
+WorkloadBuilder::checkCapacity(std::uint64_t prior,
+                               std::uint64_t tokens) const
+{
     std::uint64_t per_device_weights =
         model_.weightBytes() / opts_.devices;
     if (per_device_weights > sys_.mem.capacityBytes)
@@ -236,9 +243,14 @@ WorkloadBuilder::checkCapacity(std::uint64_t tokens) const
                     sys_.mem.capacityBytes / (1024 * 1024),
                     " MiB of memory — use more devices");
 
+    // A chunked-prefill segment scores its tokens against the full
+    // prior + chunk context, so the score matrix is what grows with
+    // the resume offset — which is also why chunking *shrinks* the
+    // working set versus a monolithic prefill of the same prompt
+    // (tokens × context ≤ prompt²).
     const std::uint64_t e = model_.embDim;
     std::uint64_t am_need =
-        (3 * tokens * e + tokens * tokens +
+        (3 * tokens * e + tokens * (prior + tokens) +
          2 * tokens * model_.headDim) * pim::elemBytes;
     if (am_need > sys_.coreMem.actScratchpadBytes)
         IANUS_FATAL("activation working set (", am_need,
@@ -531,12 +543,21 @@ WorkloadBuilder::blockGeneration(
 // ---------------------------------------------------------------------
 
 void
-WorkloadBuilder::blockSummarization(Ctx &ctx, std::uint64_t n) const
+WorkloadBuilder::blockSummarization(Ctx &ctx, std::uint64_t prior,
+                                    std::uint64_t n) const
 {
     // Fig 7a: FCs on the matrix unit with weights streamed by the load
     // DMA; key transpose via the on-chip path overlaps value generation;
     // values move to the weight scratchpad during softmax; weight loads
     // for later heads queue early (inter-head prefetch).
+    //
+    // With @p prior > 0 this is a chunked-prefill segment: the chunk's
+    // n tokens attend over the prior + n context, so each head reloads
+    // the prior keys (re-transposed on chip with the fresh ones, as the
+    // generation stage does) and the prior values (landing during
+    // softmax, like generation's V_cat), and QKᵀ / softmax / SV widen
+    // to the full context. prior == 0 emits exactly the monolithic
+    // program — the chunked-prefill fallback anchor.
     const std::uint64_t e = model_.embDim;
     const std::uint64_t hd = model_.headDim;
     const std::uint64_t ffn = model_.ffnDim();
@@ -572,6 +593,17 @@ WorkloadBuilder::blockSummarization(Ctx &ctx, std::uint64_t n) const
             std::uint32_t wv = w_load();
             std::uint32_t wq = w_load();
 
+            // Resumed chunk: the prior keys come back from the KV cache
+            // to be re-transposed with the fresh ones.
+            std::uint32_t k_prior = 0;
+            if (prior > 0) {
+                isa::DmaArgs kp;
+                kp.bytes = prior * hd * pim::elemBytes;
+                kp.channels = kvMask(c);
+                k_prior = emit(ctx, c, UnitKind::DmaIn,
+                               OpClass::SelfAttention, kp, {});
+            }
+
             isa::MuGemmArgs fc;
             fc.tokens = n;
             fc.k = e;
@@ -581,12 +613,15 @@ WorkloadBuilder::blockSummarization(Ctx &ctx, std::uint64_t n) const
             std::uint32_t v_gen = emit(ctx, c, UnitKind::MatrixUnit,
                                        OpClass::FcQkv, fc, {wv, k_gen});
             isa::DmaArgs tr;
-            tr.bytes = n * hd * pim::elemBytes;
+            tr.bytes = (prior + n) * hd * pim::elemBytes;
             tr.offChip = false;
             tr.transpose = true;
+            std::vector<std::uint32_t> tr_deps{k_gen};
+            if (prior > 0)
+                tr_deps.push_back(k_prior);
             std::uint32_t k_trans =
                 emit(ctx, c, UnitKind::DmaOut, OpClass::SelfAttention, tr,
-                     {k_gen});
+                     std::move(tr_deps));
             std::uint32_t q_gen = emit(ctx, c, UnitKind::MatrixUnit,
                                        OpClass::FcQkv, fc, {wq, v_gen});
             if (decoder) {
@@ -600,11 +635,11 @@ WorkloadBuilder::blockSummarization(Ctx &ctx, std::uint64_t n) const
             isa::MuGemmArgs qkt_args;
             qkt_args.tokens = n;
             qkt_args.k = hd;
-            qkt_args.n = n;
+            qkt_args.n = prior + n;
             std::uint32_t qkt =
                 emit(ctx, c, UnitKind::MatrixUnit, OpClass::SelfAttention,
                      qkt_args, {q_gen, k_trans});
-            isa::VuArgs sm{VuOpKind::MaskedSoftmax, n * n};
+            isa::VuArgs sm{VuOpKind::MaskedSoftmax, n * (prior + n)};
             std::uint32_t smax = emit(ctx, c, UnitKind::VectorUnit,
                                       OpClass::SelfAttention, sm, {qkt});
             isa::DmaArgs mv;
@@ -613,12 +648,24 @@ WorkloadBuilder::blockSummarization(Ctx &ctx, std::uint64_t n) const
             std::uint32_t v_move =
                 emit(ctx, c, UnitKind::DmaOut, OpClass::SelfAttention, mv,
                      {v_gen, qkt});
+            // Prior values reload from the KV cache during softmax.
+            std::uint32_t v_prior = 0;
+            if (prior > 0) {
+                isa::DmaArgs vp;
+                vp.bytes = prior * hd * pim::elemBytes;
+                vp.channels = kvMask(c);
+                v_prior = emit(ctx, c, UnitKind::DmaIn,
+                               OpClass::SelfAttention, vp, {v_gen, qkt});
+            }
             isa::MuGemmArgs sv_args;
             sv_args.tokens = n;
-            sv_args.k = n;
+            sv_args.k = prior + n;
             sv_args.n = hd;
+            std::vector<std::uint32_t> sv_deps{smax, v_move};
+            if (prior > 0)
+                sv_deps.push_back(v_prior);
             emit(ctx, c, UnitKind::MatrixUnit, OpClass::SelfAttention,
-                 sv_args, {smax, v_move});
+                 sv_args, std::move(sv_deps));
         }
     }
     barrier(ctx, OpClass::SelfAttention, n * e * pim::elemBytes);
@@ -695,25 +742,40 @@ WorkloadBuilder::lmHead(Ctx &ctx, std::uint64_t tokens) const
 isa::Program
 WorkloadBuilder::buildSummarization(std::uint64_t input_tokens) const
 {
-    IANUS_ASSERT(input_tokens > 0, "empty input");
-    checkCapacity(input_tokens);
+    return buildSummarizationChunk(0, input_tokens, true);
+}
+
+isa::Program
+WorkloadBuilder::buildSummarizationChunk(std::uint64_t prior_tokens,
+                                         std::uint64_t chunk_tokens,
+                                         bool last_chunk) const
+{
+    IANUS_ASSERT(chunk_tokens > 0, "empty prefill chunk");
+    if (!model_.decoder() && (prior_tokens > 0 || !last_chunk))
+        IANUS_FATAL("chunked summarization needs a decoder model "
+                    "(encoder attention is bidirectional and cannot "
+                    "resume causally)");
+    checkCapacity(prior_tokens, chunk_tokens);
     Ctx ctx(sys_.cores);
 
     for (std::uint16_t c = 0; c < sys_.cores; ++c) {
         isa::DmaArgs emb;
-        emb.bytes = input_tokens * model_.embDim * pim::elemBytes;
+        emb.bytes = chunk_tokens * model_.embDim * pim::elemBytes;
         emb.channels = sys_.dramChannelMask();
         emit(ctx, c, UnitKind::DmaIn, OpClass::Embedding, emb, {});
     }
     for (std::uint64_t b = 0; b < model_.nBlocks; ++b)
-        blockSummarization(ctx, input_tokens);
+        blockSummarization(ctx, prior_tokens, chunk_tokens);
 
-    if (model_.decoder()) {
+    if (!last_chunk) {
+        // A non-final chunk only extends the KV cache; the LM head (and
+        // the first output token) waits for the last chunk.
+    } else if (model_.decoder()) {
         lmHead(ctx, 1);
     } else {
         // BERT QA head: span start/end logits from the final states.
         isa::MuGemmArgs qa;
-        qa.tokens = input_tokens;
+        qa.tokens = chunk_tokens;
         qa.k = model_.embDim;
         qa.n = 2;
         qa.weightBytes = model_.embDim * 2 * pim::elemBytes;

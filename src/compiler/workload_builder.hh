@@ -85,8 +85,31 @@ class WorkloadBuilder
                     const BuildOptions &opts = BuildOptions{});
 
     /** Summarization stage over @p input_tokens (includes embedding and,
-     *  for decoders, the LM head that emits the first output token). */
+     *  for decoders, the LM head that emits the first output token).
+     *  Exactly buildSummarizationChunk(0, input_tokens, true). */
     isa::Program buildSummarization(std::uint64_t input_tokens) const;
+
+    /**
+     * One chunked-prefill segment: resume the summarization with
+     * @p prior_tokens already in the KV cache and process the next
+     * @p chunk_tokens of the prompt. Per head, the chunk reloads the
+     * prior keys/values from the KV cache and widens QKᵀ, the masked
+     * softmax, and SV to the @p prior_tokens + @p chunk_tokens context
+     * — so the causal mask's upper triangle is never computed across
+     * chunks, at the price of re-streaming the FC weights and the
+     * prior KV once per chunk. Only the @p last_chunk runs the LM
+     * head (it emits the first output token).
+     *
+     * With prior_tokens == 0 and last_chunk, this emits exactly the
+     * buildSummarization program (the chunked builder *is* the
+     * monolithic builder at that point — the fallback anchor).
+     * Decoder models only when resuming (prior_tokens > 0) or
+     * deferring the head (!last_chunk): encoder attention is
+     * bidirectional and cannot be chunked causally.
+     */
+    isa::Program buildSummarizationChunk(std::uint64_t prior_tokens,
+                                         std::uint64_t chunk_tokens,
+                                         bool last_chunk) const;
 
     /** One generation step with @p kv_len keys/values already cached. */
     isa::Program buildGenerationToken(std::uint64_t kv_len) const;
@@ -168,7 +191,8 @@ class WorkloadBuilder
     // Stage pieces ------------------------------------------------------
     void blockGeneration(Ctx &ctx,
                          const std::vector<std::uint64_t> &kv_lens) const;
-    void blockSummarization(Ctx &ctx, std::uint64_t n) const;
+    void blockSummarization(Ctx &ctx, std::uint64_t prior,
+                            std::uint64_t n) const;
     void attentionGenerationMu(Ctx &ctx, std::uint16_t core,
                                std::uint64_t kv_len,
                                std::uint32_t ln_dep) const;
@@ -185,6 +209,7 @@ class WorkloadBuilder
     dram::ChannelSet weightMask(bool on_pim_side) const;
     dram::ChannelSet kvMask(std::uint16_t core) const;
     void checkCapacity(std::uint64_t tokens) const;
+    void checkCapacity(std::uint64_t prior, std::uint64_t tokens) const;
 };
 
 } // namespace ianus::compiler

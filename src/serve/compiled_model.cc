@@ -24,7 +24,7 @@ std::size_t
 CompiledModel::cachedPrograms() const
 {
     return summarizationCache_.size() + generationCache_.size() +
-           batchCache_.size();
+           batchCache_.size() + chunkCache_.size();
 }
 
 void
@@ -34,6 +34,7 @@ CompiledModel::clearCache() const
     generationCache_.clear();
     batchCache_.clear();
     batchOrder_.clear();
+    chunkCache_.clear();
     cache_ = CacheStats{};
 }
 
@@ -82,6 +83,33 @@ CompiledModel::summarizationStats(std::uint64_t input_tokens) const
     if (input_tokens == 0)
         IANUS_FATAL("summarization needs at least one input token");
     return summarization(input_tokens).stats;
+}
+
+const RunStats &
+CompiledModel::prefillChunkStats(std::uint64_t prior_tokens,
+                                std::uint64_t chunk_tokens,
+                                bool last_chunk) const
+{
+    if (chunk_tokens == 0)
+        IANUS_FATAL("a prefill chunk needs at least one token");
+    // A whole-prompt chunk IS the monolithic summarization: share its
+    // cache entry so the fallback is structural, not numerical.
+    if (prior_tokens == 0 && last_chunk)
+        return summarization(chunk_tokens).stats;
+
+    auto key = std::make_tuple(prior_tokens, chunk_tokens, last_chunk);
+    auto it = chunkCache_.find(key);
+    if (it != chunkCache_.end()) {
+        ++cache_.chunkHits;
+        return it->second.stats;
+    }
+    Entry entry;
+    entry.program = builder_.buildSummarizationChunk(
+        prior_tokens, chunk_tokens, last_chunk);
+    entry.stats = execute(entry.program);
+    ++cache_.chunkBuilds;
+    return chunkCache_.emplace(key, std::move(entry))
+        .first->second.stats;
 }
 
 RunStats

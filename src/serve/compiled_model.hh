@@ -5,7 +5,8 @@
  * CompiledModel binds one (SystemConfig, ModelConfig, BuildOptions)
  * triple to a WorkloadBuilder and memoizes what the one-shot
  * IanusSystem::run path recomputes on every call: summarization
- * programs keyed by input length, generation-step programs keyed by KV
+ * programs keyed by input length, resumed prefill *chunks* keyed by
+ * (prior, chunk, has-LM-head), generation-step programs keyed by KV
  * length, and *batched* generation steps keyed by the sorted KV-length
  * multiset of the batch, each together with the RunStats its
  * (deterministic) execution produced. A serving workload that replays
@@ -23,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <tuple>
 
 #include "compiler/workload_builder.hh"
 #include "ianus/report.hh"
@@ -42,17 +44,20 @@ struct CacheStats
     std::uint64_t batchBuilds = 0; ///< batched steps (>= 2 requests)
     std::uint64_t batchHits = 0;
     std::uint64_t batchEvictions = 0; ///< FIFO-evicted batched entries
+    std::uint64_t chunkBuilds = 0; ///< resumed prefill chunks (prior > 0)
+    std::uint64_t chunkHits = 0;
 
     std::uint64_t
     builds() const
     {
-        return summarizationBuilds + generationBuilds + batchBuilds;
+        return summarizationBuilds + generationBuilds + batchBuilds +
+               chunkBuilds;
     }
 
     std::uint64_t
     hits() const
     {
-        return summarizationHits + generationHits + batchHits;
+        return summarizationHits + generationHits + batchHits + chunkHits;
     }
 };
 
@@ -82,6 +87,26 @@ class CompiledModel
      * @p input_tokens, from the same cache run() uses.
      */
     const RunStats &summarizationStats(std::uint64_t input_tokens) const;
+
+    /**
+     * Executed statistics of one chunked-prefill segment: resume the
+     * summarization with @p prior_tokens already in the KV cache and
+     * process the next @p chunk_tokens of the prompt; only the
+     * @p last_chunk runs the LM head and emits the first output token
+     * (see WorkloadBuilder::buildSummarizationChunk for the program).
+     *
+     * Chunk entries are memoized by (prior, chunk, last): serving
+     * traces revisit the same chunk-aligned resume offsets across
+     * requests of equal prompt length, so chunk keys recur the way
+     * summarization keys do (unlike batched-step keys). A whole-prompt
+     * chunk (prior == 0, last) resolves to the monolithic
+     * summarization entry that run() uses, so `prefillChunk = 0` and
+     * chunk-covers-the-prompt serving produce bit-identical stats —
+     * the chunked-prefill fallback anchor.
+     */
+    const RunStats &prefillChunkStats(std::uint64_t prior_tokens,
+                                      std::uint64_t chunk_tokens,
+                                      bool last_chunk) const;
 
     /**
      * Executed statistics of one *batched* generation step: each entry
@@ -146,6 +171,13 @@ class CompiledModel
     // memory.
     mutable std::map<std::vector<std::uint64_t>, RunStats> batchCache_;
     mutable std::deque<std::vector<std::uint64_t>> batchOrder_;
+    // Resumed prefill chunks, keyed by (prior, chunk, has LM head).
+    // Unbounded like the summarization cache: requests of equal prompt
+    // length resume at the same chunk-aligned offsets, so these keys
+    // recur across a serving trace.
+    mutable std::map<std::tuple<std::uint64_t, std::uint64_t, bool>,
+                     Entry>
+        chunkCache_;
     mutable CacheStats cache_;
 };
 

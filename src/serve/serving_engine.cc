@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <map>
 
 #include "common/logging.hh"
 #include "sim/event_queue.hh"
@@ -25,6 +26,16 @@ FcfsPolicy::selectBatch(const std::vector<QueuedRequest> &queue,
 namespace
 {
 
+/** The EDF completion budget: one definition for the scheduler's
+ *  urgency key and both deadlineMiss accounting sites. */
+double
+deadlineMs(double arrival_ms, const workloads::InferenceRequest &req,
+           double slo_ms_per_token)
+{
+    return arrival_ms +
+           slo_ms_per_token * static_cast<double>(req.outputTokens);
+}
+
 /** Queue indices ordered by ascending @p key (stable: arrival order). */
 template <typename KeyFn>
 std::vector<std::size_t>
@@ -42,6 +53,14 @@ orderBy(const std::vector<QueuedRequest> &queue, KeyFn key)
 
 } // namespace
 
+double
+SchedulingPolicy::urgency(const QueuedRequest &q,
+                          const SchedulerContext &ctx) const
+{
+    (void)ctx;
+    return q.arrivalMs;
+}
+
 SjfPolicy::SjfPolicy(double output_weight) : outputWeight_(output_weight)
 {
     if (output_weight < 0.0)
@@ -49,26 +68,40 @@ SjfPolicy::SjfPolicy(double output_weight) : outputWeight_(output_weight)
                     output_weight);
 }
 
+double
+SjfPolicy::urgency(const QueuedRequest &q,
+                   const SchedulerContext &ctx) const
+{
+    (void)ctx;
+    return static_cast<double>(q.request.inputTokens) +
+           outputWeight_ * static_cast<double>(q.request.outputTokens);
+}
+
 std::vector<std::size_t>
 SjfPolicy::selectBatch(const std::vector<QueuedRequest> &queue,
                        const SchedulerContext &ctx)
 {
-    (void)ctx;
-    return orderBy(queue, [this](const QueuedRequest &q) {
-        return static_cast<double>(q.request.inputTokens) +
-               outputWeight_ *
-                   static_cast<double>(q.request.outputTokens);
+    // Dispatch order and preemption urgency share one key, so an
+    // eviction always makes room for the request the next admission
+    // round would pick anyway.
+    return orderBy(queue, [&](const QueuedRequest &q) {
+        return urgency(q, ctx);
     });
+}
+
+double
+EdfPolicy::urgency(const QueuedRequest &q,
+                   const SchedulerContext &ctx) const
+{
+    return deadlineMs(q.arrivalMs, q.request, ctx.sloMsPerToken);
 }
 
 std::vector<std::size_t>
 EdfPolicy::selectBatch(const std::vector<QueuedRequest> &queue,
                        const SchedulerContext &ctx)
 {
-    return orderBy(queue, [&ctx](const QueuedRequest &q) {
-        return q.arrivalMs +
-               ctx.sloMsPerToken *
-                   static_cast<double>(q.request.outputTokens);
+    return orderBy(queue, [&](const QueuedRequest &q) {
+        return urgency(q, ctx);
     });
 }
 
@@ -283,6 +316,18 @@ ServingReport::sloMissRate() const
 }
 
 double
+ServingReport::deadlineMissRate() const
+{
+    if (results.empty())
+        return 0.0;
+    std::size_t misses = 0;
+    for (const RequestResult &r : results)
+        misses += r.deadlineMiss ? 1 : 0;
+    return static_cast<double>(misses) /
+           static_cast<double>(results.size());
+}
+
+double
 ServingReport::meanUtilization() const
 {
     if (replicas.empty())
@@ -291,6 +336,27 @@ ServingReport::meanUtilization() const
     for (const ReplicaUtilization &r : replicas)
         sum += r.utilization;
     return sum / static_cast<double>(replicas.size());
+}
+
+std::uint64_t
+ServingReport::preemptions() const
+{
+    std::uint64_t total = 0;
+    for (const RequestResult &r : results)
+        total += r.preemptions;
+    return total;
+}
+
+double
+ServingReport::preemptionRate() const
+{
+    if (results.empty())
+        return 0.0;
+    std::size_t evicted = 0;
+    for (const RequestResult &r : results)
+        evicted += r.preemptions > 0 ? 1 : 0;
+    return static_cast<double>(evicted) /
+           static_cast<double>(results.size());
 }
 
 double
@@ -331,6 +397,18 @@ ServingReport::summary() const
         std::snprintf(buf, sizeof(buf),
                       " | batching %s (max %zu, occupancy %.2f)",
                       batching.c_str(), maxBatch, meanBatchOccupancy());
+        out += buf;
+    }
+    if (prefillChunk > 0) {
+        std::snprintf(buf, sizeof(buf), " | prefill chunk %llu",
+                      (unsigned long long)prefillChunk);
+        out += buf;
+    }
+    if (preempt) {
+        std::snprintf(buf, sizeof(buf),
+                      " | preempt: %llu evictions (%.0f%% of requests)",
+                      (unsigned long long)preemptions(),
+                      100.0 * preemptionRate());
         out += buf;
     }
     return out;
@@ -379,6 +457,9 @@ ServingEngine::validateOptions() const
     if (opts_.maxBatch > 1 && opts_.batching == BatchingMode::None)
         IANUS_FATAL("max batch ", opts_.maxBatch,
                     " needs a batching mode (static or continuous)");
+    if (opts_.preempt && opts_.batching == BatchingMode::Static)
+        IANUS_FATAL("preemption cannot evict from a sealed static "
+                    "batch; use batching none or continuous");
 }
 
 std::uint64_t
@@ -413,6 +494,8 @@ ServingEngine::drain()
     report.router = router_->name();
     report.batching = toString(opts_.batching);
     report.maxBatch = opts_.maxBatch;
+    report.prefillChunk = opts_.prefillChunk;
+    report.preempt = opts_.preempt;
     report.sloMsPerToken = opts_.sloMsPerToken;
 
     const std::size_t n = replicas_.size();
@@ -424,24 +507,31 @@ ServingEngine::drain()
     // The discrete-event loop. Ticks only sequence events (arrivals,
     // completions, and batch-segment boundaries, on the shared
     // picosecond time base); all report math carries exact doubles.
-    // With maxBatch == 1 every admitted request takes the legacy
-    // whole-request service path, so a single-replica FCFS drain
-    // reproduces the synchronous PR-1 loop bit for bit.
+    // With maxBatch == 1 and no chunking/preemption every admitted
+    // request takes the legacy whole-request service path, so a
+    // single-replica FCFS drain reproduces the synchronous PR-1 loop
+    // bit for bit. Chunked prefill or preemption routes even batch-1
+    // service through the segment loop — token boundaries are what
+    // both features schedule at.
+    const bool segmented = opts_.maxBatch > 1 || opts_.prefillChunk > 0 ||
+                           opts_.preempt;
     sim::EventQueue events;
     std::vector<QueuedRequest> ready; // arrived, waiting to dispatch
     std::vector<double> freeAt(n, 0.0);
     std::vector<bool> busy(n, false);
 
-    // Per-replica batch runtime (populated only when maxBatch > 1). A
-    // resident request is either awaiting its prefill (admitted at a
-    // boundary, summarization not yet run) or generating.
+    // Per-replica batch runtime (populated only on the segment path).
+    // A resident request is either awaiting (the rest of) its prefill
+    // or generating.
     struct Member
     {
         RequestResult res;
+        std::uint64_t prefillDone = 0; ///< prompt tokens summarized
         std::uint64_t kvLen = 0;     ///< KV length the next step sees
         std::uint64_t remaining = 0; ///< generation steps left
         double weightedBatch = 0.0;  ///< sum of batch size over steps
         std::uint64_t doneSteps = 0;
+        double evictedAtMs = 0.0;    ///< valid while suspended
     };
     struct ReplicaRun
     {
@@ -450,8 +540,31 @@ ServingEngine::drain()
         /** Static mode: membership is frozen once generation starts,
          *  until the replica drains completely. */
         bool sealed = false;
+        /** Prompt tokens summarized since the last generation segment:
+         *  chunked prefill owes the residents a generation segment
+         *  whenever this reaches prefillChunk, so a resident never
+         *  stalls for more than ~one chunk of prefill between tokens
+         *  (strict alternation through a long prefill, back-to-back
+         *  packing of brief ones). */
+        std::uint64_t prefillSinceGen = 0;
     };
     std::vector<ReplicaRun> rt(n);
+
+    // Evicted requests, keyed by id: the Member keeps its partial
+    // accounting (and, conceptually, its on-replica KV cache) until
+    // the matching resumed QueuedRequest is re-dispatched.
+    std::map<std::uint64_t, Member> suspended;
+
+    // The queue-entry view of a resident, for urgency queries: both
+    // preemption decision points (victim choice and chunk-boundary
+    // prefill pick) must hand the policy the same key inputs.
+    auto asQueued = [](const Member &m) {
+        QueuedRequest view;
+        view.id = m.res.id;
+        view.request = m.res.request;
+        view.arrivalMs = m.res.arrivalMs;
+        return view;
+    };
 
     // Open batch slots on replica d. A replica accepts only at a token
     // boundary (not mid-segment): continuous batching tops the batch up
@@ -473,13 +586,18 @@ ServingEngine::drain()
     auto finalize = [&](Member &m, double now) {
         RequestResult res = std::move(m.res);
         res.finishMs = now;
-        res.serviceMs = res.finishMs - res.startMs;
+        // Residency excludes time spent evicted (x - 0.0 == x exactly,
+        // so the never-preempted path is bit-identical).
+        res.serviceMs = res.finishMs - res.startMs - res.suspendedMs;
         std::uint64_t steps = res.report.generationSteps;
         res.msPerToken =
             steps ? (res.finishMs - res.arrivalMs - res.firstTokenMs) /
                         static_cast<double>(steps)
                   : 0.0;
         res.sloMiss = steps > 0 && res.msPerToken > opts_.sloMsPerToken;
+        res.deadlineMiss =
+            res.finishMs > deadlineMs(res.arrivalMs, res.request,
+                                      opts_.sloMsPerToken);
         res.meanBatchSize =
             m.doneSteps ? m.weightedBatch /
                               static_cast<double>(m.doneSteps)
@@ -494,29 +612,87 @@ ServingEngine::drain()
     std::function<void(double)> pump; // forward: segments re-enter it
 
     // Run the next segment on replica d: one admitted request's prefill
-    // (a joiner stalls the whole batch for its summarization, as in
-    // continuous-batching serving systems), or a stride-bounded run of
-    // batched generation steps over the current members.
+    // (whole, or one prefillChunk-sized slice of it), or a
+    // stride-bounded run of batched generation steps over the current
+    // members. With chunking off a joiner stalls the whole batch for
+    // its summarization (as in continuous-batching serving systems);
+    // with chunking on, a generation segment is owed whenever
+    // ~prefillChunk prompt tokens have been summarized since the last
+    // one, so residents keep emitting tokens under a long prefill while
+    // brief prefills still pack back to back.
     auto startSegment = [&](std::size_t d, double now) {
         ReplicaRun &r = rt[d];
         double dur = 0.0;
-        if (!r.prefill.empty()) {
-            Member m = std::move(r.prefill.front());
-            r.prefill.erase(r.prefill.begin());
-            const RunStats &s = replicas_[d]->summarizationStats(
-                m.res.request.inputTokens);
+        bool do_prefill;
+        if (r.prefill.empty())
+            do_prefill = false;
+        else if (r.gen.empty() || opts_.prefillChunk == 0)
+            do_prefill = true; // monolithic keeps the prefill-first order
+        else
+            do_prefill = r.prefillSinceGen < opts_.prefillChunk;
+        if (do_prefill) {
+            // Which pending prefill advances: chunking re-consults the
+            // policy's urgency at every chunk boundary, so an urgent
+            // late arrival never sits behind the whole of an earlier
+            // joiner's summarization (token-boundary scheduling of the
+            // prefill queue). Monolithic — and FCFS, whose urgency is
+            // arrival order — keep the admission order.
+            std::size_t pi = 0;
+            if (opts_.prefillChunk > 0 && r.prefill.size() > 1) {
+                SchedulerContext pctx;
+                pctx.nowMs = now;
+                pctx.sloMsPerToken = opts_.sloMsPerToken;
+                pctx.replicaFreeAtMs = freeAt;
+                double best = 0.0;
+                for (std::size_t i = 0; i < r.prefill.size(); ++i) {
+                    double key =
+                        policy_->urgency(asQueued(r.prefill[i]), pctx);
+                    if (i == 0 || key < best) {
+                        best = key;
+                        pi = i;
+                    }
+                }
+            }
+            Member &m = r.prefill[pi];
+            const std::uint64_t input = m.res.request.inputTokens;
+            // Encoders never chunk: bidirectional attention has no
+            // causal resume point.
+            const std::uint64_t cap =
+                (opts_.prefillChunk > 0 && replicas_[d]->model().decoder())
+                    ? opts_.prefillChunk
+                    : input;
+            const std::uint64_t c = std::min(cap, input - m.prefillDone);
+            const bool last = m.prefillDone + c == input;
+            const RunStats &s =
+                replicas_[d]->prefillChunkStats(m.prefillDone, c, last);
             dur = s.wallMs();
             // The prefill is exclusively this request's work: attribute
-            // it whole. TTFT counts queueing, the batch stall, and the
-            // prefill itself — the summarization emits the first token.
-            m.res.report.summarization = s;
-            m.res.firstTokenMs = (now + dur) - m.res.arrivalMs;
-            m.kvLen = m.res.request.inputTokens + 1;
-            m.remaining = replicas_[d]->model().decoder()
-                              ? m.res.request.outputTokens - 1
-                              : 0;
-            r.gen.push_back(std::move(m));
+            // it whole (assignment on the first chunk keeps the
+            // monolithic path bit-identical to the pre-chunking loop).
+            if (m.prefillDone == 0) {
+                m.res.report.summarization = s;
+                m.res.prefillChunks = 1;
+            } else {
+                m.res.report.summarization.merge(s);
+                m.res.prefillChunks += 1;
+            }
+            m.prefillDone += c;
+            r.prefillSinceGen += c;
+            if (last) {
+                // TTFT counts queueing, any batch stall or interleaved
+                // generation segments, and the prefill itself — the
+                // last chunk's LM head emits the first token.
+                m.res.firstTokenMs = (now + dur) - m.res.arrivalMs;
+                m.kvLen = input + 1;
+                m.remaining = replicas_[d]->model().decoder()
+                                  ? m.res.request.outputTokens - 1
+                                  : 0;
+                r.gen.push_back(std::move(m));
+                r.prefill.erase(r.prefill.begin() +
+                                static_cast<std::ptrdiff_t>(pi));
+            }
         } else {
+            r.prefillSinceGen = 0;
             // Generation segment: every member advances g tokens
             // together, g capped by the stride (the join/leave
             // granularity) and by the member closest to finishing.
@@ -587,10 +763,10 @@ ServingEngine::drain()
     };
 
     // Admit as many waiting requests into open batch slots as the
-    // policy and router allow, then start segments on every replica at
-    // a boundary with work. Re-entered at every arrival, completion,
-    // and segment boundary.
-    pump = [&](double now) {
+    // policy and router allow. A resumed (previously evicted) request
+    // bypasses the router — its KV cache lives on one replica — and
+    // simply keeps waiting when that replica has no open slot.
+    auto admit = [&](double now) {
         while (!ready.empty()) {
             std::size_t slots = 0;
             for (std::size_t d = 0; d < n; ++d)
@@ -634,27 +810,38 @@ ServingEngine::drain()
                     break; // rest of the batch waits for a boundary
                 const QueuedRequest &q = ready[idx];
 
-                std::vector<ReplicaStatus> statuses(n);
-                for (std::size_t d = 0; d < n; ++d) {
-                    statuses[d].index = d;
-                    statuses[d].idle = capacity(d) > 0;
-                    statuses[d].freeAtMs = freeAt[d];
-                    statuses[d].busyMs = report.replicas[d].busyMs;
-                    statuses[d].dispatched =
-                        report.replicas[d].dispatched;
-                    statuses[d].resident =
-                        rt[d].prefill.size() + rt[d].gen.size();
+                std::size_t dev = 0;
+                if (q.resumed) {
+                    // KV affinity: a preempted request resumes only on
+                    // the replica holding its cache. A full bound
+                    // replica skips the candidate without consuming a
+                    // slot — later candidates may still dispatch.
+                    dev = q.boundReplica;
+                    if (capacity(dev) == 0)
+                        continue;
+                } else {
+                    std::vector<ReplicaStatus> statuses(n);
+                    for (std::size_t d = 0; d < n; ++d) {
+                        statuses[d].index = d;
+                        statuses[d].idle = capacity(d) > 0;
+                        statuses[d].freeAtMs = freeAt[d];
+                        statuses[d].busyMs = report.replicas[d].busyMs;
+                        statuses[d].dispatched =
+                            report.replicas[d].dispatched;
+                        statuses[d].resident =
+                            rt[d].prefill.size() + rt[d].gen.size();
+                    }
+                    dev = router_->route(q, statuses, now);
+                    if (dev >= n)
+                        IANUS_FATAL("router '", router_->name(),
+                                    "' returned out-of-range replica ",
+                                    dev, " (pool has ", n, ")");
+                    if (capacity(dev) == 0)
+                        IANUS_FATAL("router '", router_->name(),
+                                    "' routed to busy replica ", dev);
                 }
-                std::size_t dev = router_->route(q, statuses, now);
-                if (dev >= n)
-                    IANUS_FATAL("router '", router_->name(),
-                                "' returned out-of-range replica ", dev,
-                                " (pool has ", n, ")");
-                if (capacity(dev) == 0)
-                    IANUS_FATAL("router '", router_->name(),
-                                "' routed to busy replica ", dev);
 
-                if (opts_.maxBatch == 1) {
+                if (!segmented) {
                     // Legacy whole-request service: the request holds
                     // its replica to completion, costed by the same
                     // CompiledModel::run the synchronous loop used.
@@ -672,6 +859,10 @@ ServingEngine::drain()
                     res.msPerToken = res.report.msPerGeneratedToken();
                     res.sloMiss = res.report.generationSteps > 0 &&
                                   res.msPerToken > opts_.sloMsPerToken;
+                    res.deadlineMiss =
+                        res.finishMs > deadlineMs(res.arrivalMs,
+                                                  res.request,
+                                                  opts_.sloMsPerToken);
                     res.deviceIndex = dev;
 
                     busy[dev] = true;
@@ -697,6 +888,21 @@ ServingEngine::drain()
                             report.results.push_back(std::move(res));
                             pump(finish);
                         });
+                } else if (q.resumed) {
+                    // Resume: the evicted member rejoins generation on
+                    // its bound replica at the KV length reached — the
+                    // prefill is never re-run (KV retained on-replica).
+                    auto sit = suspended.find(q.id);
+                    if (sit == suspended.end())
+                        IANUS_FATAL("resumed request ", q.id,
+                                    " has no suspended state");
+                    Member m = std::move(sit->second);
+                    suspended.erase(sit);
+                    m.res.suspendedMs += now - m.evictedAtMs;
+                    rt[dev].gen.push_back(std::move(m));
+                    // A re-dispatch is a dispatch event: a preempted
+                    // request counts once per admission.
+                    report.replicas[dev].dispatched += 1;
                 } else {
                     // Batched admission: the request joins the routed
                     // replica's batch and waits for a prefill segment.
@@ -726,8 +932,97 @@ ServingEngine::drain()
             if (launched < batch.size())
                 break; // open slots exhausted mid-batch
         }
+    };
 
-        if (opts_.maxBatch > 1)
+    // The eviction contract, enforced here where a member leaves its
+    // batch: preemption strikes only at a token boundary (the replica
+    // is between segments), only a *generating* resident is evictable
+    // (evicting an un-prefilled member would merely un-admit it; a
+    // finished one is already finalized), the victim is the
+    // least-urgent resident (ties: the earliest member in the
+    // replica's generation order), and it is evicted
+    // only for a waiting request with *strictly* lower urgency that
+    // can actually land on the freed slot (fresh, or bound to this
+    // replica). The evicted member keeps its KV cache on the replica
+    // and its partial accounting in `suspended`; what re-runs on
+    // resume is nothing — generation continues at kvLen. Urgency keys
+    // are static per request (see SchedulingPolicy::urgency), so each
+    // eviction strictly lowers the resident urgency multiset and the
+    // evict-admit loop below terminates.
+    auto tryEvict = [&](double now) -> bool {
+        SchedulerContext ctx;
+        ctx.nowMs = now;
+        ctx.sloMsPerToken = opts_.sloMsPerToken;
+        ctx.replicaFreeAtMs = freeAt;
+        for (std::size_t d = 0; d < n; ++d) {
+            if (busy[d] || capacity(d) != 0)
+                continue; // mid-segment, or admission can fill it
+            const QueuedRequest *cand = nullptr;
+            double cand_key = 0.0;
+            for (const QueuedRequest &q : ready) {
+                if (q.resumed && q.boundReplica != d)
+                    continue;
+                double key = policy_->urgency(q, ctx);
+                if (!cand || key < cand_key) {
+                    cand = &q;
+                    cand_key = key;
+                }
+            }
+            if (!cand)
+                continue;
+            auto victim = rt[d].gen.end();
+            double victim_key = 0.0;
+            for (auto it = rt[d].gen.begin(); it != rt[d].gen.end();
+                 ++it) {
+                if (it->remaining == 0)
+                    continue;
+                double key = policy_->urgency(asQueued(*it), ctx);
+                if (victim == rt[d].gen.end() || key > victim_key) {
+                    victim = it;
+                    victim_key = key;
+                }
+            }
+            if (victim == rt[d].gen.end() || !(cand_key < victim_key))
+                continue;
+
+            Member m = std::move(*victim);
+            rt[d].gen.erase(victim);
+            m.res.preemptions += 1;
+            m.evictedAtMs = now;
+            QueuedRequest rq;
+            rq.id = m.res.id;
+            rq.request = m.res.request;
+            rq.arrivalMs = m.res.arrivalMs;
+            rq.resumed = true;
+            rq.boundReplica = d;
+            rq.kvTokens = m.kvLen;
+            rq.remainingTokens = m.remaining;
+            suspended.emplace(rq.id, std::move(m));
+            ready.push_back(rq);
+            return true;
+        }
+        return false;
+    };
+
+    // Admissions, then (with preemption on) alternate evict/admit
+    // rounds until no urgency inversion remains, then start segments on
+    // every replica at a boundary with work. Re-entered at every
+    // arrival, completion, and segment boundary. The eviction budget is
+    // a backstop for policies whose selectBatch order contradicts their
+    // urgency key; for the shipped policies the two agree and the
+    // static-key argument already bounds the loop.
+    pump = [&](double now) {
+        admit(now);
+        if (opts_.preempt) {
+            std::size_t evict_budget = 0;
+            for (std::size_t d = 0; d < n; ++d)
+                evict_budget += rt[d].gen.size();
+            while (evict_budget > 0 && !ready.empty() && tryEvict(now)) {
+                --evict_budget;
+                admit(now);
+            }
+        }
+        if (segmented)
             for (std::size_t d = 0; d < n; ++d)
                 if (!busy[d] &&
                     (!rt[d].prefill.empty() || !rt[d].gen.empty()))

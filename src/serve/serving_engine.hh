@@ -16,7 +16,8 @@
  * ServingOptions::batching selects how many requests a replica serves
  * at once:
  *  - none (default): batch 1, the paper's Section 6.1 regime — each
- *    dispatched request holds its replica to completion;
+ *    dispatched request holds its replica to completion (unless
+ *    preemption evicts it at a token boundary);
  *  - static: an idle replica seals a batch of up to maxBatch waiting
  *    requests and serves it to completion (the batch shrinks as
  *    requests finish but admits no one new);
@@ -25,10 +26,25 @@
  *    CompiledModel's batched-step cost model (shared FC weight traffic
  *    on the NPU, per-request PIM GEMV/attention).
  *
- * With maxBatch == 1 (any mode) the batched machinery degrades to the
- * exact legacy path — the same model.run calls, the same double
- * arithmetic, the same event ordering — so a single-replica FCFS drain
- * still reproduces the synchronous PR-1 serving loop bit for bit.
+ * Two token-boundary refinements layer on the segment loop (see
+ * docs/SCHEDULING.md):
+ *  - chunked prefill (ServingOptions::prefillChunk > 0): a joiner's
+ *    summarization runs as chunk-sized segments instead of one
+ *    batch-stalling monolith; a generation segment interleaves after
+ *    every ~prefillChunk summarized prompt tokens, and the policy
+ *    re-picks the most urgent pending prefill at every chunk boundary;
+ *  - preemption (ServingOptions::preempt): at a segment boundary a
+ *    waiting request the policy deems more urgent (SJF/EDF) may evict
+ *    the least-urgent generating resident; the evicted request's KV
+ *    cache stays on its replica and it resumes there, at the KV length
+ *    reached, on a later dispatch.
+ *
+ * With maxBatch == 1 and both refinements off the batched machinery
+ * degrades to the exact legacy path — the same model.run calls, the
+ * same double arithmetic, the same event ordering — so a
+ * single-replica FCFS drain still reproduces the synchronous PR-1
+ * serving loop bit for bit; likewise prefillChunk == 0 and preempt ==
+ * false reproduce the pre-preemption segment loop bit for bit.
  *
  * drain() produces per-request RequestResults (completion order) and an
  * aggregated ServingReport: latency percentiles, generation throughput,
@@ -58,6 +74,20 @@ struct QueuedRequest
     std::uint64_t id = 0;
     workloads::InferenceRequest request{};
     double arrivalMs = 0.0; ///< arrival time on the serving clock
+
+    // --- Preemption resume state (engine-managed) -----------------------
+    /** True for a request re-queued by an eviction: its KV cache
+     *  (kvTokens tokens) is retained on replica boundReplica, so a
+     *  re-dispatch skips the prefill and must land on that replica
+     *  (affinity overrides the router). kvTokens/remainingTokens are
+     *  informational — a policy MUST NOT fold them (or any other
+     *  progress) into its urgency key, which the urgency contract
+     *  requires to be static; progress-dependent keys reopen the
+     *  evict/resume ping-pong the static-key argument rules out. */
+    bool resumed = false;
+    std::size_t boundReplica = 0;
+    std::uint64_t kvTokens = 0;        ///< KV length reached at eviction
+    std::uint64_t remainingTokens = 0; ///< generation steps still owed
 };
 
 /**
@@ -102,6 +132,23 @@ class SchedulingPolicy
     virtual std::vector<std::size_t>
     selectBatch(const std::vector<QueuedRequest> &queue,
                 const SchedulerContext &ctx) = 0;
+
+    /**
+     * Preemption key: lower = more urgent. With ServingOptions::preempt
+     * on, a waiting request with strictly lower urgency than a
+     * generating resident may evict it at a segment boundary.
+     *
+     * Contract: the key must be *static* per request — a function of
+     * the request's shape and arrival only, never of its progress.
+     * Static keys make the evict relation a strict order (an evicted
+     * request can never evict its evictor back), which is what rules
+     * out preemption livelock. The default, arrival time, makes a
+     * policy preemption-inert: a waiting request never strictly
+     * precedes a resident that was admitted before it arrived (FCFS
+     * keeps this default on purpose).
+     */
+    virtual double urgency(const QueuedRequest &q,
+                           const SchedulerContext &ctx) const;
 };
 
 /** First come, first served (the paper's serving regime). */
@@ -133,6 +180,11 @@ class SjfPolicy : public SchedulingPolicy
     selectBatch(const std::vector<QueuedRequest> &queue,
                 const SchedulerContext &ctx) override;
 
+    /** The SJF cost estimate of the whole request (static — see the
+     *  urgency contract). */
+    double urgency(const QueuedRequest &q,
+                   const SchedulerContext &ctx) const override;
+
     /** The per-output-token cost multiplier of the estimate. */
     double outputWeight() const { return outputWeight_; }
 
@@ -153,6 +205,10 @@ class EdfPolicy : public SchedulingPolicy
     std::vector<std::size_t>
     selectBatch(const std::vector<QueuedRequest> &queue,
                 const SchedulerContext &ctx) override;
+
+    /** The request's deadline (static — see the urgency contract). */
+    double urgency(const QueuedRequest &q,
+                   const SchedulerContext &ctx) const override;
 };
 
 /** Policy by name: "fcfs", "sjf", "edf". Unknown names are fatal. */
@@ -229,11 +285,15 @@ struct RequestResult
     double startMs = 0.0;  ///< when a replica picked it up
     double finishMs = 0.0; ///< when the last token was emitted
 
-    /** Device residency (finish - start). Served alone this equals
-     *  report.totalMs(); in a batch it is wall time sharing the
-     *  replica, so summing it across requests double-counts. */
+    /** Device residency (finish - start - suspended). Served alone and
+     *  never evicted this equals report.totalMs(); in a batch it is
+     *  wall time sharing the replica, so summing it across requests
+     *  double-counts. */
     double serviceMs = 0.0;
-    double firstTokenMs = 0.0; ///< TTFT: queueing (+ batch stall) + prefill
+    /** TTFT: queueing, any batch stall or interleaved segments between
+     *  prefill chunks, and the prefill itself (the last chunk's LM
+     *  head emits the first token). */
+    double firstTokenMs = 0.0;
     /** Generation-stage wall ms per token as the client observes it
      *  ((finish - arrival - TTFT) / steps); batching inflates a single
      *  step but deflates nothing — throughput gains show up in
@@ -241,11 +301,30 @@ struct RequestResult
     double msPerToken = 0.0;
     bool sloMiss = false;
 
+    /** Finished after its EDF deadline (arrival + SLO x output tokens).
+     *  Unlike sloMiss, which judges the generation cadence only, this
+     *  charges queueing and suspension too — the completion-budget view
+     *  EDF schedules against, and the metric preemption moves. */
+    bool deadlineMiss = false;
+
     std::size_t deviceIndex = 0; ///< replica that served the request
 
     /** Token-weighted mean batch occupancy over this request's
      *  generation steps; 1.0 when it was served alone. */
     double meanBatchSize = 1.0;
+
+    /** Times this request was evicted at a token boundary (0 = never
+     *  preempted). Preemption strikes generation only, so TTFT is
+     *  never suspension-inflated; totalMs() and msPerToken are — the
+     *  client-observed cost of being deprioritized. */
+    std::uint64_t preemptions = 0;
+
+    /** Wall time spent evicted (between an eviction and the matching
+     *  re-dispatch). Inside totalMs(), excluded from serviceMs. */
+    double suspendedMs = 0.0;
+
+    /** Prefill segments the summarization ran as (1 = monolithic). */
+    std::uint64_t prefillChunks = 1;
 
     /** Per-request attribution: the prefill is exclusive; each batched
      *  generation step contributes a 1/B share of its RunStats, so
@@ -275,6 +354,8 @@ struct ServingReport
     std::string router;
     std::string batching;     ///< batching mode name ("none" when off)
     std::size_t maxBatch = 1; ///< per-replica batch-size cap
+    std::uint64_t prefillChunk = 0; ///< prefill chunk tokens (0 = whole)
+    bool preempt = false;           ///< token-boundary preemption on?
 
     /** Per-replica utilization, indexed like the pool. */
     std::vector<ReplicaUtilization> replicas;
@@ -322,12 +403,22 @@ struct ServingReport
     /** Fraction of requests whose ms/token exceeded the SLO. */
     double sloMissRate() const;
 
+    /** Fraction of requests that finished after their EDF deadline
+     *  (arrival + SLO x output tokens) — queueing included. */
+    double deadlineMissRate() const;
+
     /** Mean per-replica utilization. */
     double meanUtilization() const;
 
     /** Token-weighted mean batch occupancy over all generation steps
      *  (1.0 when every request ran alone; 0 with no generated steps). */
     double meanBatchOccupancy() const;
+
+    /** Total evictions across all requests. */
+    std::uint64_t preemptions() const;
+
+    /** Fraction of requests evicted at least once. */
+    double preemptionRate() const;
 
     /** One-line fleet summary. */
     std::string summary() const;
@@ -337,6 +428,7 @@ struct ServingReport
 enum class BatchingMode : std::uint8_t
 {
     None,       ///< batch 1: a request holds its replica to completion
+                ///< (still preemptible at token boundaries)
     Static,     ///< an idle replica seals a batch and drains it
     Continuous  ///< join/leave a running batch at token boundaries
 };
@@ -367,10 +459,43 @@ struct ServingOptions
 
     /**
      * Most requests a replica serves at once. 1 forces the legacy
-     * batch-1 service path whatever the mode (bit-identical numbers);
-     * > 1 requires batching != None.
+     * batch-1 service path whatever the mode (bit-identical numbers)
+     * unless prefillChunk or preempt routes service through the
+     * segment loop; > 1 requires batching != None.
      */
     std::size_t maxBatch = 1;
+
+    /**
+     * Chunked prefill: split a joiner's summarization into segments of
+     * at most this many prompt tokens. Two scheduling effects follow:
+     * a generation segment interleaves whenever ~prefillChunk prompt
+     * tokens have been summarized since the last one (residents keep
+     * emitting tokens through a long prefill, while brief prefills
+     * still pack back to back), and the policy re-picks the most
+     * urgent pending prefill at every chunk boundary (an urgent short
+     * prompt never waits out the whole of a long one — the TTFT-tail
+     * win, which needs a policy whose urgency can reorder: FCFS
+     * cannot). Each resumed chunk re-streams the FC weights and
+     * reloads the prior KV, but never computes the causal mask's upper
+     * triangle across chunks (see docs/SCHEDULING.md for the cost
+     * model). 0 = monolithic prefill, the pre-chunking segment loop
+     * bit for bit. Decoder models only; encoders always prefill
+     * monolithically.
+     */
+    std::uint64_t prefillChunk = 0;
+
+    /**
+     * Token-boundary preemption: at a segment boundary, a waiting
+     * request with strictly lower SchedulingPolicy::urgency than a
+     * generating resident evicts the least-urgent such resident. The
+     * evicted request's KV cache stays on its replica (resume =
+     * re-dispatch there at the KV length reached; the router is
+     * bypassed); its prefill is never re-run. FCFS urgency makes this
+     * a no-op; incompatible with static batching (evicting from a
+     * sealed batch would break the seal). false = the pre-preemption
+     * loop bit for bit.
+     */
+    bool preempt = false;
 };
 
 /** Replays queued requests on a pool of replicas, event-driven. */
