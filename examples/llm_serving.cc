@@ -9,18 +9,25 @@
  * ServingEngine on IANUS and on NPU-MEM, and prints per-request latency
  * decompositions plus the fleet-level ServingReport.
  *
- * Cluster mode (--replicas N) builds a DevicePool of N IANUS replicas,
- * generates a deterministic Poisson arrival trace, and serves it under
- * the chosen scheduling policy, router, and batching mode, reporting
- * per-replica utilization and batch occupancy alongside the fleet
- * report. See docs/SERVING.md for the full option matrix.
+ * Cluster mode (--replicas N) builds a DevicePool of N IANUS replicas
+ * and serves a deterministic workload under the chosen scheduling
+ * policy, router, and batching mode, reporting per-replica utilization
+ * and batch occupancy alongside the fleet report. The workload is one
+ * of: a generated Poisson arrival trace (default), a trace replayed
+ * from file (--trace-in), or a closed-loop client fleet (--clients N,
+ * think time --think-ms) whose arrivals follow completions; any of the
+ * three can be recorded with --trace-out for later replay. See
+ * docs/SERVING.md for the full option matrix.
  *
  *   ./llm_serving [model] [requests] [slo_ms_per_token]
  *                 [--replicas N] [--policy fcfs|sjf|edf]
- *                 [--router round-robin|least-loaded]
+ *                 [--router round-robin|least-loaded|queue-depth|
+ *                           predicted-finish|kv-affinity]
  *                 [--batching none|static|continuous] [--max-batch B]
  *                 [--prefill-chunk T] [--preempt]
  *                 [--rate req_per_s] [--seed S]
+ *                 [--clients N] [--think-ms T]
+ *                 [--trace-in path] [--trace-out path]
  */
 
 #include <cstdio>
@@ -50,6 +57,10 @@ struct Args
     bool preempt = false;      ///< token-boundary preemption
     double rate = 0.0; ///< req/s; 0 = auto (saturate the pool)
     std::uint64_t seed = 7;
+    unsigned clients = 0; ///< 0 = open loop; N = closed-loop clients
+    double thinkMs = 50.0; ///< mean client think time (closed loop)
+    std::string traceIn;  ///< replay arrivals from this trace file
+    std::string traceOut; ///< record the served arrivals here
 };
 
 unsigned
@@ -73,6 +84,21 @@ parsePositive(const std::string &what, const char *value)
     double parsed = std::strtod(value, &end);
     if (end == value || *end != '\0' || !(parsed > 0.0)) {
         std::fprintf(stderr, "%s wants a positive number, got '%s'\n",
+                     what.c_str(), value);
+        std::exit(2);
+    }
+    return parsed;
+}
+
+/** A non-negative double (0 allowed — e.g. think-free clients). */
+double
+parseNonNegative(const std::string &what, const char *value)
+{
+    char *end = nullptr;
+    double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0' || !(parsed >= 0.0)) {
+        std::fprintf(stderr,
+                     "%s wants a non-negative number, got '%s'\n",
                      what.c_str(), value);
         std::exit(2);
     }
@@ -114,6 +140,7 @@ parseArgs(int argc, char **argv)
     Args args;
     int positional = 0;
     bool cluster_flag = false;
+    bool think_flag = false;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         auto next = [&]() -> const char * {
@@ -143,6 +170,16 @@ parseArgs(int argc, char **argv)
             args.rate = parsePositive(a, next()), cluster_flag = true;
         else if (a == "--seed")
             args.seed = parseSeed(a, next()), cluster_flag = true;
+        else if (a == "--clients")
+            args.clients = parseCount(a, next(), 4096),
+            cluster_flag = true;
+        else if (a == "--think-ms")
+            args.thinkMs = parseNonNegative(a, next()),
+            cluster_flag = true, think_flag = true;
+        else if (a == "--trace-in")
+            args.traceIn = next(), cluster_flag = true;
+        else if (a == "--trace-out")
+            args.traceOut = next(), cluster_flag = true;
         else if (positional == 0)
             args.model = a, ++positional;
         else if (positional == 1)
@@ -159,8 +196,32 @@ parseArgs(int argc, char **argv)
     if (cluster_flag && args.replicas == 0) {
         std::fprintf(stderr,
                      "--policy/--router/--batching/--max-batch/"
-                     "--prefill-chunk/--preempt/--rate/--seed only "
+                     "--prefill-chunk/--preempt/--rate/--seed/"
+                     "--clients/--think-ms/--trace-in/--trace-out only "
                      "apply to cluster mode; add --replicas N\n");
+        std::exit(2);
+    }
+    if (!args.traceIn.empty() && args.clients > 0) {
+        std::fprintf(stderr,
+                     "--trace-in replays recorded arrivals; --clients "
+                     "generates its own from completions — use one or "
+                     "the other\n");
+        std::exit(2);
+    }
+    if (think_flag && args.clients == 0) {
+        std::fprintf(stderr, "--think-ms is a closed-loop client knob; "
+                             "add --clients N\n");
+        std::exit(2);
+    }
+    if (args.clients > 0 && args.rate > 0.0) {
+        std::fprintf(stderr, "--rate has no effect with --clients "
+                             "(closed-loop arrivals follow "
+                             "completions)\n");
+        std::exit(2);
+    }
+    if (!args.traceIn.empty() && args.rate > 0.0) {
+        std::fprintf(stderr, "--rate has no effect with --trace-in "
+                             "(the file fixes the arrivals)\n");
         std::exit(2);
     }
     if (args.preempt && args.batching == "static") {
@@ -256,7 +317,8 @@ singleDeviceMode(const Args &args)
     return 0;
 }
 
-/** Cluster mode: a DevicePool under a Poisson trace. */
+/** Cluster mode: a DevicePool under an open-loop trace (generated or
+ *  replayed from file) or a closed-loop client fleet. */
 int
 clusterMode(const Args &args)
 {
@@ -268,20 +330,6 @@ clusterMode(const Args &args)
     serve::DevicePool pool(SystemConfig::ianusDefault(), model,
                            pool_opts);
 
-    // Auto rate: offer ~2x the pool's single-request service rate so the
-    // cluster stays busy without the queue diverging unboundedly.
-    double rate = args.rate;
-    if (rate <= 0.0) {
-        double svc_ms = pool.replica(0).run({256, 16}, 8).totalMs();
-        rate = 2.0 * static_cast<double>(args.replicas) * 1000.0 / svc_ms;
-    }
-
-    serve::TraceOptions trace_opts;
-    trace_opts.seed = args.seed;
-    trace_opts.requests = args.requests;
-    trace_opts.arrivalsPerSec = rate;
-    serve::ArrivalTrace trace = serve::generatePoissonTrace(trace_opts);
-
     std::printf("cluster serving on %s: %u replicas, policy %s, "
                 "router %s, batching %s (max %u)%s",
                 model.describe().c_str(), args.replicas,
@@ -291,10 +339,6 @@ clusterMode(const Args &args)
     if (args.prefillChunk > 0)
         std::printf(", prefill chunk %u", args.prefillChunk);
     std::printf("\n");
-    std::printf("trace: %zu requests, %.1f req/s Poisson (seed %llu), "
-                "horizon %.1f ms\n\n",
-                trace.size(), rate, (unsigned long long)args.seed,
-                trace.horizonMs());
 
     serve::ServingOptions opts;
     opts.sloMsPerToken = args.slo;
@@ -306,8 +350,64 @@ clusterMode(const Args &args)
     serve::ServingEngine engine(pool, opts,
                                 serve::makePolicy(args.policy),
                                 serve::makeRouter(args.router));
-    serve::submitAll(trace, engine);
-    serve::ServingReport rep = engine.drain();
+
+    serve::ServingReport rep;
+    serve::ArrivalTrace trace; // served (or realized) arrivals
+    if (args.clients > 0) {
+        // Closed loop: arrivals follow completions, so the offered
+        // load throttles itself to what the pool sustains.
+        serve::ClosedLoopOptions copts;
+        copts.seed = args.seed;
+        copts.clients = args.clients;
+        copts.requestsPerClient =
+            (args.requests + args.clients - 1) / args.clients;
+        copts.meanThinkMs = args.thinkMs;
+        std::printf("closed loop: %u clients x %zu requests, mean think "
+                    "%.1f ms (seed %llu)\n\n",
+                    args.clients, copts.requestsPerClient, args.thinkMs,
+                    (unsigned long long)args.seed);
+        serve::ClosedLoopResult res = serve::runClosedLoop(engine, copts);
+        rep = std::move(res.report);
+        trace = std::move(res.realized);
+        std::printf("realized: %zu arrivals over %.1f ms\n\n",
+                    trace.size(), trace.horizonMs());
+    } else if (!args.traceIn.empty()) {
+        trace = serve::loadTrace(args.traceIn);
+        std::printf("trace: %zu requests replayed from %s, horizon "
+                    "%.1f ms\n\n",
+                    trace.size(), args.traceIn.c_str(),
+                    trace.horizonMs());
+        serve::submitAll(trace, engine);
+        rep = engine.drain();
+    } else {
+        // Auto rate: offer ~2x the pool's single-request service rate
+        // so the cluster stays busy without the queue diverging
+        // unboundedly.
+        double rate = args.rate;
+        if (rate <= 0.0) {
+            double svc_ms = pool.replica(0).run({256, 16}, 8).totalMs();
+            rate = 2.0 * static_cast<double>(args.replicas) * 1000.0 /
+                   svc_ms;
+        }
+        serve::TraceOptions trace_opts;
+        trace_opts.seed = args.seed;
+        trace_opts.requests = args.requests;
+        trace_opts.arrivalsPerSec = rate;
+        trace = serve::generatePoissonTrace(trace_opts);
+        std::printf("trace: %zu requests, %.1f req/s Poisson (seed "
+                    "%llu), horizon %.1f ms\n\n",
+                    trace.size(), rate, (unsigned long long)args.seed,
+                    trace.horizonMs());
+        serve::submitAll(trace, engine);
+        rep = engine.drain();
+    }
+
+    if (!args.traceOut.empty()) {
+        serve::saveTrace(trace, args.traceOut);
+        std::printf("saved %zu arrivals to %s (replay with "
+                    "--trace-in)\n\n",
+                    trace.size(), args.traceOut.c_str());
+    }
 
     std::printf("%-8s %10s %12s %12s %8s\n", "replica", "dispatched",
                 "busy(ms)", "idle(ms)", "util");

@@ -150,6 +150,45 @@ CompiledModel::generationStepStats(
     return stats;
 }
 
+double
+CompiledModel::estimatedStepMs() const
+{
+    if (!model_.decoder())
+        return 0.0;
+    return generation(routingProbeKv).stats.wallMs();
+}
+
+double
+CompiledModel::estimatePrefillMs(std::uint64_t input_tokens) const
+{
+    return summarizationStats(input_tokens).wallMs();
+}
+
+double
+CompiledModel::estimateGenerationMs(
+    const workloads::InferenceRequest &request) const
+{
+    if (request.inputTokens == 0)
+        IANUS_FATAL("inference request needs at least one input token");
+    if (request.outputTokens == 0)
+        IANUS_FATAL("inference request needs at least one output token");
+    if (!model_.decoder())
+        return 0.0;
+    std::uint64_t steps = request.outputTokens - 1;
+    if (steps == 0)
+        return 0.0;
+    std::uint64_t mid_kv = request.inputTokens + 1 + steps / 2;
+    return static_cast<double>(steps) * generation(mid_kv).stats.wallMs();
+}
+
+double
+CompiledModel::estimateServiceMs(
+    const workloads::InferenceRequest &request) const
+{
+    return estimatePrefillMs(request.inputTokens) +
+           estimateGenerationMs(request);
+}
+
 InferenceReport
 CompiledModel::run(const workloads::InferenceRequest &request,
                    unsigned token_stride) const

@@ -127,6 +127,51 @@ class CompiledModel
      *  entries are pure recomputable functions of the key). */
     static constexpr std::size_t maxBatchEntries = 1024;
 
+    // --- Routing estimates --------------------------------------------------
+    //
+    // Heterogeneity-aware routers need to know how fast *this* replica
+    // is, not how busy it has been. These estimates are derived from the
+    // same cached program stats run() uses — every term is executed on
+    // this replica's own device model, so an NPU-MEM replica or a
+    // different tensor-parallel degree honestly reports different
+    // numbers. They are pure functions of the replica configuration and
+    // the request shape (never of cache history), so routing decisions
+    // do not depend on what a replica happened to serve earlier.
+
+    /** KV length of the canonical probe step behind estimatedStepMs()
+     *  (the default trace's median 256-token prompt plus its first
+     *  output token). */
+    static constexpr std::uint64_t routingProbeKv = 257;
+
+    /**
+     * Per-token service-time estimate of this replica: the wall ms of
+     * one generation step at routingProbeKv, from the scalar
+     * generation-step cache (built on first use, a hit afterwards).
+     * 0 for encoder models, which have no generation stage.
+     */
+    double estimatedStepMs() const;
+
+    /**
+     * Estimated wall ms of @p request's prefill on this replica: the
+     * memoized summarization entry itself (exact, and shared with the
+     * entry a dispatch would build anyway).
+     */
+    double estimatePrefillMs(std::uint64_t input_tokens) const;
+
+    /**
+     * Estimated wall ms of @p request's generation stage served alone
+     * on this replica: (output - 1) steps charged at the midpoint-KV
+     * step cost (token latency is smooth in KV length, so the midpoint
+     * sample is the one-point trapezoid). 0 for encoders and
+     * single-token outputs.
+     */
+    double
+    estimateGenerationMs(const workloads::InferenceRequest &request) const;
+
+    /** Prefill + generation estimate of the whole request served alone. */
+    double
+    estimateServiceMs(const workloads::InferenceRequest &request) const;
+
     const SystemConfig &config() const { return cfg_; }
     const workloads::ModelConfig &model() const { return model_; }
     const compiler::BuildOptions &options() const { return opts_; }

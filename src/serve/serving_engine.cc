@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <tuple>
 
 #include "common/logging.hh"
 #include "sim/event_queue.hh"
@@ -184,6 +185,110 @@ LeastLoadedRouter::route(const QueuedRequest &request,
     return best->index;
 }
 
+std::size_t
+QueueDepthRouter::route(const QueuedRequest &request,
+                        const std::vector<ReplicaStatus> &replicas,
+                        double now_ms)
+{
+    (void)request;
+    (void)now_ms;
+    const ReplicaStatus *best = nullptr;
+    for (const ReplicaStatus &r : replicas) {
+        if (!r.idle)
+            continue;
+        auto key = [](const ReplicaStatus &s) {
+            return std::make_tuple(s.resident, s.backlogTokens, s.busyMs,
+                                   s.dispatched, s.index);
+        };
+        if (!best || key(r) < key(*best))
+            best = &r;
+    }
+    if (!best)
+        IANUS_FATAL("queue-depth router called with no accepting replica");
+    return best->index;
+}
+
+namespace
+{
+
+/**
+ * The predicted-finish score (see PredictedFinishRouter): the replica's
+ * in-flight segment, then every pending prefill (exclusive, charged at
+ * the candidate's prefill estimate), then the candidate's generation
+ * dilated by the batch occupancy it joins.
+ */
+double
+predictedFinishMs(const ReplicaStatus &r, double now_ms)
+{
+    double start = std::max(now_ms, r.freeAtMs);
+    std::size_t generating = r.resident - r.pendingPrefill;
+    return start +
+           r.estPrefillMs *
+               (1.0 + static_cast<double>(r.pendingPrefill)) +
+           r.estGenMs * (1.0 + static_cast<double>(generating));
+}
+
+/** Earliest predicted finish among accepting replicas, optionally
+ *  restricted to those without parked suspended KV. */
+const ReplicaStatus *
+earliestFinish(const std::vector<ReplicaStatus> &replicas, double now_ms,
+               bool skip_parked_kv)
+{
+    const ReplicaStatus *best = nullptr;
+    double best_finish = 0.0;
+    for (const ReplicaStatus &r : replicas) {
+        if (!r.idle)
+            continue;
+        if (skip_parked_kv && r.suspendedKv > 0)
+            continue;
+        double finish = predictedFinishMs(r, now_ms);
+        if (!best || finish < best_finish ||
+            (finish == best_finish && r.index < best->index))
+            best = &r;
+        if (best == &r)
+            best_finish = finish;
+    }
+    return best;
+}
+
+} // namespace
+
+std::size_t
+PredictedFinishRouter::route(const QueuedRequest &request,
+                             const std::vector<ReplicaStatus> &replicas,
+                             double now_ms)
+{
+    (void)request;
+    const ReplicaStatus *best = earliestFinish(replicas, now_ms, false);
+    if (!best)
+        IANUS_FATAL(
+            "predicted-finish router called with no accepting replica");
+    return best->index;
+}
+
+std::size_t
+KvAffinityRouter::route(const QueuedRequest &request,
+                        const std::vector<ReplicaStatus> &replicas,
+                        double now_ms)
+{
+    // Affinity first: a resumed request's KV cache lives on exactly one
+    // replica — go back to it whenever it accepts. (A live drain pins
+    // resumes there before routing; this branch keeps the choice
+    // function total.)
+    if (request.resumed && request.boundReplica < replicas.size() &&
+        replicas[request.boundReplica].idle)
+        return request.boundReplica;
+    // Fresh work avoids replicas whose open slot is spoken for by a
+    // parked evictee; among the rest, earliest predicted finish.
+    const ReplicaStatus *best = earliestFinish(replicas, now_ms, true);
+    if (!best)
+        best = earliestFinish(replicas, now_ms, false);
+    if (!best)
+        IANUS_FATAL(
+            "kv-affinity router called with no accepting replica");
+    return best->index;
+}
+
 std::unique_ptr<Router>
 makeRouter(const std::string &name)
 {
@@ -191,8 +296,15 @@ makeRouter(const std::string &name)
         return std::make_unique<RoundRobinRouter>();
     if (name == "least-loaded" || name == "ll")
         return std::make_unique<LeastLoadedRouter>();
+    if (name == "queue-depth" || name == "qd")
+        return std::make_unique<QueueDepthRouter>();
+    if (name == "predicted-finish" || name == "pf")
+        return std::make_unique<PredictedFinishRouter>();
+    if (name == "kv-affinity" || name == "kv")
+        return std::make_unique<KvAffinityRouter>();
     IANUS_FATAL("unknown router '", name,
-                "' (expected round-robin or least-loaded)");
+                "' (expected round-robin, least-loaded, queue-depth, "
+                "predicted-finish, or kv-affinity)");
 }
 
 // --- ServingReport ----------------------------------------------------------
@@ -462,6 +574,22 @@ ServingEngine::validateOptions() const
                     "batch; use batching none or continuous");
 }
 
+void
+ServingEngine::setCompletionHook(CompletionHook hook)
+{
+    onComplete_ = std::move(hook);
+}
+
+std::uint64_t
+ServingEngine::inject(const workloads::InferenceRequest &request,
+                      double arrival_ms)
+{
+    if (!injector_)
+        IANUS_FATAL("inject() is only legal from inside a completion "
+                    "hook during drain(); use submit() otherwise");
+    return injector_(request, arrival_ms);
+}
+
 std::uint64_t
 ServingEngine::submit(const workloads::InferenceRequest &request,
                       double arrival_ms)
@@ -607,6 +735,8 @@ ServingEngine::drain()
         report.makespanMs =
             std::max(report.makespanMs, now - first_arrival);
         report.results.push_back(std::move(res));
+        if (onComplete_)
+            onComplete_(report.results.back());
     };
 
     std::function<void(double)> pump; // forward: segments re-enter it
@@ -805,6 +935,15 @@ ServingEngine::drain()
 
             std::size_t launched = 0;
             std::vector<char> consumed(ready.size(), 0);
+            // Parked KV per replica — evictees still waiting to resume.
+            // Counted once per round (admit is the event loop's hot
+            // path) and decremented as resumes dispatch, so a later
+            // candidate never sees a slot as spoken for by an evictee
+            // that already took it back.
+            std::vector<std::size_t> parked(n, 0);
+            for (const QueuedRequest &w : ready)
+                if (w.resumed)
+                    parked[w.boundReplica] += 1;
             for (std::size_t idx : batch) {
                 if (launched == slots)
                     break; // rest of the batch waits for a boundary
@@ -820,7 +959,21 @@ ServingEngine::drain()
                     if (capacity(dev) == 0)
                         continue;
                 } else {
+                    // The router contract, enforced here where drain()
+                    // consumes the route (the selectBatch twin above):
+                    // the router is called only when some replica
+                    // accepts, with a status vector carrying the load
+                    // signals (resident / pendingPrefill / kvTokens /
+                    // backlogTokens / suspendedKv) for every replica
+                    // and — only when the router declares
+                    // needsEstimates() — the candidate's service-time
+                    // estimates on each replica's own device model. It
+                    // must return an in-range, accepting replica;
+                    // anything else is fatal. Resumed requests never
+                    // reach it (pinned to their KV-holding replica
+                    // above).
                     std::vector<ReplicaStatus> statuses(n);
+                    const bool est = router_->needsEstimates();
                     for (std::size_t d = 0; d < n; ++d) {
                         statuses[d].index = d;
                         statuses[d].idle = capacity(d) > 0;
@@ -830,6 +983,22 @@ ServingEngine::drain()
                             report.replicas[d].dispatched;
                         statuses[d].resident =
                             rt[d].prefill.size() + rt[d].gen.size();
+                        statuses[d].pendingPrefill = rt[d].prefill.size();
+                        for (const Member &m : rt[d].gen) {
+                            statuses[d].kvTokens += m.kvLen;
+                            statuses[d].backlogTokens += m.remaining;
+                        }
+                        statuses[d].suspendedKv = parked[d];
+                        if (est) {
+                            statuses[d].estStepMs =
+                                replicas_[d]->estimatedStepMs();
+                            statuses[d].estPrefillMs =
+                                replicas_[d]->estimatePrefillMs(
+                                    q.request.inputTokens);
+                            statuses[d].estGenMs =
+                                replicas_[d]->estimateGenerationMs(
+                                    q.request);
+                        }
                     }
                     dev = router_->route(q, statuses, now);
                     if (dev >= n)
@@ -886,6 +1055,8 @@ ServingEngine::drain()
                                 std::max(report.makespanMs,
                                          finish - first_arrival);
                             report.results.push_back(std::move(res));
+                            if (onComplete_)
+                                onComplete_(report.results.back());
                             pump(finish);
                         });
                 } else if (q.resumed) {
@@ -900,6 +1071,7 @@ ServingEngine::drain()
                     suspended.erase(sit);
                     m.res.suspendedMs += now - m.evictedAtMs;
                     rt[dev].gen.push_back(std::move(m));
+                    parked[dev] -= 1; // its KV is resident again
                     // A re-dispatch is a dispatch event: a preempted
                     // request counts once per admission.
                     report.replicas[dev].dispatched += 1;
@@ -1027,6 +1199,53 @@ ServingEngine::drain()
                 if (!busy[d] &&
                     (!rt[d].prefill.empty() || !rt[d].gen.empty()))
                     startSegment(d, now);
+    };
+
+    // Mid-drain arrivals (closed-loop feedback): a completion hook's
+    // inject() schedules a fresh arrival event into the running loop.
+    // Injected at the completing tick or later, it can never land in
+    // the past; run() keeps going until injected arrivals drain too.
+    // Tie semantics differ from submit() by design: pre-drain arrivals
+    // at one tick are grouped into a single burst (below), but each
+    // injection is its own event, delivered in completion order — the
+    // order the live clients actually acted in. Replaying a saved
+    // realized trace therefore groups same-instant arrivals the live
+    // session delivered one by one; both runs are deterministic, but
+    // exact-tie scheduling may differ between them.
+    // The guard clears the injector on *every* exit — the lambda
+    // captures this drain's locals, and a throwing drain (say, a
+    // malformed policy batch) must not leave a dangling injector that
+    // a later inject() call would invoke.
+    struct InjectorGuard
+    {
+        ServingEngine *engine;
+        ~InjectorGuard() { engine->injector_ = nullptr; }
+    } injector_guard{this};
+    injector_ = [&](const workloads::InferenceRequest &request,
+                    double arrival_ms) -> std::uint64_t {
+        if (request.inputTokens == 0)
+            IANUS_FATAL("inference request needs at least one input "
+                        "token");
+        if (request.outputTokens == 0)
+            IANUS_FATAL("inference request needs at least one output "
+                        "token");
+        if (!std::isfinite(arrival_ms) || arrival_ms < 0.0)
+            IANUS_FATAL("injected arrival must be a finite non-negative "
+                        "time in ms, got ",
+                        arrival_ms);
+        Tick when = msToTicks(arrival_ms);
+        if (when < events.now())
+            IANUS_FATAL("injected arrival at ", arrival_ms,
+                        " ms is in the drain's past");
+        QueuedRequest q;
+        q.id = nextId_++;
+        q.request = request;
+        q.arrivalMs = arrival_ms;
+        events.schedule(when, [&, q]() {
+            ready.push_back(q);
+            pump(q.arrivalMs);
+        });
+        return q.id;
     };
 
     // One arrival event per distinct arrival tick: simultaneous

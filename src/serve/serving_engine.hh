@@ -11,7 +11,9 @@
  * can accept work and requests wait, the policy picks *which* requests
  * dispatch next (FCFS, shortest-job-first, earliest-deadline-first) and
  * the router picks *which accepting replica* serves each one
- * (round-robin, least-loaded).
+ * (round-robin, least-loaded, queue-depth, predicted-finish,
+ * kv-affinity — the estimate-driven routers price heterogeneous
+ * replicas by their own cached-stats service times).
  *
  * ServingOptions::batching selects how many requests a replica serves
  * at once:
@@ -57,6 +59,7 @@
 #define IANUS_SERVE_SERVING_ENGINE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -226,12 +229,44 @@ struct ReplicaStatus
     std::uint64_t dispatched = 0;
     /** Requests currently resident in the replica's batch. */
     std::size_t resident = 0;
+
+    // --- Load signals beyond busy time --------------------------------
+    /** Residents still awaiting (the rest of) their prefill — the
+     *  replica's pending-queue depth. */
+    std::size_t pendingPrefill = 0;
+    /** Total KV length resident across the replica's generating batch
+     *  (a memory-pressure signal for custom routers). */
+    std::uint64_t kvTokens = 0;
+    /** Generation steps the residents still owe. */
+    std::uint64_t backlogTokens = 0;
+    /** Evicted requests whose KV cache is parked on this replica,
+     *  waiting to resume (their slot is spoken for). */
+    std::size_t suspendedKv = 0;
+
+    // --- Heterogeneity signals (service-time estimates) ----------------
+    //
+    // Filled by the engine only when the router declares
+    // needsEstimates() — deriving them executes (and caches) probe
+    // programs on the replica, which estimate-blind routers should not
+    // pay for. All three come from the replica's own CompiledModel
+    // cached stats, so heterogeneous replicas report honestly different
+    // numbers (see CompiledModel's routing-estimate accessors).
+    /** Per-token estimate of this replica (candidate-independent — a
+     *  shape-free speed rank for custom routers; the shipped routers
+     *  score the candidate's own estimates below). */
+    double estStepMs = 0.0;
+    double estPrefillMs = 0.0; ///< the candidate's prefill, served here
+    double estGenMs = 0.0;     ///< the candidate's generation, alone here
 };
 
 /**
  * Placement policy: which accepting replica a dispatched request lands
  * on. Called only when at least one replica accepts; must return the
- * index of an accepting replica (IANUS_FATAL otherwise).
+ * index of an accepting replica (IANUS_FATAL otherwise — the contract
+ * is enforced where drain() consumes the route, next to the selectBatch
+ * enforcement). A resumed (previously evicted) request never reaches
+ * the router in a live drain: the dispatch site pins it to the replica
+ * holding its KV cache.
  */
 class Router
 {
@@ -239,6 +274,13 @@ class Router
     virtual ~Router() = default;
 
     virtual const char *name() const = 0;
+
+    /** Routers that read the ReplicaStatus est*Ms fields declare it
+     *  here; the engine fills those fields (executing and caching probe
+     *  programs on each replica as needed) only when this returns
+     *  true, so estimate-blind routers keep their replicas' cache
+     *  accounting untouched. */
+    virtual bool needsEstimates() const { return false; }
 
     virtual std::size_t route(const QueuedRequest &request,
                               const std::vector<ReplicaStatus> &replicas,
@@ -271,8 +313,77 @@ class LeastLoadedRouter : public Router
                       double now_ms) override;
 };
 
-/** Router by name: "round-robin" (or "rr"), "least-loaded".
- *  Unknown names are fatal. */
+/** Accepting replica with the fewest resident requests (ties: fewest
+ *  backlog tokens, then least busy time, then fewest dispatches, then
+ *  lowest index). Queue depth reacts to load a replica has *committed
+ *  to* rather than load it has already served, so it recovers faster
+ *  than least-loaded when one replica falls behind — but it still
+ *  treats a slow replica's slot as worth a fast one's. */
+class QueueDepthRouter : public Router
+{
+  public:
+    const char *name() const override { return "queue-depth"; }
+
+    std::size_t route(const QueuedRequest &request,
+                      const std::vector<ReplicaStatus> &replicas,
+                      double now_ms) override;
+};
+
+/**
+ * Accepting replica on which the candidate request is estimated to
+ * finish earliest:
+ *
+ *   finish = max(now, freeAt) + estPrefill x (1 + pendingPrefill)
+ *                             + estGen x (1 + generating residents)
+ *
+ * The est terms are the replica's own cached-stats estimates of *this*
+ * candidate (heterogeneous replicas honestly differ), prefill segments
+ * are exclusive (each resident prefill still owed is charged at the
+ * candidate's prefill estimate), and generation is batched-step aware:
+ * joining a batch of B residents dilates the candidate's steps by the
+ * occupancy it will share. Ties: lowest index. This is the router that
+ * stops a slow replica from absorbing as much traffic as a fast one —
+ * cumulative busy time treats every idle replica as equally cheap;
+ * predicted finish prices the service itself.
+ */
+class PredictedFinishRouter : public Router
+{
+  public:
+    const char *name() const override { return "predicted-finish"; }
+
+    bool needsEstimates() const override { return true; }
+
+    std::size_t route(const QueuedRequest &request,
+                      const std::vector<ReplicaStatus> &replicas,
+                      double now_ms) override;
+};
+
+/**
+ * KV-affinity routing, completing the preemption co-design from both
+ * sides. For a resumed candidate it prefers the replica already holding
+ * the request's KV cache (in a live drain the dispatch site enforces
+ * exactly that before routing; the branch here makes the choice
+ * function total and unit-testable). For a fresh candidate it steers
+ * work *away* from replicas with parked suspended KV — their open slot
+ * is spoken for by an evictee waiting to resume — and scores the rest
+ * by predicted finish, falling back to pure predicted-finish when every
+ * accepting replica holds parked KV.
+ */
+class KvAffinityRouter : public Router
+{
+  public:
+    const char *name() const override { return "kv-affinity"; }
+
+    bool needsEstimates() const override { return true; }
+
+    std::size_t route(const QueuedRequest &request,
+                      const std::vector<ReplicaStatus> &replicas,
+                      double now_ms) override;
+};
+
+/** Router by name: "round-robin" (or "rr"), "least-loaded" ("ll"),
+ *  "queue-depth" ("qd"), "predicted-finish" ("pf"), "kv-affinity"
+ *  ("kv"). Unknown names are fatal. */
 std::unique_ptr<Router> makeRouter(const std::string &name);
 
 /** Completed request: latency decomposition + the full report. */
@@ -533,6 +644,27 @@ class ServingEngine
     /** Requests queued and not yet drained. */
     std::size_t pending() const { return queue_.size(); }
 
+    /**
+     * Completion feedback: called inside drain() as each request
+     * finalizes (completion order, after its RequestResult is recorded).
+     * The hook may call inject() to add new arrivals mid-drain — the
+     * feedback edge closed-loop clients need (a client's next request
+     * arrives one think time after its previous one completed). Pass
+     * nullptr to clear. The hook must not call submit() or drain().
+     */
+    using CompletionHook = std::function<void(const RequestResult &)>;
+    void setCompletionHook(CompletionHook hook);
+
+    /**
+     * Add a request mid-drain, arriving at @p arrival_ms (>= the
+     * completion time the surrounding hook observed). Only legal from
+     * inside a completion hook; anywhere else it is fatal — outside a
+     * drain there is no live event clock to schedule against, use
+     * submit(). @return the request id.
+     */
+    std::uint64_t inject(const workloads::InferenceRequest &request,
+                         double arrival_ms);
+
     /** Serve everything queued; returns the fleet report. */
     ServingReport drain();
 
@@ -552,6 +684,12 @@ class ServingEngine
     std::vector<QueuedRequest> queue_;
     std::uint64_t nextId_ = 0;
     double lastArrivalMs_ = 0.0;
+    CompletionHook onComplete_;
+    /** Live only while drain() runs: schedules an injected arrival into
+     *  the running event loop (see inject()). */
+    std::function<std::uint64_t(const workloads::InferenceRequest &,
+                                double)>
+        injector_;
 
     void validateOptions() const;
 };

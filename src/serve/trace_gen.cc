@@ -1,6 +1,10 @@
 #include "serve/trace_gen.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <random>
 
 #include "common/logging.hh"
@@ -101,6 +105,293 @@ submitAll(const ArrivalTrace &trace, ServingEngine &engine)
     for (const TimedRequest &t : trace.requests)
         ids.push_back(engine.submit(t.request, t.arrivalMs));
     return ids;
+}
+
+// --- Closed-loop clients ----------------------------------------------------
+
+ClosedLoopResult
+runClosedLoop(ServingEngine &engine, const ClosedLoopOptions &opts)
+{
+    if (opts.clients == 0)
+        IANUS_FATAL("a closed-loop session needs at least one client");
+    if (opts.requestsPerClient == 0)
+        IANUS_FATAL("closed-loop clients must send at least one request "
+                    "each");
+    if (!(opts.meanThinkMs >= 0.0))
+        IANUS_FATAL("mean think time must be a non-negative number of "
+                    "ms, got ",
+                    opts.meanThinkMs);
+    if (opts.inputTokenChoices.empty() || opts.outputTokenChoices.empty())
+        IANUS_FATAL("closed-loop generation needs non-empty input and "
+                    "output token choice lists");
+    if (engine.pending() != 0)
+        IANUS_FATAL("a closed-loop session needs an engine with no "
+                    "pending requests (",
+                    engine.pending(), " queued)");
+
+    // One RNG stream per client, derived from (seed, client index):
+    // every client's shape and think draws are fixed by the seed alone,
+    // independent of the completion order the pool produces — which is
+    // what makes the session seed-deterministic end to end.
+    struct Client
+    {
+        std::mt19937 rng;
+        std::size_t sent = 0;
+    };
+    std::vector<Client> clients(opts.clients);
+    for (std::size_t c = 0; c < opts.clients; ++c) {
+        std::seed_seq seq{static_cast<std::uint32_t>(opts.seed),
+                          static_cast<std::uint32_t>(opts.seed >> 32),
+                          static_cast<std::uint32_t>(c)};
+        clients[c].rng.seed(seq);
+    }
+
+    auto drawShape = [&](Client &c) {
+        workloads::InferenceRequest req;
+        req.inputTokens = pick(c.rng, opts.inputTokenChoices);
+        req.outputTokens = pick(c.rng, opts.outputTokenChoices);
+        return req;
+    };
+    // Exponential think with the given mean; mean 0 degenerates to an
+    // immediate re-submit but still burns the draw, so the stream stays
+    // aligned across think-time settings.
+    auto drawThinkMs = [&](Client &c) {
+        double u = canonical53(c.rng);
+        return opts.meanThinkMs * -std::log1p(-u);
+    };
+
+    ClosedLoopResult result;
+    std::map<std::uint64_t, std::size_t> owner; // request id -> client
+
+    // First arrivals: one think draw past time zero, per client —
+    // submitted in arrival order (submit() requires it), ties broken by
+    // client index.
+    struct FirstArrival
+    {
+        double arrivalMs;
+        std::size_t client;
+        workloads::InferenceRequest request;
+    };
+    std::vector<FirstArrival> first;
+    first.reserve(opts.clients);
+    for (std::size_t c = 0; c < opts.clients; ++c) {
+        workloads::InferenceRequest req = drawShape(clients[c]);
+        first.push_back({drawThinkMs(clients[c]), c, req});
+    }
+    std::sort(first.begin(), first.end(),
+              [](const FirstArrival &a, const FirstArrival &b) {
+                  return a.arrivalMs != b.arrivalMs
+                             ? a.arrivalMs < b.arrivalMs
+                             : a.client < b.client;
+              });
+    for (const FirstArrival &f : first) {
+        std::uint64_t id = engine.submit(f.request, f.arrivalMs);
+        owner.emplace(id, f.client);
+        clients[f.client].sent = 1;
+        result.realized.requests.push_back({f.request, f.arrivalMs});
+    }
+
+    // The feedback edge: each completion wakes its client, which thinks
+    // and injects its next request into the running drain. The guard
+    // clears the hook on every exit — it captures this function's
+    // locals, and a throwing drain must not leave the engine holding a
+    // dangling hook.
+    struct HookGuard
+    {
+        ServingEngine *engine;
+        ~HookGuard() { engine->setCompletionHook(nullptr); }
+    } hook_guard{&engine};
+    engine.setCompletionHook([&](const RequestResult &r) {
+        auto it = owner.find(r.id);
+        if (it == owner.end())
+            return; // not ours (engine shared with other traffic)
+        Client &c = clients[it->second];
+        if (c.sent >= opts.requestsPerClient)
+            return;
+        workloads::InferenceRequest req = drawShape(c);
+        double arrival = r.finishMs + drawThinkMs(c);
+        std::uint64_t id = engine.inject(req, arrival);
+        owner.emplace(id, it->second);
+        c.sent += 1;
+        result.realized.requests.push_back({req, arrival});
+    });
+    result.report = engine.drain();
+
+    // Injection order is completion order; the realized trace is the
+    // open-loop view of the same arrivals, so sort it into arrival
+    // order (stable: simultaneous arrivals keep completion order).
+    std::stable_sort(result.realized.requests.begin(),
+                     result.realized.requests.end(),
+                     [](const TimedRequest &a, const TimedRequest &b) {
+                         return a.arrivalMs < b.arrivalMs;
+                     });
+    return result;
+}
+
+// --- Versioned trace files --------------------------------------------------
+
+namespace
+{
+
+constexpr const char *traceMagic = "ianus-arrival-trace v1";
+
+/** strtoull that rejects a leading '-' (which strtoull would otherwise
+ *  silently wrap modulo 2^64 instead of failing). */
+unsigned long long
+parseUnsigned(const char *s, char **end, bool &ok)
+{
+    const char *p = s;
+    while (*p == ' ' || *p == '\t')
+        ++p;
+    if (*p == '-') {
+        *end = const_cast<char *>(s);
+        ok = false;
+        return 0;
+    }
+    unsigned long long v = std::strtoull(s, end, 10);
+    ok = ok && *end != s;
+    return v;
+}
+
+/** Next '\n'-terminated (or final) line of @p text from @p pos;
+ *  advances @p pos past the newline. Returns false at end of text. */
+bool
+nextLine(const std::string &text, std::size_t &pos, std::string &line)
+{
+    if (pos >= text.size())
+        return false;
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+        line = text.substr(pos);
+        pos = text.size();
+    } else {
+        line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+formatTrace(const ArrivalTrace &trace)
+{
+    std::string out = traceMagic;
+    out += '\n';
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%zu\n", trace.requests.size());
+    out += buf;
+    for (const TimedRequest &t : trace.requests) {
+        // %.17g round-trips IEEE doubles bit-exactly, so
+        // format(parse(format(t))) == format(t) byte for byte.
+        std::snprintf(buf, sizeof(buf), "%.17g %llu %llu\n", t.arrivalMs,
+                      (unsigned long long)t.request.inputTokens,
+                      (unsigned long long)t.request.outputTokens);
+        out += buf;
+    }
+    return out;
+}
+
+ArrivalTrace
+parseTrace(const std::string &text)
+{
+    std::size_t pos = 0;
+    std::string line;
+    if (!nextLine(text, pos, line) || line != traceMagic)
+        IANUS_FATAL("arrival trace must start with '", traceMagic,
+                    "', got '", line, "'");
+    if (!nextLine(text, pos, line))
+        IANUS_FATAL("arrival trace is missing its request-count line");
+    char *end = nullptr;
+    bool count_ok = true;
+    unsigned long long count = parseUnsigned(line.c_str(), &end, count_ok);
+    if (!count_ok || *end != '\0')
+        IANUS_FATAL("arrival trace request count must be a non-negative "
+                    "integer, got '",
+                    line, "'");
+
+    ArrivalTrace trace;
+    // The header count is untrusted: cap the reserve by what the text
+    // could possibly hold (>= 6 bytes per row), so a corrupt count
+    // fails with the parser's diagnostic, not bad_alloc.
+    trace.requests.reserve(static_cast<std::size_t>(
+        std::min<unsigned long long>(count, text.size() / 4)));
+    double prev = 0.0;
+    for (unsigned long long i = 0; i < count; ++i) {
+        if (!nextLine(text, pos, line))
+            IANUS_FATAL("arrival trace ends after ", i, " of ", count,
+                        " requests");
+        TimedRequest t;
+        const char *s = line.c_str();
+        t.arrivalMs = std::strtod(s, &end);
+        bool ok = end != s;
+        s = end;
+        unsigned long long input = parseUnsigned(s, &end, ok);
+        s = end;
+        unsigned long long output = parseUnsigned(s, &end, ok);
+        ok = ok && *end == '\0';
+        if (!ok)
+            IANUS_FATAL("arrival trace row ", i,
+                        " must be 'arrival_ms input output', got '",
+                        line, "'");
+        if (!std::isfinite(t.arrivalMs) || t.arrivalMs < 0.0)
+            IANUS_FATAL("arrival trace row ", i,
+                        " has a non-finite or negative arrival: '", line,
+                        "'");
+        if (t.arrivalMs < prev)
+            IANUS_FATAL("arrival trace row ", i, " arrives at ",
+                        t.arrivalMs, " ms, before the previous row's ",
+                        prev, " ms (arrivals must be non-decreasing)");
+        if (input == 0 || output == 0)
+            IANUS_FATAL("arrival trace row ", i,
+                        " needs positive input and output token counts: "
+                        "'",
+                        line, "'");
+        prev = t.arrivalMs;
+        t.request.inputTokens = input;
+        t.request.outputTokens = output;
+        trace.requests.push_back(t);
+    }
+    while (nextLine(text, pos, line))
+        if (!line.empty())
+            IANUS_FATAL("arrival trace has trailing content after its ",
+                        count, " requests: '", line, "'");
+    return trace;
+}
+
+void
+saveTrace(const ArrivalTrace &trace, const std::string &path)
+{
+    // Binary mode: the format owns its newlines, so the bytes on disk
+    // are identical on every platform.
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        IANUS_FATAL("cannot open '", path, "' for writing");
+    std::string text = formatTrace(trace);
+    std::size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
+    // Close unconditionally before judging the write: IANUS_FATAL
+    // throws, and a short write must not leak the descriptor.
+    bool closed = std::fclose(f) == 0;
+    if (wrote != text.size() || !closed)
+        IANUS_FATAL("short write saving arrival trace to '", path, "'");
+}
+
+ArrivalTrace
+loadTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        IANUS_FATAL("cannot open arrival trace '", path, "'");
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad)
+        IANUS_FATAL("read error loading arrival trace '", path, "'");
+    return parseTrace(text);
 }
 
 } // namespace ianus::serve

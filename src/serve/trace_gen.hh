@@ -1,28 +1,40 @@
 /**
  * @file
- * Deterministic open-loop arrival traces.
+ * Deterministic workload generation and replay for the serving engine.
  *
- * generatePoissonTrace() draws Poisson inter-arrival gaps (exponential,
- * via explicit inverse-CDF sampling over a seeded std::mt19937 — no
+ * Three arrival regimes, all cross-platform deterministic (explicit
+ * inverse-CDF sampling over seeded std::mt19937 — no
  * std::*_distribution, whose output is implementation-defined, and no
- * wall clock) and uniform request shapes from caller-supplied choice
- * lists. The same TraceOptions always produce the same trace, on any
- * platform, so benches and tests can replay identical traffic against
- * different pool sizes, routers, and scheduling policies.
+ * wall clock):
+ *
+ *  - open loop: generatePoissonTrace() draws Poisson inter-arrival
+ *    gaps and uniform request shapes from caller-supplied choice
+ *    lists; arrivals ignore the system's state (the load the paper's
+ *    Section 6.1 regime assumes);
+ *  - closed loop: runClosedLoop() simulates N clients, each submitting
+ *    one request, waiting for its completion, thinking an exponential
+ *    think time, and submitting the next — arrivals *depend on
+ *    completions* through ServingEngine's completion hook, so a slow
+ *    pool is offered less load (the self-throttling real client fleets
+ *    exhibit);
+ *  - file replay: saveTrace()/loadTrace() serialize an ArrivalTrace in
+ *    a versioned text format whose doubles round-trip bit-exactly, so
+ *    recorded traces (including a closed-loop run's realized arrivals)
+ *    replay identically on any platform.
  */
 
 #ifndef IANUS_SERVE_TRACE_GEN_HH
 #define IANUS_SERVE_TRACE_GEN_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "serve/serving_engine.hh"
 #include "workloads/model_config.hh"
 
 namespace ianus::serve
 {
-
-class ServingEngine;
 
 /** One request with its open-loop arrival time. */
 struct TimedRequest
@@ -72,6 +84,88 @@ ArrivalTrace generatePoissonTrace(const TraceOptions &opts);
 /** Submit every trace request; returns the ids in trace order. */
 std::vector<std::uint64_t> submitAll(const ArrivalTrace &trace,
                                      ServingEngine &engine);
+
+// --- Closed-loop clients ----------------------------------------------------
+
+/** Knobs of the closed-loop client fleet. */
+struct ClosedLoopOptions
+{
+    std::uint64_t seed = 1;
+
+    /** Concurrent clients; each holds at most one request in flight. */
+    std::size_t clients = 4;
+
+    /** Requests each client submits over the session. */
+    std::size_t requestsPerClient = 8;
+
+    /** Mean think time between a completion and the client's next
+     *  arrival (exponential; 0 = re-submit at the completion instant).
+     *  The first arrival of each client is one think draw after 0. */
+    double meanThinkMs = 50.0;
+
+    /** Uniform choice lists for the request shape (the TraceOptions
+     *  defaults). */
+    std::vector<std::uint64_t> inputTokenChoices = {128, 256, 512};
+    std::vector<std::uint64_t> outputTokenChoices = {8, 16, 64, 128};
+};
+
+/** What a closed-loop session produced. */
+struct ClosedLoopResult
+{
+    /** The drain's fleet report (every client request completed). */
+    ServingReport report;
+
+    /** The realized arrivals, sorted by arrival time — an open-loop
+     *  trace that can be saved and replayed. */
+    ArrivalTrace realized;
+};
+
+/**
+ * Run a closed-loop session on @p engine (which must have no pending
+ * requests): each of opts.clients clients draws shapes and think times
+ * from its own seeded stream (so the draws are independent of
+ * completion order), submits, and re-submits one think time after each
+ * completion via the engine's completion hook, until it has sent
+ * requestsPerClient requests. Deterministic: the same seed and engine
+ * configuration produce the same realized trace and report. The
+ * engine's completion hook is used during the run and cleared after
+ * (also on a throwing drain).
+ *
+ * The realized trace replays the same *arrivals*, not necessarily the
+ * same schedule: a live session delivers arrivals that tie to the
+ * exact instant in completion order, while an open-loop replay of the
+ * saved trace groups them into one burst (see ServingEngine::submit).
+ * With a non-zero think time exact ties are vanishingly rare; both
+ * runs are individually deterministic either way.
+ */
+ClosedLoopResult runClosedLoop(ServingEngine &engine,
+                               const ClosedLoopOptions &opts);
+
+// --- Versioned trace files --------------------------------------------------
+
+/**
+ * Serialize @p trace in the versioned text format:
+ *
+ *   ianus-arrival-trace v1
+ *   <request count>
+ *   <arrival_ms> <input_tokens> <output_tokens>      (one per request)
+ *
+ * Arrival times print as %.17g, which round-trips IEEE doubles
+ * bit-exactly — format(parse(format(t))) == format(t), the golden-file
+ * anchor — and the format is platform-independent, so a trace recorded
+ * on one machine replays identically on another.
+ */
+std::string formatTrace(const ArrivalTrace &trace);
+
+/** Parse the text format; fatal on a bad header, malformed or
+ *  out-of-order rows, or a row count that contradicts the header. */
+ArrivalTrace parseTrace(const std::string &text);
+
+/** formatTrace() to a file; fatal if the file cannot be written. */
+void saveTrace(const ArrivalTrace &trace, const std::string &path);
+
+/** parseTrace() from a file; fatal if the file cannot be read. */
+ArrivalTrace loadTrace(const std::string &path);
 
 } // namespace ianus::serve
 

@@ -1,17 +1,24 @@
 /**
  * @file Cross-configuration invariant sweeps: properties that must hold
  * for every (model, memory mode, scheduling policy, attention mapping)
- * combination the paper evaluates.
+ * combination the paper evaluates, and — in the serving sweep at the
+ * bottom — conservation laws that must hold for every
+ * (router x policy x batching x preemption x chunking) serving
+ * configuration.
  */
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <set>
 #include <string>
 #include <tuple>
 
 #include "compiler/workload_builder.hh"
 #include "ianus/execution_engine.hh"
 #include "ianus/ianus_system.hh"
+#include "serve/serving_engine.hh"
+#include "serve/trace_gen.hh"
 
 namespace
 {
@@ -179,5 +186,155 @@ TEST_P(MemoryModeSweep, UnifiedWinsGeneration)
 
 INSTANTIATE_TEST_SUITE_P(Models, MemoryModeSweep,
                          ::testing::Values("m", "l", "xl", "2.5b"));
+
+/**
+ * Serving conservation sweep: for every
+ * {router x policy x batching x preempt x chunk} combination on one
+ * small heterogeneous trace, the bookkeeping must balance —
+ *
+ *  - every submitted id completes exactly once;
+ *  - per-replica dispatch counts sum to total dispatches (each request
+ *    once, plus one re-dispatch per eviction);
+ *  - fleet stat aggregates stay additive (the report's merged RunStats
+ *    equals the per-request merge, generated tokens equal the sum of
+ *    output tokens);
+ *  - serviceMs excludes suspension (finish - start - suspended,
+ *    exactly);
+ *  - per-replica busy + idle partitions the makespan, and the makespan
+ *    is the last completion minus the first arrival.
+ */
+TEST(ServingInvariantSweep, ConservationAcrossAllCombinations)
+{
+    using namespace serve;
+    workloads::ModelConfig model = workloads::gpt2("m");
+
+    // A heterogeneous pool shared across cells (caches are pure, so
+    // warmth never changes numbers — only speed): the IANUS + NPU-MEM
+    // mix gives estimate-driven routers honestly skewed signals.
+    DevicePool pool;
+    pool.addReplica(std::make_unique<CompiledModel>(
+        SystemConfig::ianusDefault(), model));
+    pool.addReplica(
+        std::make_unique<CompiledModel>(SystemConfig::npuMem(), model));
+
+    // A short saturating trace with long and short outputs, so
+    // batching fills, preemption finds victims, and chunking splits
+    // the 128-token prompts.
+    TraceOptions topts;
+    topts.seed = 5;
+    topts.requests = 8;
+    topts.arrivalsPerSec = 400.0;
+    topts.inputTokenChoices = {64, 128};
+    topts.outputTokenChoices = {2, 16, 48};
+    ArrivalTrace trace = generatePoissonTrace(topts);
+
+    const std::vector<std::string> routers = {
+        "round-robin", "least-loaded", "queue-depth", "predicted-finish",
+        "kv-affinity"};
+    const std::vector<std::string> policies = {"fcfs", "sjf", "edf"};
+    struct BatchCell
+    {
+        BatchingMode mode;
+        std::size_t cap;
+    };
+    const std::vector<BatchCell> batchings = {
+        {BatchingMode::None, 1},
+        {BatchingMode::Static, 4},
+        {BatchingMode::Continuous, 4}};
+
+    for (const std::string &router : routers)
+        for (const std::string &policy : policies)
+            for (const BatchCell &batching : batchings)
+                for (bool preempt : {false, true})
+                    for (std::uint64_t chunk : {0, 96}) {
+                        if (preempt &&
+                            batching.mode == BatchingMode::Static)
+                            continue; // rejected by construction
+                        ServingOptions opts;
+                        opts.batching = batching.mode;
+                        opts.maxBatch = batching.cap;
+                        opts.preempt = preempt;
+                        opts.prefillChunk = chunk;
+                        opts.tokenStride = 4;
+                        ServingEngine engine(pool, opts,
+                                             makePolicy(policy),
+                                             makeRouter(router));
+                        submitAll(trace, engine);
+                        ServingReport rep = engine.drain();
+
+                        std::string cell = router + "/" + policy + "/" +
+                                           toString(batching.mode) +
+                                           (preempt ? "/preempt" : "") +
+                                           (chunk ? "/chunk" : "");
+
+                        // Every submitted id completes exactly once.
+                        ASSERT_EQ(rep.requests(), trace.size()) << cell;
+                        std::set<std::uint64_t> ids;
+                        for (const auto &r : rep.results)
+                            ids.insert(r.id);
+                        EXPECT_EQ(ids.size(), trace.size()) << cell;
+                        EXPECT_EQ(*ids.begin(), 0u) << cell;
+                        EXPECT_EQ(*ids.rbegin(), trace.size() - 1)
+                            << cell;
+
+                        // Dispatch conservation: one admission per
+                        // request plus one re-dispatch per eviction.
+                        std::uint64_t dispatched = 0;
+                        for (const auto &u : rep.replicas)
+                            dispatched += u.dispatched;
+                        EXPECT_EQ(dispatched,
+                                  trace.size() + rep.preemptions())
+                            << cell;
+
+                        // Fleet aggregates stay additive.
+                        RunStats merged;
+                        std::uint64_t tokens = 0;
+                        double last_finish = 0.0;
+                        double first_arrival =
+                            trace.requests.front().arrivalMs;
+                        for (const auto &r : rep.results) {
+                            merged.merge(r.report.combined());
+                            tokens += r.request.outputTokens;
+                            last_finish =
+                                std::max(last_finish, r.finishMs);
+                            // serviceMs excludes suspension, exactly.
+                            EXPECT_DOUBLE_EQ(r.serviceMs,
+                                             r.finishMs - r.startMs -
+                                                 r.suspendedMs)
+                                << cell << " id " << r.id;
+                            EXPECT_GE(r.startMs, r.arrivalMs) << cell;
+                            EXPECT_GE(r.finishMs, r.startMs) << cell;
+                            if (r.preemptions == 0)
+                                EXPECT_EQ(r.suspendedMs, 0.0) << cell;
+                            if (!preempt) {
+                                EXPECT_EQ(r.preemptions, 0u) << cell;
+                                EXPECT_EQ(r.suspendedMs, 0.0) << cell;
+                            }
+                        }
+                        EXPECT_EQ(rep.generatedTokens, tokens) << cell;
+                        EXPECT_DOUBLE_EQ(rep.aggregate.commands,
+                                         merged.commands)
+                            << cell;
+                        EXPECT_DOUBLE_EQ(rep.aggregate.muFlops,
+                                         merged.muFlops)
+                            << cell;
+                        EXPECT_DOUBLE_EQ(rep.aggregate.dramReadBytes,
+                                         merged.dramReadBytes)
+                            << cell;
+
+                        // Makespan accounting.
+                        EXPECT_DOUBLE_EQ(rep.makespanMs,
+                                         last_finish - first_arrival)
+                            << cell;
+                        for (const auto &u : rep.replicas) {
+                            EXPECT_DOUBLE_EQ(u.busyMs + u.idleMs,
+                                             rep.makespanMs)
+                                << cell;
+                            EXPECT_GE(u.utilization, 0.0) << cell;
+                            EXPECT_LE(u.utilization, 1.0 + 1e-12)
+                                << cell;
+                        }
+                    }
+}
 
 } // namespace

@@ -1,0 +1,313 @@
+/** @file Trace persistence and closed-loop generation: golden-file
+ *  determinism of the versioned text format, replay equivalence, and
+ *  seed-deterministic closed-loop sessions. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "serve/serving_engine.hh"
+#include "serve/trace_gen.hh"
+
+namespace
+{
+
+using namespace ianus;
+using serve::ArrivalTrace;
+using serve::ClosedLoopOptions;
+using serve::TraceOptions;
+
+workloads::ModelConfig m = workloads::gpt2("m");
+
+ArrivalTrace
+sampleTrace(std::size_t requests = 32, std::uint64_t seed = 9)
+{
+    TraceOptions opts;
+    opts.seed = seed;
+    opts.requests = requests;
+    opts.arrivalsPerSec = 200.0;
+    return serve::generatePoissonTrace(opts);
+}
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+// --- Text format ----------------------------------------------------------
+
+TEST(TraceRoundtrip, FormatParseFormatIsByteIdentical)
+{
+    ArrivalTrace trace = sampleTrace();
+    std::string once = serve::formatTrace(trace);
+    ArrivalTrace parsed = serve::parseTrace(once);
+    // The golden-file anchor: re-serializing the parsed trace must
+    // reproduce the bytes, so %.17g doubles round-trip exactly.
+    EXPECT_EQ(serve::formatTrace(parsed), once);
+    ASSERT_EQ(parsed.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(parsed.requests[i].arrivalMs,
+                  trace.requests[i].arrivalMs);
+        EXPECT_EQ(parsed.requests[i].request.inputTokens,
+                  trace.requests[i].request.inputTokens);
+        EXPECT_EQ(parsed.requests[i].request.outputTokens,
+                  trace.requests[i].request.outputTokens);
+    }
+}
+
+TEST(TraceRoundtrip, EmptyTraceRoundtrips)
+{
+    ArrivalTrace empty;
+    ArrivalTrace parsed = serve::parseTrace(serve::formatTrace(empty));
+    EXPECT_EQ(parsed.size(), 0u);
+}
+
+TEST(TraceRoundtrip, SaveLoadRoundtripsThroughAFile)
+{
+    ArrivalTrace trace = sampleTrace();
+    std::string path = tempPath("roundtrip.trace");
+    serve::saveTrace(trace, path);
+    ArrivalTrace loaded = serve::loadTrace(path);
+    EXPECT_EQ(serve::formatTrace(loaded), serve::formatTrace(trace));
+    std::remove(path.c_str());
+}
+
+TEST(TraceRoundtrip, ParseRejectsMalformedTraces)
+{
+    ArrivalTrace trace = sampleTrace(4);
+    std::string good = serve::formatTrace(trace);
+
+    EXPECT_THROW(serve::parseTrace(""), std::runtime_error);
+    EXPECT_THROW(serve::parseTrace("not-a-trace v1\n0\n"),
+                 std::runtime_error);
+    // Wrong version is a different magic line.
+    EXPECT_THROW(serve::parseTrace("ianus-arrival-trace v2\n0\n"),
+                 std::runtime_error);
+    // Count contradicting the rows, both ways.
+    EXPECT_THROW(
+        serve::parseTrace("ianus-arrival-trace v1\n2\n1.5 64 8\n"),
+        std::runtime_error);
+    EXPECT_THROW(serve::parseTrace(good + "99 64 8\n"),
+                 std::runtime_error);
+    // Malformed rows: missing fields, zero tokens, negative or
+    // regressing arrivals.
+    EXPECT_THROW(serve::parseTrace("ianus-arrival-trace v1\n1\n1.5 64\n"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        serve::parseTrace("ianus-arrival-trace v1\n1\n1.5 0 8\n"),
+        std::runtime_error);
+    // Negative token counts must not wrap modulo 2^64 into huge
+    // "valid" requests (strtoull accepts a leading '-').
+    EXPECT_THROW(
+        serve::parseTrace("ianus-arrival-trace v1\n1\n1.5 -64 8\n"),
+        std::runtime_error);
+    EXPECT_THROW(
+        serve::parseTrace("ianus-arrival-trace v1\n1\n1.5 64 -8\n"),
+        std::runtime_error);
+    EXPECT_THROW(serve::parseTrace("ianus-arrival-trace v1\n-1\n"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        serve::parseTrace("ianus-arrival-trace v1\n1\n-1.5 64 8\n"),
+        std::runtime_error);
+    EXPECT_THROW(serve::parseTrace(
+                     "ianus-arrival-trace v1\n2\n5 64 8\n4 64 8\n"),
+                 std::runtime_error);
+    EXPECT_THROW(serve::loadTrace(tempPath("missing.trace")),
+                 std::runtime_error);
+}
+
+// --- Replay equivalence ---------------------------------------------------
+
+TEST(TraceRoundtrip, ReplayedTraceReportMatchesInMemoryTrace)
+{
+    ArrivalTrace trace = sampleTrace(24, 42);
+    std::string path = tempPath("replay.trace");
+    serve::saveTrace(trace, path);
+    ArrivalTrace loaded = serve::loadTrace(path);
+    std::remove(path.c_str());
+
+    auto drain = [&](const ArrivalTrace &t) {
+        serve::PoolOptions popts;
+        popts.replicas = 2;
+        serve::DevicePool pool(SystemConfig::ianusDefault(), m, popts);
+        serve::ServingOptions opts;
+        opts.batching = serve::BatchingMode::Continuous;
+        opts.maxBatch = 4;
+        serve::ServingEngine engine(pool, opts,
+                                    serve::makePolicy("sjf"),
+                                    serve::makeRouter("predicted-finish"));
+        serve::submitAll(t, engine);
+        return engine.drain();
+    };
+    serve::ServingReport a = drain(trace);
+    serve::ServingReport b = drain(loaded);
+    ASSERT_EQ(a.requests(), b.requests());
+    for (std::size_t i = 0; i < a.requests(); ++i) {
+        EXPECT_EQ(a.results[i].id, b.results[i].id);
+        EXPECT_EQ(a.results[i].deviceIndex, b.results[i].deviceIndex);
+        EXPECT_EQ(a.results[i].startMs, b.results[i].startMs);
+        EXPECT_EQ(a.results[i].finishMs, b.results[i].finishMs);
+        EXPECT_EQ(a.results[i].firstTokenMs, b.results[i].firstTokenMs);
+    }
+    EXPECT_EQ(a.makespanMs, b.makespanMs);
+    EXPECT_EQ(a.generatedTokens, b.generatedTokens);
+}
+
+// --- Closed loop ----------------------------------------------------------
+
+serve::ClosedLoopResult
+closedLoopSession(std::uint64_t seed,
+                  const std::string &policy = "fcfs")
+{
+    serve::PoolOptions popts;
+    popts.replicas = 2;
+    serve::DevicePool pool(SystemConfig::ianusDefault(), m, popts);
+    serve::ServingEngine engine(pool, serve::ServingOptions{},
+                                serve::makePolicy(policy));
+    ClosedLoopOptions opts;
+    opts.seed = seed;
+    opts.clients = 3;
+    opts.requestsPerClient = 4;
+    opts.meanThinkMs = 20.0;
+    opts.inputTokenChoices = {64, 128};
+    opts.outputTokenChoices = {2, 4, 8};
+    return serve::runClosedLoop(engine, opts);
+}
+
+TEST(TraceRoundtrip, ClosedLoopCompletesEveryClientRequest)
+{
+    serve::ClosedLoopResult res = closedLoopSession(7);
+    EXPECT_EQ(res.report.requests(), 12u); // 3 clients x 4 requests
+    EXPECT_EQ(res.realized.size(), 12u);
+    // The realized trace is a valid open-loop trace: non-decreasing
+    // arrivals, round-trippable through the text format.
+    double prev = 0.0;
+    for (const auto &t : res.realized.requests) {
+        EXPECT_GE(t.arrivalMs, prev);
+        prev = t.arrivalMs;
+    }
+    std::string text = serve::formatTrace(res.realized);
+    EXPECT_EQ(serve::formatTrace(serve::parseTrace(text)), text);
+}
+
+TEST(TraceRoundtrip, ClosedLoopArrivalsFollowCompletions)
+{
+    serve::ClosedLoopResult res = closedLoopSession(7);
+    // Each client's k-th arrival (k > 1) must strictly follow some
+    // earlier completion: with 3 clients, at most 3 requests can ever
+    // be in flight, so the 4th arrival is later than the 1st finish.
+    std::vector<double> finishes;
+    for (const auto &r : res.report.results)
+        finishes.push_back(r.finishMs);
+    std::sort(finishes.begin(), finishes.end());
+    EXPECT_GT(res.realized.requests[3].arrivalMs, finishes.front());
+}
+
+TEST(TraceRoundtrip, ClosedLoopIsSeedDeterministicAcrossRuns)
+{
+    serve::ClosedLoopResult a = closedLoopSession(11);
+    serve::ClosedLoopResult b = closedLoopSession(11);
+    // Bit-identical realized traces...
+    EXPECT_EQ(serve::formatTrace(a.realized),
+              serve::formatTrace(b.realized));
+    // ...and bit-identical reports.
+    ASSERT_EQ(a.report.requests(), b.report.requests());
+    for (std::size_t i = 0; i < a.report.requests(); ++i) {
+        EXPECT_EQ(a.report.results[i].id, b.report.results[i].id);
+        EXPECT_EQ(a.report.results[i].finishMs,
+                  b.report.results[i].finishMs);
+        EXPECT_EQ(a.report.results[i].deviceIndex,
+                  b.report.results[i].deviceIndex);
+    }
+    EXPECT_EQ(a.report.makespanMs, b.report.makespanMs);
+
+    serve::ClosedLoopResult c = closedLoopSession(12);
+    EXPECT_NE(serve::formatTrace(a.realized),
+              serve::formatTrace(c.realized));
+}
+
+TEST(TraceRoundtrip, ClosedLoopThrottlesWithThePool)
+{
+    // The defining closed-loop property: a slower pool sees *later*
+    // arrivals for the same seed, because clients wait for completions.
+    auto horizon = [&](const SystemConfig &cfg) {
+        serve::DevicePool pool;
+        pool.addReplica(
+            std::make_unique<serve::CompiledModel>(cfg, m));
+        serve::ServingEngine engine(pool);
+        ClosedLoopOptions opts;
+        opts.seed = 3;
+        opts.clients = 2;
+        opts.requestsPerClient = 3;
+        opts.meanThinkMs = 5.0;
+        opts.inputTokenChoices = {128};
+        opts.outputTokenChoices = {8};
+        return serve::runClosedLoop(engine, opts).realized.horizonMs();
+    };
+    EXPECT_LT(horizon(SystemConfig::ianusDefault()),
+              horizon(SystemConfig::npuMem()));
+}
+
+TEST(TraceRoundtrip, ClosedLoopValidatesItsOptions)
+{
+    serve::DevicePool pool;
+    pool.addReplica(std::make_unique<serve::CompiledModel>(
+        SystemConfig::ianusDefault(), m));
+    serve::ServingEngine engine(pool);
+    ClosedLoopOptions opts;
+    opts.clients = 0;
+    EXPECT_THROW(serve::runClosedLoop(engine, opts), std::runtime_error);
+    opts = ClosedLoopOptions{};
+    opts.requestsPerClient = 0;
+    EXPECT_THROW(serve::runClosedLoop(engine, opts), std::runtime_error);
+    opts = ClosedLoopOptions{};
+    opts.meanThinkMs = -1.0;
+    EXPECT_THROW(serve::runClosedLoop(engine, opts), std::runtime_error);
+    opts = ClosedLoopOptions{};
+    opts.inputTokenChoices.clear();
+    EXPECT_THROW(serve::runClosedLoop(engine, opts), std::runtime_error);
+    // A non-empty queue would tangle foreign requests into the session.
+    engine.submit({64, 2});
+    EXPECT_THROW(serve::runClosedLoop(engine, ClosedLoopOptions{}),
+                 std::runtime_error);
+}
+
+TEST(TraceRoundtrip, InjectOutsideADrainIsFatal)
+{
+    serve::DevicePool pool;
+    pool.addReplica(std::make_unique<serve::CompiledModel>(
+        SystemConfig::ianusDefault(), m));
+    serve::ServingEngine engine(pool);
+    EXPECT_THROW(engine.inject({64, 2}, 0.0), std::runtime_error);
+}
+
+/** A policy that breaks the selectBatch contract, making drain throw. */
+struct ThrowingPolicy : serve::SchedulingPolicy
+{
+    const char *name() const override { return "throwing"; }
+    std::vector<std::size_t>
+    selectBatch(const std::vector<serve::QueuedRequest> &,
+                const serve::SchedulerContext &) override
+    {
+        return {};
+    }
+};
+
+TEST(TraceRoundtrip, InjectAfterAThrowingDrainIsStillFatal)
+{
+    serve::DevicePool pool;
+    pool.addReplica(std::make_unique<serve::CompiledModel>(
+        SystemConfig::ianusDefault(), m));
+    serve::ServingEngine engine(pool, serve::ServingOptions{},
+                                std::make_unique<ThrowingPolicy>());
+    engine.submit({64, 2});
+    EXPECT_THROW((void)engine.drain(), std::runtime_error);
+    // The aborted drain's injector (which captured its now-destroyed
+    // locals) must be gone: inject fails cleanly, not via a dangling
+    // callable.
+    EXPECT_THROW(engine.inject({64, 2}, 0.0), std::runtime_error);
+}
+
+} // namespace
