@@ -25,6 +25,9 @@
  *                           predicted-finish|kv-affinity]
  *                 [--batching none|static|continuous] [--max-batch B]
  *                 [--prefill-chunk T] [--preempt]
+ *                 [--kv-capacity auto|TOKENS] [--kv-block T]
+ *                 [--kv-admission none|queue|shed]
+ *                 [--kv-layout unified|partitioned]
  *                 [--rate req_per_s] [--seed S]
  *                 [--clients N] [--think-ms T]
  *                 [--trace-in path] [--trace-out path]
@@ -55,6 +58,13 @@ struct Args
     unsigned maxBatch = 1;
     unsigned prefillChunk = 0; ///< prompt tokens per prefill segment
     bool preempt = false;      ///< token-boundary preemption
+    std::string kvCapacity;    ///< "" = unbounded; "auto" or tokens
+    unsigned kvBlock = 16;     ///< tokens per paged KV block
+    std::string kvAdmission = "none";  ///< none | queue | shed
+    std::string kvLayout = "unified";  ///< unified | partitioned
+    bool kvBlockFlag = false;     ///< --kv-block given explicitly
+    bool kvAdmissionFlag = false; ///< --kv-admission given explicitly
+    bool kvLayoutFlag = false;    ///< --kv-layout given explicitly
     double rate = 0.0; ///< req/s; 0 = auto (saturate the pool)
     std::uint64_t seed = 7;
     unsigned clients = 0; ///< 0 = open loop; N = closed-loop clients
@@ -166,6 +176,21 @@ parseArgs(int argc, char **argv)
             cluster_flag = true;
         else if (a == "--preempt")
             args.preempt = true, cluster_flag = true;
+        else if (a == "--kv-capacity") {
+            args.kvCapacity = next();
+            cluster_flag = true;
+            if (args.kvCapacity != "auto")
+                parseCount(a, args.kvCapacity.c_str(),
+                           1L << 40); // validated here, parsed below
+        } else if (a == "--kv-block")
+            args.kvBlock = parseCount(a, next(), 1 << 20),
+            cluster_flag = true, args.kvBlockFlag = true;
+        else if (a == "--kv-admission")
+            args.kvAdmission = next(), cluster_flag = true,
+            args.kvAdmissionFlag = true;
+        else if (a == "--kv-layout")
+            args.kvLayout = next(), cluster_flag = true,
+            args.kvLayoutFlag = true;
         else if (a == "--rate")
             args.rate = parsePositive(a, next()), cluster_flag = true;
         else if (a == "--seed")
@@ -196,9 +221,26 @@ parseArgs(int argc, char **argv)
     if (cluster_flag && args.replicas == 0) {
         std::fprintf(stderr,
                      "--policy/--router/--batching/--max-batch/"
-                     "--prefill-chunk/--preempt/--rate/--seed/"
-                     "--clients/--think-ms/--trace-in/--trace-out only "
-                     "apply to cluster mode; add --replicas N\n");
+                     "--prefill-chunk/--preempt/--kv-capacity/"
+                     "--kv-block/--kv-admission/--kv-layout/--rate/"
+                     "--seed/--clients/--think-ms/--trace-in/--trace-out "
+                     "only apply to cluster mode; add --replicas N\n");
+        std::exit(2);
+    }
+    if (args.kvCapacity.empty() &&
+        (args.kvBlockFlag || args.kvAdmissionFlag || args.kvLayoutFlag)) {
+        std::fprintf(stderr,
+                     "--kv-block/--kv-admission/--kv-layout shape the KV "
+                     "capacity model; nothing bounds KV without "
+                     "--kv-capacity auto|TOKENS\n");
+        std::exit(2);
+    }
+    if (args.kvAdmission == "shed" && args.clients > 0) {
+        std::fprintf(stderr,
+                     "--kv-admission shed drops requests, but "
+                     "closed-loop clients wait for completions that "
+                     "would never come; use queue or none with "
+                     "--clients\n");
         std::exit(2);
     }
     if (!args.traceIn.empty() && args.clients > 0) {
@@ -347,6 +389,26 @@ clusterMode(const Args &args)
     opts.maxBatch = args.maxBatch;
     opts.prefillChunk = args.prefillChunk;
     opts.preempt = args.preempt;
+    if (!args.kvCapacity.empty()) {
+        // "auto" derives the per-replica budget from the device's DRAM
+        // channel geometry minus one copy of the weights.
+        opts.kv.capacityTokens =
+            args.kvCapacity == "auto"
+                ? serve::deriveKvCapacityTokens(
+                      SystemConfig::ianusDefault(), model)
+                : std::strtoull(args.kvCapacity.c_str(), nullptr, 10);
+        opts.kv.blockTokens = args.kvBlock;
+        opts.kv.admission = serve::makeKvAdmission(args.kvAdmission);
+        opts.kv.layout = serve::makeKvLayout(args.kvLayout);
+        std::printf("kv capacity %llu tokens/replica (%llu-token blocks, "
+                    "admission %s, layout %s, %.1f GB/s kv reads)\n",
+                    (unsigned long long)opts.kv.capacityTokens,
+                    (unsigned long long)opts.kv.blockTokens,
+                    serve::toString(opts.kv.admission),
+                    serve::toString(opts.kv.layout),
+                    serve::KvBlockManager::readBandwidthGBs(
+                        SystemConfig::ianusDefault(), opts.kv.layout));
+    }
     serve::ServingEngine engine(pool, opts,
                                 serve::makePolicy(args.policy),
                                 serve::makeRouter(args.router));
@@ -433,6 +495,16 @@ clusterMode(const Args &args)
                     "preempted at least once\n",
                     (unsigned long long)rep.preemptions(),
                     100.0 * rep.preemptionRate());
+    if (opts.kv.enabled())
+        std::printf("kv: peak pressure %.2f | fragmentation %.1f%% | "
+                    "shed %llu (%.1f%% of offered) | spilled segments "
+                    "%llu (max dilation %.2fx) | slo-goodput %.1f "
+                    "tok/s\n",
+                    rep.kvPeakPressure, 100.0 * rep.kvMeanFragmentation,
+                    (unsigned long long)rep.kvShed,
+                    100.0 * rep.kvShedRate(),
+                    (unsigned long long)rep.kvSpilledSegments,
+                    rep.kvMaxDilation, rep.sloGoodputTokensPerSec());
     return 0;
 }
 

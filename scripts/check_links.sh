@@ -10,8 +10,8 @@
 # directories).
 #
 # Flag check: every --flag token mentioned in the serving-facing docs
-# (docs/SERVING.md, docs/SCHEDULING.md) must be parsed somewhere in
-# examples/llm_serving.cc or the shared bench harness
+# (docs/SERVING.md, docs/SCHEDULING.md, docs/ARCHITECTURE.md) must be
+# parsed somewhere in examples/llm_serving.cc or the shared bench harness
 # (bench/common/bench_common.cc, for --fast/--csv) — a doc referencing
 # a flag the CLI dropped or never grew is as dead as a broken link.
 set -u
@@ -45,7 +45,8 @@ done
 root=$(cd "$(dirname "$0")/.." && pwd)
 flag_srcs=("$root/examples/llm_serving.cc"
            "$root/bench/common/bench_common.cc")
-for doc in "$root/docs/SERVING.md" "$root/docs/SCHEDULING.md"; do
+for doc in "$root/docs/SERVING.md" "$root/docs/SCHEDULING.md" \
+           "$root/docs/ARCHITECTURE.md"; do
     [ -e "$doc" ] || continue
     while IFS= read -r flag; do
         found=0

@@ -1,0 +1,384 @@
+#include "serve/kv_manager.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ianus::serve
+{
+
+const char *
+toString(KvAdmission admission)
+{
+    switch (admission) {
+    case KvAdmission::None: return "none";
+    case KvAdmission::Queue: return "queue";
+    case KvAdmission::Shed: return "shed";
+    }
+    return "?";
+}
+
+const char *
+toString(KvLayout layout)
+{
+    switch (layout) {
+    case KvLayout::Unified: return "unified";
+    case KvLayout::Partitioned: return "partitioned";
+    }
+    return "?";
+}
+
+KvAdmission
+makeKvAdmission(const std::string &name)
+{
+    if (name == "none")
+        return KvAdmission::None;
+    if (name == "queue")
+        return KvAdmission::Queue;
+    if (name == "shed")
+        return KvAdmission::Shed;
+    IANUS_FATAL("unknown KV admission mode '", name,
+                "' (none, queue, shed)");
+}
+
+KvLayout
+makeKvLayout(const std::string &name)
+{
+    if (name == "unified")
+        return KvLayout::Unified;
+    if (name == "partitioned")
+        return KvLayout::Partitioned;
+    IANUS_FATAL("unknown KV layout '", name, "' (unified, partitioned)");
+}
+
+std::uint64_t
+kvBytesPerToken(const workloads::ModelConfig &model)
+{
+    // K and V, one headDim vector per head per block, BF16.
+    return 2 * model.nBlocks * model.qkvDim() * 2;
+}
+
+std::uint64_t
+deriveKvCapacityTokens(const SystemConfig &sys,
+                       const workloads::ModelConfig &model)
+{
+    const auto &mem = sys.mem;
+    const std::uint64_t bankBytes =
+        mem.capacityBytes /
+        (static_cast<std::uint64_t>(mem.channels) * mem.banksPerChannel);
+    const std::uint64_t rowsPerBank = bankBytes / mem.rowBytes;
+    // Recompose from the channel geometry so a geometry edit (rows,
+    // banks, channels) flows into the KV budget the way the issue's
+    // banks/rows -> bytes -> tokens chain describes.
+    const std::uint64_t dramBytes =
+        static_cast<std::uint64_t>(mem.channels) * mem.banksPerChannel *
+        rowsPerBank * mem.rowBytes;
+    const std::uint64_t weights = model.weightBytes();
+    if (weights >= dramBytes)
+        IANUS_FATAL("model '", model.name, "' weights (", weights,
+                    " B) exceed device DRAM (", dramBytes,
+                    " B); no room for KV cache");
+    return (dramBytes - weights) / kvBytesPerToken(model);
+}
+
+KvBlockManager::KvBlockManager(const KvOptions &opts,
+                               const SystemConfig &sys)
+    : opts_(opts)
+{
+    if (!opts.enabled())
+        IANUS_FATAL("KvBlockManager needs a positive KV capacity");
+    if (opts.blockTokens == 0)
+        IANUS_FATAL("KV block size must be positive");
+    const std::uint64_t blocks = opts.capacityTokens / opts.blockTokens;
+    if (blocks == 0)
+        IANUS_FATAL("KV capacity ", opts.capacityTokens,
+                    " tokens is smaller than one ", opts.blockTokens,
+                    "-token block");
+    if (opts.layout == KvLayout::Partitioned) {
+        // NPU-DRAM region first, PIM region second (Fig 13 halves).
+        regions_.resize(2);
+        regions_[0].capBlocks = blocks / 2;
+        regions_[1].capBlocks = blocks - blocks / 2;
+        if (regions_[0].capBlocks == 0)
+            IANUS_FATAL("partitioned KV layout needs at least two "
+                        "blocks of capacity (got ", blocks, ")");
+    } else {
+        regions_.resize(1);
+        regions_[0].capBlocks = blocks;
+    }
+    for (auto &r : regions_)
+        r.freeBlocks = static_cast<std::int64_t>(r.capBlocks);
+    // Spilled KV rides PCIe instead of device DRAM: each spilled byte
+    // takes (DRAM effective / PCIe) times as long to move.
+    const double dramGBs = sys.mem.systemPeakGBs() * sys.dmaEfficiency;
+    const double pcieGBs = sys.pcie.bytesPerTick * 1000.0;
+    spillFactor_ = std::max(1.0, dramGBs / pcieGBs);
+}
+
+std::uint64_t
+KvBlockManager::blocksFor(std::uint64_t tokens) const
+{
+    return (tokens + opts_.blockTokens - 1) / opts_.blockTokens;
+}
+
+std::uint64_t
+KvBlockManager::totalBlocks() const
+{
+    std::uint64_t total = 0;
+    for (const auto &r : regions_)
+        total += r.capBlocks;
+    return total;
+}
+
+std::int64_t
+KvBlockManager::freeBlocks() const
+{
+    std::int64_t free = 0;
+    for (const auto &r : regions_)
+        free += r.freeBlocks;
+    return free;
+}
+
+double
+KvBlockManager::pressure() const
+{
+    const auto total = static_cast<double>(totalBlocks());
+    return (total - static_cast<double>(freeBlocks())) / total;
+}
+
+void
+KvBlockManager::notePressure()
+{
+    peakPressure_ = std::max(peakPressure_, pressure());
+}
+
+bool
+KvBlockManager::canAdmit(std::uint64_t max_tokens) const
+{
+    if (opts_.admission == KvAdmission::None)
+        return true;
+    const auto need = static_cast<std::int64_t>(blocksFor(max_tokens));
+    for (const auto &r : regions_)
+        if (r.freeBlocks >= need)
+            return true;
+    return false;
+}
+
+bool
+KvBlockManager::canEverAdmit(std::uint64_t max_tokens) const
+{
+    const std::uint64_t need = blocksFor(max_tokens);
+    for (const auto &r : regions_)
+        if (r.capBlocks >= need)
+            return true;
+    return false;
+}
+
+void
+KvBlockManager::admit(std::uint64_t id, std::uint64_t max_tokens)
+{
+    if (requests_.count(id))
+        IANUS_FATAL("request ", id, " already holds KV blocks");
+    const std::uint64_t need = blocksFor(max_tokens);
+    // Emptier region first so a partitioned pool fills evenly; ties go
+    // to the NPU region for determinism.
+    std::size_t region = 0;
+    for (std::size_t i = 1; i < regions_.size(); ++i)
+        if (regions_[i].freeBlocks > regions_[region].freeBlocks)
+            region = i;
+    if (regions_[region].freeBlocks < static_cast<std::int64_t>(need) &&
+        opts_.admission != KvAdmission::None)
+        IANUS_FATAL("KV admit of ", need, " blocks for request ", id,
+                    " exceeds free space (", regions_[region].freeBlocks,
+                    " blocks) under ", toString(opts_.admission),
+                    " admission");
+    regions_[region].freeBlocks -= static_cast<std::int64_t>(need);
+    requests_[id] = Resident{region, need, max_tokens, 0, false};
+    notePressure();
+}
+
+void
+KvBlockManager::setUsed(std::uint64_t id, std::uint64_t tokens)
+{
+    auto it = requests_.find(id);
+    if (it == requests_.end())
+        IANUS_FATAL("setUsed on request ", id, " with no KV blocks");
+    Resident &res = it->second;
+    if (res.parked)
+        IANUS_FATAL("setUsed on parked request ", id,
+                    " (parked KV cannot grow)");
+    // An encoder summarization or the post-prefill bootstrap token can
+    // nudge one past the worst case; the reservation already covers it.
+    tokens = std::min(tokens, res.maxTokens);
+    if (tokens < res.usedTokens)
+        return; // KV only grows while resident
+    regions_[res.region].usedTokens += tokens - res.usedTokens;
+    res.usedTokens = tokens;
+}
+
+void
+KvBlockManager::park(std::uint64_t id)
+{
+    auto it = requests_.find(id);
+    if (it == requests_.end())
+        IANUS_FATAL("park on request ", id, " with no KV blocks");
+    Resident &res = it->second;
+    if (res.parked)
+        IANUS_FATAL("request ", id, " is already parked");
+    const std::uint64_t keep = blocksFor(res.usedTokens);
+    regions_[res.region].freeBlocks +=
+        static_cast<std::int64_t>(res.reservedBlocks - keep);
+    res.reservedBlocks = keep;
+    res.parked = true;
+}
+
+bool
+KvBlockManager::canResume(std::uint64_t id) const
+{
+    auto it = requests_.find(id);
+    if (it == requests_.end())
+        IANUS_FATAL("canResume on request ", id, " with no KV blocks");
+    const Resident &res = it->second;
+    if (!res.parked)
+        IANUS_FATAL("canResume on request ", id, " which is not parked");
+    if (opts_.admission == KvAdmission::None)
+        return true;
+    const std::uint64_t grow =
+        blocksFor(res.maxTokens) - res.reservedBlocks;
+    return regions_[res.region].freeBlocks >=
+           static_cast<std::int64_t>(grow);
+}
+
+bool
+KvBlockManager::parkWouldAdmit(std::uint64_t victim,
+                               std::uint64_t max_tokens) const
+{
+    if (opts_.admission == KvAdmission::None)
+        return true;
+    auto it = requests_.find(victim);
+    if (it == requests_.end() || it->second.parked)
+        IANUS_FATAL("parkWouldAdmit needs a running resident, got ",
+                    victim);
+    const Resident &v = it->second;
+    const std::uint64_t freed =
+        v.reservedBlocks - blocksFor(v.usedTokens);
+    const auto need = static_cast<std::int64_t>(blocksFor(max_tokens));
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+        std::int64_t free = regions_[i].freeBlocks;
+        if (i == v.region)
+            free += static_cast<std::int64_t>(freed);
+        if (free >= need)
+            return true;
+    }
+    return false;
+}
+
+bool
+KvBlockManager::parkWouldResume(std::uint64_t victim,
+                                std::uint64_t cand) const
+{
+    if (opts_.admission == KvAdmission::None)
+        return true;
+    auto vit = requests_.find(victim);
+    if (vit == requests_.end() || vit->second.parked)
+        IANUS_FATAL("parkWouldResume needs a running resident, got ",
+                    victim);
+    auto cit = requests_.find(cand);
+    if (cit == requests_.end() || !cit->second.parked)
+        IANUS_FATAL("parkWouldResume needs a parked candidate, got ",
+                    cand);
+    const Resident &v = vit->second;
+    const Resident &c = cit->second;
+    const std::uint64_t freed =
+        v.reservedBlocks - blocksFor(v.usedTokens);
+    std::int64_t free = regions_[c.region].freeBlocks;
+    if (v.region == c.region)
+        free += static_cast<std::int64_t>(freed);
+    const auto grow = static_cast<std::int64_t>(
+        blocksFor(c.maxTokens) - c.reservedBlocks);
+    return free >= grow;
+}
+
+void
+KvBlockManager::resume(std::uint64_t id)
+{
+    auto it = requests_.find(id);
+    if (it == requests_.end())
+        IANUS_FATAL("resume on request ", id, " with no KV blocks");
+    Resident &res = it->second;
+    if (!res.parked)
+        IANUS_FATAL("resume on request ", id, " which is not parked");
+    const std::uint64_t full = blocksFor(res.maxTokens);
+    const auto grow =
+        static_cast<std::int64_t>(full - res.reservedBlocks);
+    if (regions_[res.region].freeBlocks < grow &&
+        opts_.admission != KvAdmission::None)
+        IANUS_FATAL("KV resume of request ", id, " needs ", grow,
+                    " blocks but region has ",
+                    regions_[res.region].freeBlocks, " free under ",
+                    toString(opts_.admission), " admission");
+    regions_[res.region].freeBlocks -= grow;
+    res.reservedBlocks = full;
+    res.parked = false;
+    notePressure();
+}
+
+void
+KvBlockManager::release(std::uint64_t id)
+{
+    auto it = requests_.find(id);
+    if (it == requests_.end())
+        IANUS_FATAL("release on request ", id, " with no KV blocks");
+    const Resident &res = it->second;
+    const std::uint64_t gross = res.reservedBlocks * opts_.blockTokens;
+    fragGross_ += gross;
+    fragWaste_ += gross - std::min(gross, res.usedTokens);
+    regions_[res.region].freeBlocks +=
+        static_cast<std::int64_t>(res.reservedBlocks);
+    regions_[res.region].usedTokens -= res.usedTokens;
+    requests_.erase(it);
+}
+
+std::uint64_t
+KvBlockManager::residentTokens() const
+{
+    std::uint64_t tokens = 0;
+    for (const auto &r : regions_)
+        tokens += r.usedTokens;
+    return tokens;
+}
+
+double
+KvBlockManager::dilation() const
+{
+    std::uint64_t spilled = 0;
+    std::uint64_t used = 0;
+    for (const auto &r : regions_) {
+        const std::uint64_t cap = r.capBlocks * opts_.blockTokens;
+        spilled += r.usedTokens > cap ? r.usedTokens - cap : 0;
+        used += r.usedTokens;
+    }
+    if (spilled == 0 || used == 0)
+        return 1.0;
+    const double f =
+        static_cast<double>(spilled) / static_cast<double>(used);
+    return 1.0 + f * (spillFactor_ - 1.0);
+}
+
+double
+KvBlockManager::meanFragmentation() const
+{
+    if (fragGross_ == 0)
+        return 0.0;
+    return static_cast<double>(fragWaste_) /
+           static_cast<double>(fragGross_);
+}
+
+double
+KvBlockManager::readBandwidthGBs(const SystemConfig &sys, KvLayout layout)
+{
+    const double full = sys.mem.systemPeakGBs() * sys.dmaEfficiency;
+    return layout == KvLayout::Partitioned ? full / 2.0 : full;
+}
+
+} // namespace ianus::serve

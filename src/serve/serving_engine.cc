@@ -197,7 +197,12 @@ QueueDepthRouter::route(const QueuedRequest &request,
         if (!r.idle)
             continue;
         auto key = [](const ReplicaStatus &s) {
-            return std::make_tuple(s.resident, s.backlogTokens, s.busyMs,
+            // kvPressure right after resident: a replica whose blocks
+            // are spoken for is "deeper" than its batch slots show.
+            // 0.0 everywhere when the KV manager is off, so the
+            // ordering is then bit-identical to the pre-KV tuple.
+            return std::make_tuple(s.resident, s.kvPressure,
+                                   s.backlogTokens, s.busyMs,
                                    s.dispatched, s.index);
         };
         if (!best || key(r) < key(*best))
@@ -222,10 +227,14 @@ predictedFinishMs(const ReplicaStatus &r, double now_ms)
 {
     double start = std::max(now_ms, r.freeAtMs);
     std::size_t generating = r.resident - r.pendingPrefill;
-    return start +
-           r.estPrefillMs *
-               (1.0 + static_cast<double>(r.pendingPrefill)) +
-           r.estGenMs * (1.0 + static_cast<double>(generating));
+    double service =
+        r.estPrefillMs * (1.0 + static_cast<double>(r.pendingPrefill)) +
+        r.estGenMs * (1.0 + static_cast<double>(generating));
+    // KV pressure dilates the service estimate: an overcommitted
+    // replica serves every segment at spill-degraded cadence, and a
+    // nearly-full one is one long admission away from it. x 1.0
+    // exactly when the KV manager is off.
+    return start + service * (1.0 + r.kvPressure);
 }
 
 /** Earliest predicted finish among accepting replicas, optionally
@@ -472,6 +481,29 @@ ServingReport::preemptionRate() const
 }
 
 double
+ServingReport::kvShedRate() const
+{
+    const std::uint64_t offered =
+        static_cast<std::uint64_t>(results.size()) + kvShed;
+    return offered > 0
+               ? static_cast<double>(kvShed) /
+                     static_cast<double>(offered)
+               : 0.0;
+}
+
+double
+ServingReport::sloGoodputTokensPerSec() const
+{
+    if (makespanMs <= 0.0)
+        return 0.0;
+    std::uint64_t good = 0;
+    for (const RequestResult &r : results)
+        if (!r.deadlineMiss)
+            good += r.request.outputTokens;
+    return static_cast<double>(good) / (makespanMs / 1000.0);
+}
+
+double
 ServingReport::meanBatchOccupancy() const
 {
     double steps = 0.0;
@@ -523,6 +555,18 @@ ServingReport::summary() const
                       100.0 * preemptionRate());
         out += buf;
     }
+    if (kv.enabled()) {
+        std::snprintf(
+            buf, sizeof(buf),
+            " | kv %llu tok (block %llu, %s, %s): peak pressure %.2f, "
+            "frag %.1f%%, shed %llu (%.1f%%), spilled segs %llu",
+            (unsigned long long)kv.capacityTokens,
+            (unsigned long long)kv.blockTokens, toString(kv.admission),
+            toString(kv.layout), kvPeakPressure,
+            100.0 * kvMeanFragmentation, (unsigned long long)kvShed,
+            100.0 * kvShedRate(), (unsigned long long)kvSpilledSegments);
+        out += buf;
+    }
     return out;
 }
 
@@ -572,6 +616,17 @@ ServingEngine::validateOptions() const
     if (opts_.preempt && opts_.batching == BatchingMode::Static)
         IANUS_FATAL("preemption cannot evict from a sealed static "
                     "batch; use batching none or continuous");
+    if (opts_.kv.blockTokens == 0)
+        IANUS_FATAL("KV block size must be a positive token count");
+    if (!opts_.kv.enabled() && opts_.kv.admission != KvAdmission::None)
+        IANUS_FATAL("KV admission '", toString(opts_.kv.admission),
+                    "' needs a positive KV capacity (capacityTokens is "
+                    "0, so nothing bounds admission)");
+    if (opts_.kv.enabled() &&
+        opts_.kv.capacityTokens < opts_.kv.blockTokens)
+        IANUS_FATAL("KV capacity ", opts_.kv.capacityTokens,
+                    " tokens is smaller than one ", opts_.kv.blockTokens,
+                    "-token block");
 }
 
 void
@@ -624,6 +679,7 @@ ServingEngine::drain()
     report.maxBatch = opts_.maxBatch;
     report.prefillChunk = opts_.prefillChunk;
     report.preempt = opts_.preempt;
+    report.kv = opts_.kv;
     report.sloMsPerToken = opts_.sloMsPerToken;
 
     const std::size_t n = replicas_.size();
@@ -640,9 +696,10 @@ ServingEngine::drain()
     // single-replica FCFS drain reproduces the synchronous PR-1 loop
     // bit for bit. Chunked prefill or preemption routes even batch-1
     // service through the segment loop — token boundaries are what
-    // both features schedule at.
+    // both features schedule at, and so does the KV capacity model
+    // (admission and spill are charged at segment granularity).
     const bool segmented = opts_.maxBatch > 1 || opts_.prefillChunk > 0 ||
-                           opts_.preempt;
+                           opts_.preempt || opts_.kv.enabled();
     sim::EventQueue events;
     std::vector<QueuedRequest> ready; // arrived, waiting to dispatch
     std::vector<double> freeAt(n, 0.0);
@@ -683,6 +740,38 @@ ServingEngine::drain()
     // the matching resumed QueuedRequest is re-dispatched.
     std::map<std::uint64_t, Member> suspended;
 
+    // Per-replica KV block pools (capacity model on only). Each replica
+    // derives its spill bandwidth ratio from its own SystemConfig, so a
+    // heterogeneous pool prices overcommit honestly.
+    const bool kvOn = opts_.kv.enabled();
+    std::vector<KvBlockManager> kvm;
+    if (kvOn) {
+        kvm.reserve(n);
+        for (std::size_t d = 0; d < n; ++d)
+            kvm.emplace_back(opts_.kv, replicas_[d]->config());
+    }
+
+    // Worst-case KV a request can reach on replica d: a decoder's
+    // cache grows to prompt + every generated token; an encoder stops
+    // at the prompt. Reserving this at admission is what lets every
+    // admitted request run to completion under the keep-KV-on-replica
+    // eviction contract (parking can shrink a charge, never another
+    // resident's).
+    auto maxKvTokens = [&](std::size_t d, const QueuedRequest &q) {
+        return q.request.inputTokens +
+               (replicas_[d]->model().decoder() ? q.request.outputTokens
+                                                : 0);
+    };
+
+    // Would the KV manager turn this candidate away from replica d
+    // right now? (Capacity off, or `none` admission: never.)
+    auto kvBlocked = [&](const QueuedRequest &q, std::size_t d) {
+        if (!kvOn)
+            return false;
+        return q.resumed ? !kvm[d].canResume(q.id)
+                         : !kvm[d].canAdmit(maxKvTokens(d, q));
+    };
+
     // The queue-entry view of a resident, for urgency queries: both
     // preemption decision points (victim choice and chunk-boundary
     // prefill pick) must hand the policy the same key inputs.
@@ -710,8 +799,11 @@ ServingEngine::drain()
         return opts_.maxBatch > resident ? opts_.maxBatch - resident : 0;
     };
 
-    // Close out a batched member whose last token was emitted at @p now.
-    auto finalize = [&](Member &m, double now) {
+    // Close out a batched member whose last token was emitted at @p now
+    // on replica @p d, returning its KV blocks to d's pool.
+    auto finalize = [&](Member &m, double now, std::size_t d) {
+        if (kvOn)
+            kvm[d].release(m.res.id);
         RequestResult res = std::move(m.res);
         res.finishMs = now;
         // Residency excludes time spent evicted (x - 0.0 == x exactly,
@@ -808,6 +900,12 @@ ServingEngine::drain()
             }
             m.prefillDone += c;
             r.prefillSinceGen += c;
+            if (kvOn)
+                // The chunk writes its slice of prompt KV (the last
+                // chunk's LM head adds the bootstrap token; encoders'
+                // reservations clamp it away).
+                kvm[d].setUsed(m.res.id,
+                               last ? input + 1 : m.prefillDone);
             if (last) {
                 // TTFT counts queueing, any batch stall or interleaved
                 // generation segments, and the prefill itself — the
@@ -864,6 +962,23 @@ ServingEngine::drain()
                 m.weightedBatch += static_cast<double>(
                     g * r.gen.size());
                 m.doneSteps += g;
+                if (kvOn)
+                    kvm[d].setUsed(m.res.id, m.kvLen);
+            }
+        }
+
+        if (kvOn) {
+            // KV written beyond capacity lives in host memory: the
+            // spilled fraction of this segment's KV traffic moves at
+            // PCIe instead of DRAM bandwidth, dilating its wall time.
+            // Exactly 1.0 (and no branch taken) while within capacity,
+            // so queue/shed admission never pays it.
+            const double dil = kvm[d].dilation();
+            if (dil > 1.0) {
+                dur *= dil;
+                report.kvSpilledSegments += 1;
+                report.kvMaxDilation =
+                    std::max(report.kvMaxDilation, dil);
             }
         }
 
@@ -876,7 +991,7 @@ ServingEngine::drain()
             ReplicaRun &rr = rt[d];
             for (auto it = rr.gen.begin(); it != rr.gen.end();) {
                 if (it->remaining == 0) {
-                    finalize(*it, end);
+                    finalize(*it, end, d);
                     it = rr.gen.erase(it);
                 } else {
                     ++it;
@@ -958,6 +1073,11 @@ ServingEngine::drain()
                     dev = q.boundReplica;
                     if (capacity(dev) == 0)
                         continue;
+                    // Resume only when the parked request's worst-case
+                    // headroom fits the pool again (queue/shed modes;
+                    // `none` overcommits and spills instead).
+                    if (kvOn && !kvm[dev].canResume(q.id))
+                        continue;
                 } else {
                     // The router contract, enforced here where drain()
                     // consumes the route (the selectBatch twin above):
@@ -974,9 +1094,16 @@ ServingEngine::drain()
                     // above).
                     std::vector<ReplicaStatus> statuses(n);
                     const bool est = router_->needsEstimates();
+                    bool any_accepting = false;
                     for (std::size_t d = 0; d < n; ++d) {
                         statuses[d].index = d;
-                        statuses[d].idle = capacity(d) > 0;
+                        // A kv-blocked replica is not accepting for
+                        // this candidate (queue/shed modes; `none`
+                        // never blocks), so the router only ever sees
+                        // placements the block pool can honor.
+                        statuses[d].idle =
+                            capacity(d) > 0 && !kvBlocked(q, d);
+                        any_accepting |= statuses[d].idle;
                         statuses[d].freeAtMs = freeAt[d];
                         statuses[d].busyMs = report.replicas[d].busyMs;
                         statuses[d].dispatched =
@@ -989,6 +1116,11 @@ ServingEngine::drain()
                             statuses[d].backlogTokens += m.remaining;
                         }
                         statuses[d].suspendedKv = parked[d];
+                        if (kvOn) {
+                            statuses[d].kvFreeBlocks =
+                                kvm[d].freeBlocks();
+                            statuses[d].kvPressure = kvm[d].pressure();
+                        }
                         if (est) {
                             statuses[d].estStepMs =
                                 replicas_[d]->estimatedStepMs();
@@ -1000,6 +1132,32 @@ ServingEngine::drain()
                                     q.request);
                         }
                     }
+                    if (!any_accepting) {
+                        // Some replica has an open slot (the admission
+                        // loop's slots check) but every one is
+                        // KV-blocked for this candidate: admission
+                        // control takes over before the router runs.
+                        if (opts_.kv.admission == KvAdmission::Shed) {
+                            report.kvShed += 1;
+                            consumed[idx] = 1;
+                            continue;
+                        }
+                        // Queue: hold it in the ready queue until
+                        // blocks free — fatal if no replica could fit
+                        // it even empty (it would wait forever).
+                        bool ever = false;
+                        for (std::size_t d = 0; d < n; ++d)
+                            ever |= kvm[d].canEverAdmit(
+                                maxKvTokens(d, q));
+                        if (!ever)
+                            IANUS_FATAL(
+                                "request ", q.id, " needs ",
+                                maxKvTokens(0, q),
+                                " KV tokens, more than any replica's "
+                                "capacity; it can never dispatch under "
+                                "queue admission");
+                        continue;
+                    }
                     dev = router_->route(q, statuses, now);
                     if (dev >= n)
                         IANUS_FATAL("router '", router_->name(),
@@ -1008,6 +1166,10 @@ ServingEngine::drain()
                     if (capacity(dev) == 0)
                         IANUS_FATAL("router '", router_->name(),
                                     "' routed to busy replica ", dev);
+                    if (kvBlocked(q, dev))
+                        IANUS_FATAL("router '", router_->name(),
+                                    "' routed to KV-blocked replica ",
+                                    dev);
                 }
 
                 if (!segmented) {
@@ -1070,6 +1232,8 @@ ServingEngine::drain()
                     Member m = std::move(sit->second);
                     suspended.erase(sit);
                     m.res.suspendedMs += now - m.evictedAtMs;
+                    if (kvOn)
+                        kvm[dev].resume(q.id); // re-reserve headroom
                     rt[dev].gen.push_back(std::move(m));
                     parked[dev] -= 1; // its KV is resident again
                     // A re-dispatch is a dispatch event: a preempted
@@ -1086,6 +1250,11 @@ ServingEngine::drain()
                     m.res.deviceIndex = dev;
                     m.res.report.inputTokens = q.request.inputTokens;
                     m.res.report.outputTokens = q.request.outputTokens;
+                    if (kvOn)
+                        // Reserve the worst case up front; `none`
+                        // admission overcommits here and pays in
+                        // spill-dilated segments instead.
+                        kvm[dev].admit(q.id, maxKvTokens(dev, q));
                     rt[dev].prefill.push_back(std::move(m));
                     report.replicas[dev].dispatched += 1;
                 }
@@ -1127,12 +1296,24 @@ ServingEngine::drain()
         ctx.sloMsPerToken = opts_.sloMsPerToken;
         ctx.replicaFreeAtMs = freeAt;
         for (std::size_t d = 0; d < n; ++d) {
-            if (busy[d] || capacity(d) != 0)
-                continue; // mid-segment, or admission can fill it
+            if (busy[d])
+                continue; // mid-segment: no token boundary to evict at
+            // Eviction needs something it could fix: a full batch
+            // (the legacy trigger), or — with the capacity model on —
+            // a block-starved candidate whose admission an eviction's
+            // parked headroom could unblock.
+            const bool slot_full = capacity(d) == 0;
+            if (!slot_full && !kvOn)
+                continue; // admission can fill the open slot
             const QueuedRequest *cand = nullptr;
             double cand_key = 0.0;
             for (const QueuedRequest &q : ready) {
                 if (q.resumed && q.boundReplica != d)
+                    continue;
+                // With an open slot, only a KV-blocked candidate
+                // justifies evicting (anyone else admission would
+                // have placed already).
+                if (!slot_full && !kvBlocked(q, d))
                     continue;
                 double key = policy_->urgency(q, ctx);
                 if (!cand || key < cand_key) {
@@ -1156,11 +1337,27 @@ ServingEngine::drain()
             }
             if (victim == rt[d].gen.end() || !(cand_key < victim_key))
                 continue;
+            // An eviction that cannot unblock its beneficiary is pure
+            // churn (the evictee would bounce straight back): parking
+            // must free enough headroom for the candidate to take the
+            // place. Always passes with the capacity model off or
+            // under `none` admission.
+            if (kvOn &&
+                !(cand->resumed
+                      ? kvm[d].parkWouldResume(victim->res.id, cand->id)
+                      : kvm[d].parkWouldAdmit(victim->res.id,
+                                              maxKvTokens(d, *cand))))
+                continue;
 
             Member m = std::move(*victim);
             rt[d].gen.erase(victim);
             m.res.preemptions += 1;
             m.evictedAtMs = now;
+            if (kvOn)
+                // Park under the PR-4 contract: the written KV stays
+                // charged on this replica, the worst-case headroom
+                // returns to the pool.
+                kvm[d].park(m.res.id);
             QueuedRequest rq;
             rq.id = m.res.id;
             rq.request = m.res.request;
@@ -1270,6 +1467,41 @@ ServingEngine::drain()
         r.idleMs = std::max(0.0, report.makespanMs - r.busyMs);
         r.utilization =
             report.makespanMs > 0.0 ? r.busyMs / report.makespanMs : 0.0;
+    }
+
+    // KV accounting audit: a fully drained engine holds no resident,
+    // pending, or parked KV anywhere — anything left is a leaked cache
+    // on some completion/eviction path (the invariant sweep asserts
+    // both fields are zero). The engine-view count works with the
+    // capacity model off too.
+    for (std::size_t d = 0; d < n; ++d) {
+        for (const Member &m : rt[d].prefill)
+            report.replicas[d].kvTokensEnd += m.prefillDone;
+        for (const Member &m : rt[d].gen)
+            report.replicas[d].kvTokensEnd += m.kvLen;
+    }
+    for (const auto &entry : suspended)
+        report.replicas[entry.second.res.deviceIndex].kvTokensEnd +=
+            entry.second.kvLen;
+    if (kvOn) {
+        std::uint64_t waste = 0;
+        std::uint64_t gross = 0;
+        for (std::size_t d = 0; d < n; ++d) {
+            const std::int64_t leaked =
+                static_cast<std::int64_t>(kvm[d].totalBlocks()) -
+                kvm[d].freeBlocks();
+            report.replicas[d].kvBlocksLeaked =
+                leaked > 0 ? static_cast<std::uint64_t>(leaked) : 0;
+            report.replicas[d].kvTokensEnd += kvm[d].residentTokens();
+            report.kvPeakPressure =
+                std::max(report.kvPeakPressure, kvm[d].peakPressure());
+            waste += kvm[d].fragWasteTokens();
+            gross += kvm[d].fragGrossTokens();
+        }
+        report.kvMeanFragmentation =
+            gross > 0 ? static_cast<double>(waste) /
+                            static_cast<double>(gross)
+                      : 0.0;
     }
 
     // The queue is empty: the next submit cycle starts a fresh clock.

@@ -66,6 +66,7 @@
 
 #include "ianus/report.hh"
 #include "serve/device_pool.hh"
+#include "serve/kv_manager.hh"
 #include "workloads/model_config.hh"
 
 namespace ianus::serve
@@ -242,6 +243,16 @@ struct ReplicaStatus
     /** Evicted requests whose KV cache is parked on this replica,
      *  waiting to resume (their slot is spoken for). */
     std::size_t suspendedKv = 0;
+
+    // --- KV capacity signals (ServingOptions::kv enabled only) ---------
+    /** Unreserved KV blocks on this replica; negative when the `none`
+     *  admission mode has overcommitted (spilling). 0 when the KV
+     *  manager is off. */
+    std::int64_t kvFreeBlocks = 0;
+    /** Reserved / total KV blocks; > 1 means overcommitted. 0.0 when
+     *  the KV manager is off — the capacity-blind tuple orderings and
+     *  finish estimates are then bit-identical to the pre-KV engine. */
+    double kvPressure = 0.0;
 
     // --- Heterogeneity signals (service-time estimates) ----------------
     //
@@ -455,6 +466,14 @@ struct ReplicaUtilization
     double busyMs = 0.0;
     double idleMs = 0.0;      ///< makespan - busy
     double utilization = 0.0; ///< busy / makespan (0 if empty drain)
+
+    /** KV tokens still resident when the drain finished — must be 0
+     *  (every completion/eviction path releases its cache; the
+     *  invariant sweep asserts it). */
+    std::uint64_t kvTokensEnd = 0;
+    /** KV block reservations never released by the end of the drain —
+     *  must be 0 for the same reason. */
+    std::uint64_t kvBlocksLeaked = 0;
 };
 
 /** Fleet-level aggregation over one drain(). */
@@ -467,6 +486,8 @@ struct ServingReport
     std::size_t maxBatch = 1; ///< per-replica batch-size cap
     std::uint64_t prefillChunk = 0; ///< prefill chunk tokens (0 = whole)
     bool preempt = false;           ///< token-boundary preemption on?
+    KvOptions kv{};                 ///< KV-capacity knobs, echoed back
+
 
     /** Per-replica utilization, indexed like the pool. */
     std::vector<ReplicaUtilization> replicas;
@@ -474,6 +495,21 @@ struct ServingReport
     double sloMsPerToken = 0.0;
     double makespanMs = 0.0; ///< first arrival -> last completion
     std::uint64_t generatedTokens = 0;
+
+    // --- KV capacity accounting (kv.enabled() drains only) -------------
+    /** Requests dropped by `shed` admission (they get no RequestResult;
+     *  results.size() excludes them). */
+    std::uint64_t kvShed = 0;
+    /** High-water KV pressure across all replicas (> 1 means some
+     *  replica overcommitted under `none` admission). */
+    double kvPeakPressure = 0.0;
+    /** Token-weighted mean internal fragmentation over released KV
+     *  reservations: wasted block tokens / reserved block tokens. */
+    double kvMeanFragmentation = 0.0;
+    /** Segments whose wall time the PCIe spill model dilated. */
+    std::uint64_t kvSpilledSegments = 0;
+    /** Largest per-segment dilation factor applied (1.0 = no spill). */
+    double kvMaxDilation = 1.0;
 
     /** Merged per-request combined() stats (energy-model input). */
     RunStats aggregate;
@@ -530,6 +566,16 @@ struct ServingReport
 
     /** Fraction of requests evicted at least once. */
     double preemptionRate() const;
+
+    /** Fraction of offered requests dropped by `shed` admission
+     *  (kvShed / (completed + kvShed); 0 with nothing offered). */
+    double kvShedRate() const;
+
+    /** SLO-goodput: generated tokens of requests that met their EDF
+     *  deadline, per second of makespan — the metric capacity-aware
+     *  admission moves (tokens generated late, or at spill-dilated
+     *  cadence, stop counting). */
+    double sloGoodputTokensPerSec() const;
 
     /** One-line fleet summary. */
     std::string summary() const;
@@ -607,6 +653,15 @@ struct ServingOptions
      * loop bit for bit.
      */
     bool preempt = false;
+
+    /**
+     * KV-capacity model (see serve/kv_manager.hh): kv.capacityTokens >
+     * 0 bounds each replica's resident + parked KV by a paged block
+     * pool, activates the admission mode and layout, and routes service
+     * through the segment loop. The default (0) is the pre-capacity
+     * engine bit for bit.
+     */
+    KvOptions kv{};
 };
 
 /** Replays queued requests on a pool of replicas, event-driven. */

@@ -286,6 +286,14 @@ TEST(ServingInvariantSweep, ConservationAcrossAllCombinations)
                                   trace.size() + rep.preemptions())
                             << cell;
 
+                        // KV conservation: every drain returns the
+                        // resident token count to zero and leaks no
+                        // blocks, kv manager enabled or not.
+                        for (const auto &u : rep.replicas) {
+                            EXPECT_EQ(u.kvTokensEnd, 0u) << cell;
+                            EXPECT_EQ(u.kvBlocksLeaked, 0u) << cell;
+                        }
+
                         // Fleet aggregates stay additive.
                         RunStats merged;
                         std::uint64_t tokens = 0;
@@ -335,6 +343,73 @@ TEST(ServingInvariantSweep, ConservationAcrossAllCombinations)
                                 << cell;
                         }
                     }
+}
+
+// The same conservation laws with the KV manager on: queue and none
+// admission never lose a request, both layouts drain back to zero
+// resident tokens, and routers stay consistent while consuming the
+// kvFreeBlocks / kvPressure signals.
+TEST(ServingInvariantSweep, KvCapacityPreservesConservation)
+{
+    using namespace serve;
+    workloads::ModelConfig model = workloads::gpt2("m");
+
+    DevicePool pool;
+    pool.addReplica(std::make_unique<CompiledModel>(
+        SystemConfig::ianusDefault(), model));
+    pool.addReplica(
+        std::make_unique<CompiledModel>(SystemConfig::npuMem(), model));
+
+    TraceOptions topts;
+    topts.seed = 5;
+    topts.requests = 8;
+    topts.arrivalsPerSec = 400.0;
+    topts.inputTokenChoices = {64, 128};
+    topts.outputTokenChoices = {2, 16, 48};
+    ArrivalTrace trace = generatePoissonTrace(topts);
+
+    const std::vector<std::string> routers = {
+        "round-robin", "queue-depth", "predicted-finish"};
+    for (const std::string &router : routers)
+        for (KvAdmission admission :
+             {KvAdmission::None, KvAdmission::Queue})
+            for (KvLayout layout :
+                 {KvLayout::Unified, KvLayout::Partitioned}) {
+                ServingOptions opts;
+                opts.batching = BatchingMode::Continuous;
+                opts.maxBatch = 4;
+                opts.preempt = true;
+                opts.tokenStride = 4;
+                // Tight enough that 8 pending requests contend, yet
+                // each partitioned half region (12 of 24 blocks) still
+                // holds the largest worst case (128 + 48 = 11 blocks),
+                // so queue admission always drains.
+                opts.kv.capacityTokens = 384;
+                opts.kv.blockTokens = 16;
+                opts.kv.admission = admission;
+                opts.kv.layout = layout;
+                ServingEngine engine(pool, opts, makePolicy("fcfs"),
+                                     makeRouter(router));
+                submitAll(trace, engine);
+                ServingReport rep = engine.drain();
+
+                std::string cell = router + "/" +
+                                   toString(admission) + "/" +
+                                   toString(layout);
+                ASSERT_EQ(rep.requests(), trace.size()) << cell;
+                EXPECT_EQ(rep.kvShed, 0u) << cell;
+                std::uint64_t dispatched = 0;
+                for (const auto &u : rep.replicas) {
+                    dispatched += u.dispatched;
+                    EXPECT_EQ(u.kvTokensEnd, 0u) << cell;
+                    EXPECT_EQ(u.kvBlocksLeaked, 0u) << cell;
+                }
+                EXPECT_EQ(dispatched, trace.size() + rep.preemptions())
+                    << cell;
+                EXPECT_GT(rep.kvPeakPressure, 0.0) << cell;
+                if (admission == KvAdmission::Queue)
+                    EXPECT_EQ(rep.kvSpilledSegments, 0u) << cell;
+            }
 }
 
 } // namespace

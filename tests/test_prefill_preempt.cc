@@ -346,4 +346,171 @@ TEST(Preempt, StaticBatchingIsRejected)
     EXPECT_THROW(serve::ServingEngine(model, bad), std::runtime_error);
 }
 
+// --- Engine: KV capacity pressure -----------------------------------------
+
+serve::KvOptions
+kvQueue(std::uint64_t capacity, std::uint64_t block = 32)
+{
+    serve::KvOptions kv;
+    kv.capacityTokens = capacity;
+    kv.blockTokens = block;
+    kv.admission = serve::KvAdmission::Queue;
+    return kv;
+}
+
+// The eviction/park/resume cycle under capacity pressure. 384 tokens =
+// 12 blocks of 32; the long request's worst case (64 + 300) reserves
+// all 12, the short's (64 + 4) needs 3. With two batch slots the slot
+// is never the constraint — only the block pool is:
+//  - the short is KV-blocked until EDF evicts the long, whose parking
+//    keeps its written KV charged but frees the un-grown headroom;
+//  - the parked long cannot resume while the short holds blocks (its
+//    worst-case re-reservation no longer fits) even though a batch
+//    slot is open the whole time;
+//  - the short's release unblocks the resume, and no request is lost.
+TEST(KvCapacity, EvictParkResumeCycleUnderPressure)
+{
+    serve::CompiledModel model(SystemConfig::ianusDefault(), m);
+    serve::ServingOptions opts = chunked(0, 2, 1);
+    opts.preempt = true;
+    opts.sloMsPerToken = 5.0;
+    opts.kv = kvQueue(384);
+
+    auto run = [&](bool kv_on) {
+        serve::ServingOptions o = opts;
+        if (!kv_on)
+            o.kv = serve::KvOptions{};
+        serve::ServingEngine engine(model, o,
+                                    serve::makePolicy("edf"));
+        engine.submit({64, 300}, 0.0);
+        double mid = model.summarizationStats(64).wallMs() + 20.0;
+        engine.submit({64, 4}, mid);
+        return engine.drain();
+    };
+
+    // Without the capacity model both fit the 2-slot batch: nothing
+    // ever evicts. The eviction below is purely KV-driven.
+    ServingReport free_rep = run(false);
+    EXPECT_EQ(free_rep.preemptions(), 0u);
+
+    ServingReport rep = run(true);
+    ASSERT_EQ(rep.requests(), 2u);
+    const serve::RequestResult &longr = byId(rep, 0);
+    const serve::RequestResult &shortr = byId(rep, 1);
+    EXPECT_EQ(longr.preemptions, 1u);
+    EXPECT_EQ(shortr.preemptions, 0u);
+    EXPECT_LT(shortr.finishMs, longr.finishMs);
+    // Resume waited for the short's blocks: the suspension covers the
+    // short's entire residency.
+    EXPECT_GE(longr.suspendedMs, shortr.serviceMs - 1e-9);
+    // Nothing was re-generated, and nothing leaked.
+    EXPECT_EQ(longr.report.generationSteps, 299u);
+    EXPECT_EQ(shortr.report.generationSteps, 3u);
+    ASSERT_EQ(rep.replicas.size(), 1u);
+    EXPECT_EQ(rep.replicas[0].kvTokensEnd, 0u);
+    EXPECT_EQ(rep.replicas[0].kvBlocksLeaked, 0u);
+    EXPECT_EQ(rep.kvShed, 0u);
+    EXPECT_GT(rep.kvPeakPressure, 0.9);
+    EXPECT_TRUE(rep.kv.enabled());
+}
+
+// Queue admission without preemption: the blocked request simply waits
+// in the ready queue until the resident's release frees its blocks.
+TEST(KvCapacity, QueueAdmissionHoldsAtTheGate)
+{
+    serve::CompiledModel model(SystemConfig::ianusDefault(), m);
+    serve::ServingOptions opts = chunked(0, 2, 1);
+    opts.kv = kvQueue(384);
+    serve::ServingEngine engine(model, opts);
+    engine.submit({64, 300}, 0.0);
+    engine.submit({64, 4}, 0.0);
+    ServingReport rep = engine.drain();
+    ASSERT_EQ(rep.requests(), 2u);
+    const serve::RequestResult &longr = byId(rep, 0);
+    const serve::RequestResult &shortr = byId(rep, 1);
+    // The short dispatched only after the long released its pool.
+    EXPECT_GE(shortr.startMs, longr.finishMs - 1e-9);
+    EXPECT_EQ(rep.preemptions(), 0u); // FCFS: waiting, not evicting
+    EXPECT_EQ(rep.replicas[0].kvTokensEnd, 0u);
+}
+
+// Shed admission drops what it cannot place, and the report says so.
+TEST(KvCapacity, ShedAdmissionDropsAndCounts)
+{
+    serve::CompiledModel model(SystemConfig::ianusDefault(), m);
+    serve::ServingOptions opts = chunked(0, 2, 1);
+    opts.kv = kvQueue(384);
+    opts.kv.admission = serve::KvAdmission::Shed;
+    serve::ServingEngine engine(model, opts);
+    engine.submit({64, 300}, 0.0);
+    engine.submit({64, 4}, 0.0);
+    ServingReport rep = engine.drain();
+    ASSERT_EQ(rep.requests(), 1u); // the short was shed, not served
+    EXPECT_EQ(rep.results[0].id, 0u);
+    EXPECT_EQ(rep.kvShed, 1u);
+    EXPECT_DOUBLE_EQ(rep.kvShedRate(), 0.5);
+    EXPECT_EQ(rep.replicas[0].kvTokensEnd, 0u);
+    EXPECT_EQ(rep.replicas[0].kvBlocksLeaked, 0u);
+}
+
+// A capacity nothing ever reaches is bit-identical to no capacity at
+// all: same segment decisions, same doubles, zero spill — the KV layer
+// rides the segment loop without perturbing it.
+TEST(KvCapacity, UnreachedCapacityIsBitIdenticalToUnbounded)
+{
+    serve::TraceOptions topts;
+    topts.seed = 17;
+    topts.requests = 10;
+    topts.arrivalsPerSec = 400.0;
+    topts.outputTokenChoices = {4, 8, 32};
+    serve::ArrivalTrace trace = serve::generatePoissonTrace(topts);
+
+    auto run = [&](std::uint64_t capacity) {
+        serve::CompiledModel model(SystemConfig::ianusDefault(), m);
+        serve::ServingOptions opts = chunked(128, 4, 2);
+        if (capacity > 0)
+            opts.kv = kvQueue(capacity, 16);
+        serve::ServingEngine engine(model, opts);
+        serve::submitAll(trace, engine);
+        return engine.drain();
+    };
+    ServingReport off = run(0);
+    ServingReport on = run(1u << 20);
+    expectIdentical(off, on);
+    EXPECT_EQ(on.kvSpilledSegments, 0u);
+    EXPECT_EQ(on.kvShed, 0u);
+    EXPECT_EQ(on.replicas[0].kvBlocksLeaked, 0u);
+}
+
+// A request beyond every replica's ceiling can never dispatch under
+// queue admission — waiting forever is a silent loss, so it is fatal.
+TEST(KvCapacity, ImpossibleRequestUnderQueueIsFatal)
+{
+    serve::CompiledModel model(SystemConfig::ianusDefault(), m);
+    serve::ServingOptions opts = chunked(0, 2, 1);
+    opts.kv = kvQueue(384);
+    serve::ServingEngine engine(model, opts);
+    engine.submit({64, 400}, 0.0); // worst case 464 > 384 capacity
+    EXPECT_THROW(engine.drain(), std::runtime_error);
+}
+
+// Engine-level option validation mirrors the CLI's.
+TEST(KvCapacity, OptionValidation)
+{
+    serve::CompiledModel model(SystemConfig::ianusDefault(), m);
+    serve::ServingOptions bad;
+    bad.kv.blockTokens = 0;
+    EXPECT_THROW(serve::ServingEngine(model, bad), std::runtime_error);
+
+    serve::ServingOptions no_cap;
+    no_cap.kv.admission = serve::KvAdmission::Shed;
+    EXPECT_THROW(serve::ServingEngine(model, no_cap),
+                 std::runtime_error);
+
+    serve::ServingOptions tiny;
+    tiny.kv.capacityTokens = 8;
+    tiny.kv.blockTokens = 16;
+    EXPECT_THROW(serve::ServingEngine(model, tiny), std::runtime_error);
+}
+
 } // namespace
