@@ -31,6 +31,11 @@
  *                 [--rate req_per_s] [--seed S]
  *                 [--clients N] [--think-ms T]
  *                 [--trace-in path] [--trace-out path]
+ *                 [--shards N]
+ *
+ * --shards N splits the cluster drain into N independent sub-cluster
+ * simulations (serve/sharded_drain.hh) that run on N worker threads
+ * and merge deterministically; see docs/PERFORMANCE.md.
  */
 
 #include <cstdio>
@@ -41,6 +46,7 @@
 #include <vector>
 
 #include "serve/serving_engine.hh"
+#include "serve/sharded_drain.hh"
 #include "serve/trace_gen.hh"
 
 namespace
@@ -69,6 +75,7 @@ struct Args
     std::uint64_t seed = 7;
     unsigned clients = 0; ///< 0 = open loop; N = closed-loop clients
     double thinkMs = 50.0; ///< mean client think time (closed loop)
+    unsigned shards = 1;  ///< sub-cluster drains merged deterministically
     std::string traceIn;  ///< replay arrivals from this trace file
     std::string traceOut; ///< record the served arrivals here
 };
@@ -205,6 +212,9 @@ parseArgs(int argc, char **argv)
             args.traceIn = next(), cluster_flag = true;
         else if (a == "--trace-out")
             args.traceOut = next(), cluster_flag = true;
+        else if (a == "--shards")
+            args.shards = parseCount(a, next(), 1024),
+            cluster_flag = true;
         else if (positional == 0)
             args.model = a, ++positional;
         else if (positional == 1)
@@ -223,8 +233,9 @@ parseArgs(int argc, char **argv)
                      "--policy/--router/--batching/--max-batch/"
                      "--prefill-chunk/--preempt/--kv-capacity/"
                      "--kv-block/--kv-admission/--kv-layout/--rate/"
-                     "--seed/--clients/--think-ms/--trace-in/--trace-out "
-                     "only apply to cluster mode; add --replicas N\n");
+                     "--seed/--clients/--think-ms/--trace-in/--trace-out/"
+                     "--shards only apply to cluster mode; add "
+                     "--replicas N\n");
         std::exit(2);
     }
     if (args.kvCapacity.empty() &&
@@ -264,6 +275,20 @@ parseArgs(int argc, char **argv)
     if (!args.traceIn.empty() && args.rate > 0.0) {
         std::fprintf(stderr, "--rate has no effect with --trace-in "
                              "(the file fixes the arrivals)\n");
+        std::exit(2);
+    }
+    if (args.shards > 1 && args.clients > 0) {
+        std::fprintf(stderr,
+                     "--shards partitions an open-loop trace; "
+                     "closed-loop clients are cross-shard feedback — "
+                     "drop --clients or --shards\n");
+        std::exit(2);
+    }
+    if (args.shards > args.replicas && args.replicas > 0) {
+        std::fprintf(stderr,
+                     "--shards %u cannot exceed --replicas %u (each "
+                     "shard owns at least one replica)\n",
+                     args.shards, args.replicas);
         std::exit(2);
     }
     if (args.preempt && args.batching == "static") {
@@ -415,6 +440,24 @@ clusterMode(const Args &args)
 
     serve::ServingReport rep;
     serve::ArrivalTrace trace; // served (or realized) arrivals
+
+    // Open-loop drains can split into --shards independent sub-cluster
+    // simulations with a deterministic merge (docs/PERFORMANCE.md).
+    auto serveTrace = [&]() {
+        if (args.shards > 1) {
+            serve::ShardOptions sh;
+            sh.shards = args.shards;
+            std::printf("sharded drain: %u sub-clusters of %u replicas, "
+                        "one worker thread each\n\n",
+                        args.shards, args.replicas / args.shards);
+            rep = serve::drainSharded(pool, opts, trace, sh,
+                                      args.policy, args.router);
+            return;
+        }
+        serve::submitAll(trace, engine);
+        rep = engine.drain();
+    };
+
     if (args.clients > 0) {
         // Closed loop: arrivals follow completions, so the offered
         // load throttles itself to what the pool sustains.
@@ -439,8 +482,7 @@ clusterMode(const Args &args)
                     "%.1f ms\n\n",
                     trace.size(), args.traceIn.c_str(),
                     trace.horizonMs());
-        serve::submitAll(trace, engine);
-        rep = engine.drain();
+        serveTrace();
     } else {
         // Auto rate: offer ~2x the pool's single-request service rate
         // so the cluster stays busy without the queue diverging
@@ -460,8 +502,7 @@ clusterMode(const Args &args)
                     "%llu), horizon %.1f ms\n\n",
                     trace.size(), rate, (unsigned long long)args.seed,
                     trace.horizonMs());
-        serve::submitAll(trace, engine);
-        rep = engine.drain();
+        serveTrace();
     }
 
     if (!args.traceOut.empty()) {

@@ -10,10 +10,13 @@
 # directories).
 #
 # Flag check: every --flag token mentioned in the serving-facing docs
-# (docs/SERVING.md, docs/SCHEDULING.md, docs/ARCHITECTURE.md) must be
-# parsed somewhere in examples/llm_serving.cc or the shared bench harness
-# (bench/common/bench_common.cc, for --fast/--csv) — a doc referencing
-# a flag the CLI dropped or never grew is as dead as a broken link.
+# (docs/SERVING.md, docs/SCHEDULING.md, docs/ARCHITECTURE.md,
+# docs/PERFORMANCE.md) must be parsed somewhere in
+# examples/llm_serving.cc, the shared bench harness
+# (bench/common/bench_common.cc, for --fast/--csv), or the throughput
+# microbenchmark (bench/micro_serving_throughput.cc, for --floor) — a
+# doc referencing a flag the CLI dropped or never grew is as dead as a
+# broken link.
 set -u
 
 files=("$@")
@@ -44,9 +47,10 @@ done
 
 root=$(cd "$(dirname "$0")/.." && pwd)
 flag_srcs=("$root/examples/llm_serving.cc"
-           "$root/bench/common/bench_common.cc")
+           "$root/bench/common/bench_common.cc"
+           "$root/bench/micro_serving_throughput.cc")
 for doc in "$root/docs/SERVING.md" "$root/docs/SCHEDULING.md" \
-           "$root/docs/ARCHITECTURE.md"; do
+           "$root/docs/ARCHITECTURE.md" "$root/docs/PERFORMANCE.md"; do
     [ -e "$doc" ] || continue
     while IFS= read -r flag; do
         found=0

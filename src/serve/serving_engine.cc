@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <deque>
 #include <functional>
 #include <map>
 #include <tuple>
+#include <utility>
 
 #include "common/logging.hh"
 #include "sim/event_queue.hh"
@@ -337,22 +339,10 @@ percentileSorted(const std::vector<double> &sorted, double p)
     return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
 }
 
-template <typename Sample>
+/** Sort @p values in place and read all of @p ps off the one sort. */
 std::vector<double>
-gather(const std::vector<RequestResult> &results, Sample sample)
-{
-    std::vector<double> v;
-    v.reserve(results.size());
-    for (const RequestResult &r : results)
-        v.push_back(sample(r));
-    return v;
-}
-
-} // namespace
-
-std::vector<double>
-ServingReport::percentiles(std::vector<double> values,
-                           const std::vector<double> &ps)
+percentilesInPlace(std::vector<double> &values,
+                   const std::vector<double> &ps)
 {
     std::vector<double> out(ps.size(), 0.0);
     if (values.empty())
@@ -361,6 +351,31 @@ ServingReport::percentiles(std::vector<double> values,
     for (std::size_t i = 0; i < ps.size(); ++i)
         out[i] = percentileSorted(values, ps[i]);
     return out;
+}
+
+/** Gather one sample per result into a reused per-thread buffer:
+ *  repeated summary()/percentile calls over a large report sort the
+ *  same allocation instead of growing a fresh vector each time
+ *  (thread_local keeps concurrent shard workers independent). */
+template <typename Sample>
+std::vector<double> &
+gather(const std::vector<RequestResult> &results, Sample sample)
+{
+    thread_local std::vector<double> buf;
+    buf.clear();
+    buf.reserve(results.size());
+    for (const RequestResult &r : results)
+        buf.push_back(sample(r));
+    return buf;
+}
+
+} // namespace
+
+std::vector<double>
+ServingReport::percentiles(std::vector<double> values,
+                           const std::vector<double> &ps)
+{
+    return percentilesInPlace(values, ps);
 }
 
 double
@@ -372,7 +387,7 @@ ServingReport::percentile(std::vector<double> values, double p)
 std::vector<double>
 ServingReport::latencyPercentiles(const std::vector<double> &ps) const
 {
-    return percentiles(
+    return percentilesInPlace(
         gather(results, [](const RequestResult &r) { return r.totalMs(); }),
         ps);
 }
@@ -386,11 +401,11 @@ ServingReport::latencyPercentile(double p) const
 std::vector<double>
 ServingReport::ttftPercentiles(const std::vector<double> &ps) const
 {
-    return percentiles(gather(results,
-                              [](const RequestResult &r) {
-                                  return r.firstTokenMs;
-                              }),
-                       ps);
+    return percentilesInPlace(gather(results,
+                                     [](const RequestResult &r) {
+                                         return r.firstTokenMs;
+                                     }),
+                              ps);
 }
 
 double
@@ -402,11 +417,11 @@ ServingReport::ttftPercentile(double p) const
 std::vector<double>
 ServingReport::serviceTimePercentiles(const std::vector<double> &ps) const
 {
-    return percentiles(gather(results,
-                              [](const RequestResult &r) {
-                                  return r.serviceMs;
-                              }),
-                       ps);
+    return percentilesInPlace(gather(results,
+                                     [](const RequestResult &r) {
+                                         return r.serviceMs;
+                                     }),
+                              ps);
 }
 
 double
@@ -601,6 +616,25 @@ ServingEngine::ServingEngine(const DevicePool &pool, ServingOptions opts,
     validateOptions();
 }
 
+ServingEngine::ServingEngine(std::vector<const CompiledModel *> replicas,
+                             ServingOptions opts,
+                             std::unique_ptr<SchedulingPolicy> policy,
+                             std::unique_ptr<Router> router)
+    : replicas_(std::move(replicas)), opts_(opts),
+      policy_(std::move(policy)), router_(std::move(router))
+{
+    if (replicas_.empty())
+        IANUS_FATAL("serving engine needs a non-empty replica view");
+    for (const CompiledModel *m : replicas_)
+        if (!m)
+            IANUS_FATAL("serving engine replica view holds a null model");
+    if (!policy_)
+        policy_ = std::make_unique<FcfsPolicy>();
+    if (!router_)
+        router_ = std::make_unique<RoundRobinRouter>();
+    validateOptions();
+}
+
 void
 ServingEngine::validateOptions() const
 {
@@ -701,7 +735,57 @@ ServingEngine::drain()
     const bool segmented = opts_.maxBatch > 1 || opts_.prefillChunk > 0 ||
                            opts_.preempt || opts_.kv.enabled();
     sim::EventQueue events;
-    std::vector<QueuedRequest> ready; // arrived, waiting to dispatch
+    report.results.reserve(queue_.size());
+
+    // The waiting queue lives in a structure matched to the policy's
+    // declared QueueOrder (see serving_engine.hh): a plain vector that
+    // selectBatch reorders at every admission round (Dynamic — the
+    // always-correct legacy path), a FIFO that never consults
+    // selectBatch (Arrival: FCFS), or an index ordered by (static
+    // urgency key, insertion sequence) (StaticUrgency: SJF/EDF) — the
+    // incremental replacement for the per-boundary full stable_sort.
+    // All three dispatch identical batches in identical order; the
+    // fast paths just skip recomputing an order that cannot change.
+    const QueueOrder order = policy_->queueOrder();
+    std::vector<QueuedRequest> ready;    // Dynamic: arrival order
+    std::deque<QueuedRequest> readyFifo; // Arrival
+    std::map<std::pair<double, std::uint64_t>, QueuedRequest>
+        readyOrdered;                    // StaticUrgency
+    std::uint64_t readySeq = 0;
+    // A StaticUrgency key is static per request (the urgency contract),
+    // so it is computed once at enqueue, against a context carrying
+    // only the engine SLO — the same value every live-context call
+    // would produce for the shipped policies.
+    SchedulerContext staticCtx;
+    staticCtx.sloMsPerToken = opts_.sloMsPerToken;
+    // Parked evictees per replica — evictees still waiting to resume.
+    // Maintained incrementally: counted in on requeue (the only path
+    // that enqueues a resumed request) and out as resumes dispatch, so
+    // a later candidate never sees a slot as spoken for by an evictee
+    // that already took it back, and no admission pass pays a scan of
+    // the waiting queue for it.
+    std::vector<std::size_t> parked(n, 0);
+    auto readyPush = [&](const QueuedRequest &q) {
+        if (q.resumed)
+            parked[q.boundReplica] += 1;
+        switch (order) {
+          case QueueOrder::Dynamic:
+            ready.push_back(q);
+            break;
+          case QueueOrder::Arrival:
+            readyFifo.push_back(q);
+            break;
+          case QueueOrder::StaticUrgency:
+            readyOrdered.emplace(
+                std::make_pair(policy_->urgency(q, staticCtx),
+                               readySeq++),
+                q);
+            break;
+        }
+    };
+    auto readyEmpty = [&] {
+        return ready.empty() && readyFifo.empty() && readyOrdered.empty();
+    };
     std::vector<double> freeAt(n, 0.0);
     std::vector<bool> busy(n, false);
 
@@ -734,6 +818,11 @@ ServingEngine::drain()
         std::uint64_t prefillSinceGen = 0;
     };
     std::vector<ReplicaRun> rt(n);
+
+    // Hot-path scratch, reused across events instead of reallocated
+    // per segment / per candidate (see docs/PERFORMANCE.md).
+    std::vector<std::uint64_t> kvLens; // startSegment KV samples
+    std::vector<ReplicaStatus> statuses; // router input
 
     // Evicted requests, keyed by id: the Member keeps its partial
     // accounting (and, conceptually, its on-replica KV cache) until
@@ -926,7 +1015,8 @@ ServingEngine::drain()
             // granularity) and by the member closest to finishing.
             r.sealed = true; // static batches freeze at first token
             std::uint64_t g = opts_.tokenStride;
-            std::vector<std::uint64_t> kv;
+            std::vector<std::uint64_t> &kv = kvLens;
+            kv.clear();
             kv.reserve(r.gen.size());
             for (const Member &m : r.gen) {
                 g = std::min<std::uint64_t>(g, m.remaining);
@@ -1007,78 +1097,30 @@ ServingEngine::drain()
         });
     };
 
-    // Admit as many waiting requests into open batch slots as the
-    // policy and router allow. A resumed (previously evicted) request
-    // bypasses the router — its KV cache lives on one replica — and
-    // simply keeps waiting when that replica has no open slot.
-    auto admit = [&](double now) {
-        while (!ready.empty()) {
-            std::size_t slots = 0;
-            for (std::size_t d = 0; d < n; ++d)
-                slots += capacity(d);
-            if (slots == 0)
-                break;
-
-            SchedulerContext ctx;
-            ctx.nowMs = now;
-            ctx.sloMsPerToken = opts_.sloMsPerToken;
-            ctx.replicaFreeAtMs = freeAt;
-            std::vector<std::size_t> batch =
-                policy_->selectBatch(ready, ctx);
-
-            // The selectBatch contract, enforced: a policy must return
-            // at least one index for a non-empty queue, every index in
-            // range and distinct. The engine dispatches the returned
-            // prefix that fits into open slots and re-consults at the
-            // next boundary.
-            if (batch.empty())
-                IANUS_FATAL("scheduling policy '", policy_->name(),
-                            "' returned an empty batch for a non-empty "
-                            "queue of ",
-                            ready.size());
-            std::vector<char> taken(ready.size(), 0);
-            for (std::size_t idx : batch) {
-                if (idx >= ready.size())
-                    IANUS_FATAL("scheduling policy '", policy_->name(),
-                                "' returned out-of-range queue index ",
-                                idx, " (queue has ", ready.size(), ")");
-                if (taken[idx])
-                    IANUS_FATAL("scheduling policy '", policy_->name(),
-                                "' returned duplicate queue index ", idx);
-                taken[idx] = 1;
-            }
-
-            std::size_t launched = 0;
-            std::vector<char> consumed(ready.size(), 0);
-            // Parked KV per replica — evictees still waiting to resume.
-            // Counted once per round (admit is the event loop's hot
-            // path) and decremented as resumes dispatch, so a later
-            // candidate never sees a slot as spoken for by an evictee
-            // that already took it back.
-            std::vector<std::size_t> parked(n, 0);
-            for (const QueuedRequest &w : ready)
-                if (w.resumed)
-                    parked[w.boundReplica] += 1;
-            for (std::size_t idx : batch) {
-                if (launched == slots)
-                    break; // rest of the batch waits for a boundary
-                const QueuedRequest &q = ready[idx];
-
-                std::size_t dev = 0;
-                if (q.resumed) {
-                    // KV affinity: a preempted request resumes only on
-                    // the replica holding its cache. A full bound
-                    // replica skips the candidate without consuming a
-                    // slot — later candidates may still dispatch.
-                    dev = q.boundReplica;
-                    if (capacity(dev) == 0)
-                        continue;
-                    // Resume only when the parked request's worst-case
-                    // headroom fits the pool again (queue/shed modes;
-                    // `none` overcommits and spills instead).
-                    if (kvOn && !kvm[dev].canResume(q.id))
-                        continue;
-                } else {
+    // One candidate's dispatch attempt — the body shared by the three
+    // admission disciplines below. Launched: the request took a batch
+    // slot (legacy whole-request service, resume, or batched
+    // admission). Consumed: it left the queue without dispatching
+    // (shed admission). Blocked: it stays queued (bound replica full,
+    // or KV admission holds it).
+    enum class Attempt : std::uint8_t { Launched, Consumed, Blocked };
+    auto dispatchOne = [&](const QueuedRequest &q,
+                           double now) -> Attempt {
+        std::size_t dev = 0;
+        if (q.resumed) {
+            // KV affinity: a preempted request resumes only on
+            // the replica holding its cache. A full bound
+            // replica skips the candidate without consuming a
+            // slot — later candidates may still dispatch.
+            dev = q.boundReplica;
+            if (capacity(dev) == 0)
+                return Attempt::Blocked;
+            // Resume only when the parked request's worst-case
+            // headroom fits the pool again (queue/shed modes;
+            // `none` overcommits and spills instead).
+            if (kvOn && !kvm[dev].canResume(q.id))
+                return Attempt::Blocked;
+        } else {
                     // The router contract, enforced here where drain()
                     // consumes the route (the selectBatch twin above):
                     // the router is called only when some replica
@@ -1092,7 +1134,7 @@ ServingEngine::drain()
                     // anything else is fatal. Resumed requests never
                     // reach it (pinned to their KV-holding replica
                     // above).
-                    std::vector<ReplicaStatus> statuses(n);
+                    statuses.assign(n, ReplicaStatus{});
                     const bool est = router_->needsEstimates();
                     bool any_accepting = false;
                     for (std::size_t d = 0; d < n; ++d) {
@@ -1139,8 +1181,7 @@ ServingEngine::drain()
                         // control takes over before the router runs.
                         if (opts_.kv.admission == KvAdmission::Shed) {
                             report.kvShed += 1;
-                            consumed[idx] = 1;
-                            continue;
+                            return Attempt::Consumed;
                         }
                         // Queue: hold it in the ready queue until
                         // blocks free — fatal if no replica could fit
@@ -1156,7 +1197,7 @@ ServingEngine::drain()
                                 " KV tokens, more than any replica's "
                                 "capacity; it can never dispatch under "
                                 "queue admission");
-                        continue;
+                        return Attempt::Blocked;
                     }
                     dev = router_->route(q, statuses, now);
                     if (dev >= n)
@@ -1259,8 +1300,120 @@ ServingEngine::drain()
                     report.replicas[dev].dispatched += 1;
                 }
 
+        return Attempt::Launched;
+    };
+
+    // Total open batch slots right now. Every Launched attempt lowers
+    // it by exactly one (legacy service marks its replica busy;
+    // resume/admission grow the resident count), so the fast paths
+    // below can decrement instead of recounting per round.
+    auto totalSlots = [&] {
+        std::size_t slots = 0;
+        for (std::size_t d = 0; d < n; ++d)
+            slots += capacity(d);
+        return slots;
+    };
+
+    // Admit as many waiting requests into open batch slots as the
+    // policy and router allow, via the discipline the policy declared.
+    // A resumed (previously evicted) request bypasses the router — its
+    // KV cache lives on one replica — and simply keeps waiting when
+    // that replica has no open slot. All three paths reproduce the
+    // Dynamic path's dispatch sequence exactly; see
+    // docs/PERFORMANCE.md for the equivalence argument.
+    auto admit = [&](double now) {
+        if (order == QueueOrder::Arrival) {
+            // FCFS: strictly in arrival order, head-of-line blocking.
+            // A blocked head stops admission (later arrivals must not
+            // overtake it); a shed head ends this pass like the
+            // Dynamic path's one-batch-per-round exit does.
+            if (readyFifo.empty())
+                return;
+            std::size_t slots = totalSlots();
+            while (slots > 0 && !readyFifo.empty()) {
+                Attempt a = dispatchOne(readyFifo.front(), now);
+                if (a == Attempt::Blocked)
+                    break;
+                readyFifo.pop_front();
+                if (a == Attempt::Consumed)
+                    break;
+                --slots;
+            }
+            return;
+        }
+        if (order == QueueOrder::StaticUrgency) {
+            // SJF/EDF: one pass over the urgency-ordered index —
+            // exactly the prefix-dispatch the legacy path ran over the
+            // freshly stable_sorted queue, without the sort. Blocked
+            // candidates stay; consumed ones leave the index.
+            if (readyOrdered.empty())
+                return;
+            std::size_t slots = totalSlots();
+            if (slots == 0)
+                return;
+            std::size_t launched = 0;
+            auto it = readyOrdered.begin();
+            while (it != readyOrdered.end() && launched < slots) {
+                Attempt a = dispatchOne(it->second, now);
+                if (a == Attempt::Blocked) {
+                    ++it;
+                    continue;
+                }
+                it = readyOrdered.erase(it);
+                if (a == Attempt::Launched)
+                    ++launched;
+            }
+            return;
+        }
+
+        // Dynamic: the always-correct legacy path — re-consult
+        // selectBatch every round and dispatch the returned prefix
+        // that fits.
+        while (!ready.empty()) {
+            std::size_t slots = totalSlots();
+            if (slots == 0)
+                break;
+
+            SchedulerContext ctx;
+            ctx.nowMs = now;
+            ctx.sloMsPerToken = opts_.sloMsPerToken;
+            ctx.replicaFreeAtMs = freeAt;
+            std::vector<std::size_t> batch =
+                policy_->selectBatch(ready, ctx);
+
+            // The selectBatch contract, enforced: a policy must return
+            // at least one index for a non-empty queue, every index in
+            // range and distinct. The engine dispatches the returned
+            // prefix that fits into open slots and re-consults at the
+            // next boundary.
+            if (batch.empty())
+                IANUS_FATAL("scheduling policy '", policy_->name(),
+                            "' returned an empty batch for a non-empty "
+                            "queue of ",
+                            ready.size());
+            std::vector<char> taken(ready.size(), 0);
+            for (std::size_t idx : batch) {
+                if (idx >= ready.size())
+                    IANUS_FATAL("scheduling policy '", policy_->name(),
+                                "' returned out-of-range queue index ",
+                                idx, " (queue has ", ready.size(), ")");
+                if (taken[idx])
+                    IANUS_FATAL("scheduling policy '", policy_->name(),
+                                "' returned duplicate queue index ", idx);
+                taken[idx] = 1;
+            }
+
+            std::size_t launched = 0;
+            std::vector<char> consumed(ready.size(), 0);
+            for (std::size_t idx : batch) {
+                if (launched == slots)
+                    break; // rest of the batch waits for a boundary
+                Attempt a = dispatchOne(ready[idx], now);
+                if (a == Attempt::Blocked)
+                    continue;
                 consumed[idx] = 1;
-                ++launched;
+                if (a == Attempt::Launched)
+                    ++launched;
             }
 
             std::vector<QueuedRequest> rest;
@@ -1307,19 +1460,41 @@ ServingEngine::drain()
                 continue; // admission can fill the open slot
             const QueuedRequest *cand = nullptr;
             double cand_key = 0.0;
-            for (const QueuedRequest &q : ready) {
+            // With an open slot, only a KV-blocked candidate justifies
+            // evicting (anyone else admission would have placed
+            // already).
+            auto eligible = [&](const QueuedRequest &q) {
                 if (q.resumed && q.boundReplica != d)
-                    continue;
-                // With an open slot, only a KV-blocked candidate
-                // justifies evicting (anyone else admission would
-                // have placed already).
-                if (!slot_full && !kvBlocked(q, d))
-                    continue;
-                double key = policy_->urgency(q, ctx);
-                if (!cand || key < cand_key) {
-                    cand = &q;
-                    cand_key = key;
+                    return false;
+                return slot_full || kvBlocked(q, d);
+            };
+            if (order == QueueOrder::StaticUrgency) {
+                // Ascending (static key, insertion seq): the first
+                // eligible entry is the most urgent one, ties resolved
+                // to the earliest queued — the same winner the legacy
+                // strict-min scan over the arrival-ordered vector
+                // found.
+                for (const auto &e : readyOrdered) {
+                    if (eligible(e.second)) {
+                        cand = &e.second;
+                        cand_key = e.first.first;
+                        break;
+                    }
                 }
+            } else {
+                auto scan = [&](const QueuedRequest &q) {
+                    if (!eligible(q))
+                        return;
+                    double key = policy_->urgency(q, ctx);
+                    if (!cand || key < cand_key) {
+                        cand = &q;
+                        cand_key = key;
+                    }
+                };
+                for (const QueuedRequest &q : ready)
+                    scan(q);
+                for (const QueuedRequest &q : readyFifo)
+                    scan(q);
             }
             if (!cand)
                 continue;
@@ -1367,7 +1542,7 @@ ServingEngine::drain()
             rq.kvTokens = m.kvLen;
             rq.remainingTokens = m.remaining;
             suspended.emplace(rq.id, std::move(m));
-            ready.push_back(rq);
+            readyPush(rq);
             return true;
         }
         return false;
@@ -1386,7 +1561,7 @@ ServingEngine::drain()
             std::size_t evict_budget = 0;
             for (std::size_t d = 0; d < n; ++d)
                 evict_budget += rt[d].gen.size();
-            while (evict_budget > 0 && !ready.empty() && tryEvict(now)) {
+            while (evict_budget > 0 && !readyEmpty() && tryEvict(now)) {
                 --evict_budget;
                 admit(now);
             }
@@ -1439,7 +1614,7 @@ ServingEngine::drain()
         q.request = request;
         q.arrivalMs = arrival_ms;
         events.schedule(when, [&, q]() {
-            ready.push_back(q);
+            readyPush(q);
             pump(q.arrivalMs);
         });
         return q.id;
@@ -1447,20 +1622,35 @@ ServingEngine::drain()
 
     // One arrival event per distinct arrival tick: simultaneous
     // arrivals enter the queue together, so a reordering policy sees
-    // the whole burst before the first dispatch.
-    for (std::size_t i = 0; i < queue_.size();) {
-        Tick when = msToTicks(queue_[i].arrivalMs);
+    // the whole burst before the first dispatch. Bursts are scheduled
+    // lazily — each burst's handler schedules the next — so the event
+    // heap holds one pending arrival instead of every future one (a
+    // million-request drain used to pay its full heap depth on every
+    // push). Early-phase scheduling keeps each burst firing before any
+    // completion at the same tick, exactly as the old
+    // everything-up-front scheduling order (arrival ids lowest) did;
+    // injected arrivals stay normal-phase, preserving their documented
+    // completion-order tie semantics.
+    std::size_t nextArrival = 0;
+    std::function<void()> scheduleNextBurst = [&]() {
+        if (nextArrival >= queue_.size())
+            return;
+        const std::size_t i = nextArrival;
+        const Tick when = msToTicks(queue_[i].arrivalMs);
         std::size_t j = i + 1;
         while (j < queue_.size() && msToTicks(queue_[j].arrivalMs) == when)
             ++j;
-        events.schedule(when, [&, i, j]() {
+        nextArrival = j;
+        events.scheduleEarly(when, [&, i, j]() {
             for (std::size_t k = i; k < j; ++k)
-                ready.push_back(queue_[k]);
+                readyPush(queue_[k]);
+            scheduleNextBurst();
             pump(queue_[i].arrivalMs);
         });
-        i = j;
-    }
+    };
+    scheduleNextBurst();
     events.run();
+    report.simEvents = events.executed();
     queue_.clear();
 
     for (ReplicaUtilization &r : report.replicas) {
@@ -1498,6 +1688,8 @@ ServingEngine::drain()
             waste += kvm[d].fragWasteTokens();
             gross += kvm[d].fragGrossTokens();
         }
+        report.kvFragWasteTokens = waste;
+        report.kvFragGrossTokens = gross;
         report.kvMeanFragmentation =
             gross > 0 ? static_cast<double>(waste) /
                             static_cast<double>(gross)

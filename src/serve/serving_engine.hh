@@ -111,6 +111,31 @@ struct SchedulerContext
 };
 
 /**
+ * How a policy's selectBatch ordering relates to the waiting queue —
+ * declared by the policy so the engine can keep the queue in an
+ * incremental structure that makes re-running selectBatch at every
+ * token boundary unnecessary (see ServingEngine::drain's ready-queue
+ * fast paths and docs/PERFORMANCE.md).
+ */
+enum class QueueOrder : std::uint8_t
+{
+    /** No declared structure: the engine materializes the queue in
+     *  arrival order and calls selectBatch at every admission point
+     *  (the always-correct path; custom policies get it by default). */
+    Dynamic,
+    /** selectBatch always returns {0}: dispatch strictly in arrival
+     *  order with head-of-line blocking (FCFS). The engine keeps a
+     *  FIFO and never calls selectBatch during a drain. */
+    Arrival,
+    /** selectBatch returns the whole queue stable-sorted by the
+     *  policy's *static* urgency() key (the urgency contract below):
+     *  ascending urgency, ties in queue order. The engine keeps an
+     *  ordered index keyed (urgency, insertion sequence) and never
+     *  calls selectBatch during a drain. */
+    StaticUrgency,
+};
+
+/**
  * Dispatch-order policy. Whenever at least one replica can accept a
  * request (it is at a token boundary with a free batch slot) and the
  * queue is non-empty, the engine hands the policy the waiting queue
@@ -131,6 +156,17 @@ class SchedulingPolicy
     virtual ~SchedulingPolicy() = default;
 
     virtual const char *name() const = 0;
+
+    /**
+     * The ordering discipline selectBatch follows. A policy that
+     * declares Arrival or StaticUrgency promises its selectBatch is
+     * exactly the canonical form described on QueueOrder; the engine
+     * then serves the queue from an equivalent incremental structure
+     * and skips selectBatch on the hot path entirely. The shipped
+     * policies declare theirs; the Dynamic default keeps any custom
+     * selectBatch bit-identical to the pre-optimization engine.
+     */
+    virtual QueueOrder queueOrder() const { return QueueOrder::Dynamic; }
 
     /** Called with a non-empty queue; must return >= 1 valid index. */
     virtual std::vector<std::size_t>
@@ -161,6 +197,8 @@ class FcfsPolicy : public SchedulingPolicy
   public:
     const char *name() const override { return "fcfs"; }
 
+    QueueOrder queueOrder() const override { return QueueOrder::Arrival; }
+
     std::vector<std::size_t>
     selectBatch(const std::vector<QueuedRequest> &queue,
                 const SchedulerContext &ctx) override;
@@ -179,6 +217,12 @@ class SjfPolicy : public SchedulingPolicy
     explicit SjfPolicy(double output_weight = 8.0);
 
     const char *name() const override { return "sjf"; }
+
+    QueueOrder
+    queueOrder() const override
+    {
+        return QueueOrder::StaticUrgency;
+    }
 
     std::vector<std::size_t>
     selectBatch(const std::vector<QueuedRequest> &queue,
@@ -205,6 +249,12 @@ class EdfPolicy : public SchedulingPolicy
 {
   public:
     const char *name() const override { return "edf"; }
+
+    QueueOrder
+    queueOrder() const override
+    {
+        return QueueOrder::StaticUrgency;
+    }
 
     std::vector<std::size_t>
     selectBatch(const std::vector<QueuedRequest> &queue,
@@ -488,6 +538,13 @@ struct ServingReport
     bool preempt = false;           ///< token-boundary preemption on?
     KvOptions kv{};                 ///< KV-capacity knobs, echoed back
 
+    /** Sub-clusters this report was simulated as (1 = plain drain();
+     *  > 1 = merged by drainSharded, see serve/sharded_drain.hh). */
+    std::size_t shards = 1;
+
+    /** Discrete events the drain executed (summed across shards) — the
+     *  denominator of the events/sec simulator-speed metric. */
+    std::uint64_t simEvents = 0;
 
     /** Per-replica utilization, indexed like the pool. */
     std::vector<ReplicaUtilization> replicas;
@@ -504,8 +561,13 @@ struct ServingReport
      *  replica overcommitted under `none` admission). */
     double kvPeakPressure = 0.0;
     /** Token-weighted mean internal fragmentation over released KV
-     *  reservations: wasted block tokens / reserved block tokens. */
+     *  reservations: wasted block tokens / reserved block tokens
+     *  (= kvFragWasteTokens / kvFragGrossTokens). */
     double kvMeanFragmentation = 0.0;
+    /** Raw fragmentation counters behind kvMeanFragmentation, kept so
+     *  per-shard reports merge exactly (a mean of means would not). */
+    std::uint64_t kvFragWasteTokens = 0;
+    std::uint64_t kvFragGrossTokens = 0;
     /** Segments whose wall time the PCIe spill model dilated. */
     std::uint64_t kvSpilledSegments = 0;
     /** Largest per-segment dilation factor applied (1.0 = no spill). */
@@ -682,6 +744,20 @@ class ServingEngine
      * engine). @p policy defaults to FCFS, @p router to round-robin.
      */
     explicit ServingEngine(const DevicePool &pool,
+                           ServingOptions opts = ServingOptions{},
+                           std::unique_ptr<SchedulingPolicy> policy =
+                               nullptr,
+                           std::unique_ptr<Router> router = nullptr);
+
+    /**
+     * Cluster engine over an explicit replica view — a non-owning
+     * subset/arrangement of models (all non-null, outliving the
+     * engine). This is how drainSharded builds one engine per replica
+     * partition without copying DevicePools; a view over all of a
+     * pool's replicas in pool order is equivalent to the DevicePool
+     * constructor.
+     */
+    explicit ServingEngine(std::vector<const CompiledModel *> replicas,
                            ServingOptions opts = ServingOptions{},
                            std::unique_ptr<SchedulingPolicy> policy =
                                nullptr,

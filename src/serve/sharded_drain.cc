@@ -1,0 +1,194 @@
+#include "serve/sharded_drain.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace ianus::serve
+{
+
+namespace
+{
+
+struct ShardRun
+{
+    std::vector<const CompiledModel *> replicas;
+    std::size_t replicaBase = 0;
+    /** Global trace position of the shard's j-th submitted request
+     *  (== the shard-local request id j the engine assigns). */
+    std::vector<std::size_t> globalIndex;
+    ServingReport report;
+};
+
+} // namespace
+
+ServingReport
+drainSharded(const DevicePool &pool, const ServingOptions &opts,
+             const ArrivalTrace &trace, const ShardOptions &shard,
+             const PolicyFactory &policy, const RouterFactory &router)
+{
+    const std::size_t R = pool.size();
+    if (R == 0)
+        IANUS_FATAL("sharded drain needs a non-empty device pool");
+    const std::size_t S = shard.shards;
+    if (S == 0 || S > R)
+        IANUS_FATAL("shard count must be in [1, ", R,
+                    " replicas], got ", S);
+
+    // Partition: contiguous replica ranges, round-robin trace pre-pass.
+    std::vector<ShardRun> runs(S);
+    for (std::size_t s = 0; s < S; ++s) {
+        const std::size_t lo = s * R / S;
+        const std::size_t hi = (s + 1) * R / S;
+        runs[s].replicaBase = lo;
+        runs[s].replicas.reserve(hi - lo);
+        for (std::size_t d = lo; d < hi; ++d)
+            runs[s].replicas.push_back(&pool.replica(d));
+        runs[s].globalIndex.reserve(trace.requests.size() / S + 1);
+    }
+    for (std::size_t i = 0; i < trace.requests.size(); ++i)
+        runs[i % S].globalIndex.push_back(i);
+
+    // Run every shard: an ordinary single-threaded drain over its own
+    // replicas and trace slice. Shards share nothing mutable (each
+    // CompiledModel's caches belong to exactly one shard), so the
+    // thread count is pure wall-clock policy — results cannot depend
+    // on it.
+    auto runShard = [&](std::size_t s) {
+        ShardRun &r = runs[s];
+        ServingEngine engine(r.replicas, opts,
+                             policy ? policy() : nullptr,
+                             router ? router() : nullptr);
+        for (std::size_t g : r.globalIndex)
+            engine.submit(trace.requests[g].request,
+                          trace.requests[g].arrivalMs);
+        r.report = engine.drain();
+    };
+
+    std::size_t threads = shard.threads == 0 ? S : shard.threads;
+    threads = std::min(threads, S);
+    if (threads <= 1) {
+        for (std::size_t s = 0; s < S; ++s)
+            runShard(s);
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool_;
+        pool_.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t)
+            pool_.emplace_back([&] {
+                for (std::size_t s = next.fetch_add(1); s < S;
+                     s = next.fetch_add(1))
+                    runShard(s);
+            });
+        for (std::thread &t : pool_)
+            t.join();
+    }
+
+    // --- Deterministic merge ------------------------------------------
+    // Results: k-way merge by (completion tick, shard index), keeping
+    // each shard's internal completion order. Per-shard completion
+    // ticks are non-decreasing, so with S == 1 the merge is the
+    // identity and the whole report matches a plain drain bit for bit.
+    // (A global re-sort by the double finishMs would not: within one
+    // tick the engine's completion order is authoritative.)
+    ServingReport out;
+    const ServingReport &echo = runs[0].report;
+    out.policy = echo.policy;
+    out.router = echo.router;
+    out.batching = echo.batching;
+    out.maxBatch = echo.maxBatch;
+    out.prefillChunk = echo.prefillChunk;
+    out.preempt = echo.preempt;
+    out.kv = echo.kv;
+    out.sloMsPerToken = echo.sloMsPerToken;
+    out.shards = S;
+    out.replicas.assign(R, ReplicaUtilization{});
+
+    std::size_t total = 0;
+    for (const ShardRun &r : runs)
+        total += r.report.results.size();
+    out.results.reserve(total);
+
+    std::vector<std::size_t> head(S, 0);
+    for (;;) {
+        std::size_t pick = S;
+        Tick pick_tick = 0;
+        for (std::size_t s = 0; s < S; ++s) {
+            if (head[s] >= runs[s].report.results.size())
+                continue;
+            const Tick tick = msToTicks(
+                runs[s].report.results[head[s]].finishMs);
+            if (pick == S || tick < pick_tick) {
+                pick = s;
+                pick_tick = tick;
+            }
+        }
+        if (pick == S)
+            break;
+        ShardRun &r = runs[pick];
+        RequestResult res =
+            std::move(r.report.results[head[pick]++]);
+        // Shard-local id j is the j-th submit — map it back to the
+        // request's global trace position and pool-wide replica index.
+        if (res.id >= r.globalIndex.size())
+            IANUS_FATAL("shard ", pick, " produced request id ", res.id,
+                        " beyond its ", r.globalIndex.size(),
+                        "-request slice");
+        res.id = r.globalIndex[static_cast<std::size_t>(res.id)];
+        res.deviceIndex += r.replicaBase;
+        out.results.push_back(std::move(res));
+    }
+
+    // Scalars merge additively (sums of exact counters, maxima of
+    // peaks); the makespan re-anchors every shard's last completion to
+    // the *global* first arrival.
+    const double first_arrival =
+        trace.requests.empty() ? 0.0 : trace.requests.front().arrivalMs;
+    double last_finish = first_arrival;
+    for (const ShardRun &r : runs) {
+        const ServingReport &rep = r.report;
+        for (std::size_t d = 0; d < rep.replicas.size(); ++d)
+            out.replicas[r.replicaBase + d] = rep.replicas[d];
+        out.generatedTokens += rep.generatedTokens;
+        out.simEvents += rep.simEvents;
+        out.kvShed += rep.kvShed;
+        out.kvSpilledSegments += rep.kvSpilledSegments;
+        out.kvPeakPressure =
+            std::max(out.kvPeakPressure, rep.kvPeakPressure);
+        out.kvMaxDilation = std::max(out.kvMaxDilation, rep.kvMaxDilation);
+        out.kvFragWasteTokens += rep.kvFragWasteTokens;
+        out.kvFragGrossTokens += rep.kvFragGrossTokens;
+        out.aggregate.merge(rep.aggregate);
+    }
+    for (const RequestResult &res : out.results)
+        last_finish = std::max(last_finish, res.finishMs);
+    out.makespanMs = last_finish - first_arrival;
+    out.kvMeanFragmentation =
+        out.kvFragGrossTokens > 0
+            ? static_cast<double>(out.kvFragWasteTokens) /
+                  static_cast<double>(out.kvFragGrossTokens)
+            : 0.0;
+    for (ReplicaUtilization &u : out.replicas) {
+        u.idleMs = std::max(0.0, out.makespanMs - u.busyMs);
+        u.utilization =
+            out.makespanMs > 0.0 ? u.busyMs / out.makespanMs : 0.0;
+    }
+    return out;
+}
+
+ServingReport
+drainSharded(const DevicePool &pool, const ServingOptions &opts,
+             const ArrivalTrace &trace, const ShardOptions &shard,
+             const std::string &policy, const std::string &router)
+{
+    return drainSharded(
+        pool, opts, trace, shard,
+        [&policy] { return makePolicy(policy); },
+        [&router] { return makeRouter(router); });
+}
+
+} // namespace ianus::serve

@@ -8,14 +8,26 @@ namespace ianus::sim
 {
 
 EventId
-EventQueue::schedule(Tick when, std::function<void()> fn)
+EventQueue::push(Tick when, std::uint8_t phase, SmallFn fn)
 {
     IANUS_ASSERT(when >= now_, "event scheduled in the past: ", when,
                  " < ", now_);
     EventId id = nextId_++;
-    queue_.push(Entry{when, id, std::move(fn)});
+    queue_.push(Entry{when, phase, id, std::move(fn)});
     ++liveEvents_;
     return id;
+}
+
+EventId
+EventQueue::schedule(Tick when, SmallFn fn)
+{
+    return push(when, 1, std::move(fn));
+}
+
+EventId
+EventQueue::scheduleEarly(Tick when, SmallFn fn)
+{
+    return push(when, 0, std::move(fn));
 }
 
 bool
@@ -52,17 +64,23 @@ bool
 EventQueue::step()
 {
     while (!queue_.empty()) {
-        Entry top = queue_.top();
-        queue_.pop();
+        // priority_queue::top() is const; the entry is popped right after,
+        // so moving the callable out (instead of copying the whole Entry)
+        // is safe and skips a heap-backed copy for large callables.
+        Entry &top = const_cast<Entry &>(queue_.top());
         if (isCancelled(top.id)) {
-            dropCancelled(top.id);
+            EventId id = top.id;
+            queue_.pop();
+            dropCancelled(id);
             continue;
         }
         IANUS_ASSERT(top.when >= now_, "time went backwards");
         now_ = top.when;
+        SmallFn fn = std::move(top.fn);
+        queue_.pop();
         --liveEvents_;
         ++executed_;
-        top.fn();
+        fn();
         return true;
     }
     return false;

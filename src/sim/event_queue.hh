@@ -2,17 +2,20 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * A single-threaded event queue keyed by (tick, insertion order). All timing
- * models in the library are driven from one EventQueue owned by the system
- * under simulation; insertion order ties guarantee determinism.
+ * A single-threaded event queue keyed by (tick, phase, insertion order).
+ * All timing models in the library are driven from one EventQueue owned by
+ * the system under simulation; insertion order ties guarantee determinism.
  */
 
 #ifndef IANUS_SIM_EVENT_QUEUE_HH
 #define IANUS_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -24,11 +27,117 @@ namespace ianus::sim
 using EventId = std::uint64_t;
 
 /**
+ * Move-only type-erased callable with inline storage.
+ *
+ * Event callbacks are small capture-by-reference lambdas plus a few scalar
+ * indices; std::function heap-allocates many of them, and at millions of
+ * events that allocation churn dominates the drain. Captures up to
+ * `sboBytes` live inside the queue entry itself; larger callables fall
+ * back to a single heap allocation.
+ */
+class SmallFn
+{
+  public:
+    static constexpr std::size_t sboBytes = 48;
+
+    SmallFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn>>>
+    SmallFn(F &&f) // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= sboBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            call_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+            destroy_ = [](void *p) { static_cast<Fn *>(p)->~Fn(); };
+            relocate_ = [](void *src, void *dst) {
+                ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+                static_cast<Fn *>(src)->~Fn();
+            };
+        } else {
+            heap_ = new Fn(std::forward<F>(f));
+            call_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+            destroy_ = [](void *p) { delete static_cast<Fn *>(p); };
+        }
+    }
+
+    SmallFn(SmallFn &&o) noexcept { moveFrom(o); }
+
+    SmallFn &
+    operator=(SmallFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    SmallFn(const SmallFn &) = delete;
+    SmallFn &operator=(const SmallFn &) = delete;
+
+    ~SmallFn() { reset(); }
+
+    explicit operator bool() const { return call_ != nullptr; }
+
+    void
+    operator()()
+    {
+        call_(heap_ ? heap_ : static_cast<void *>(buf_));
+    }
+
+  private:
+    alignas(std::max_align_t) unsigned char buf_[sboBytes];
+    void *heap_ = nullptr;
+    void (*call_)(void *) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+    void (*relocate_)(void *src, void *dst) = nullptr;
+
+    void
+    reset()
+    {
+        if (call_)
+            destroy_(heap_ ? heap_ : static_cast<void *>(buf_));
+        heap_ = nullptr;
+        call_ = nullptr;
+        destroy_ = nullptr;
+        relocate_ = nullptr;
+    }
+
+    void
+    moveFrom(SmallFn &o) noexcept
+    {
+        call_ = o.call_;
+        destroy_ = o.destroy_;
+        relocate_ = o.relocate_;
+        if (o.heap_) {
+            heap_ = o.heap_;
+            o.heap_ = nullptr;
+        } else if (o.call_) {
+            o.relocate_(o.buf_, buf_);
+        }
+        o.call_ = nullptr;
+        o.destroy_ = nullptr;
+        o.relocate_ = nullptr;
+    }
+};
+
+/**
  * Deterministic single-threaded event queue.
  *
- * Events at the same tick fire in scheduling order. Callbacks may schedule
- * further events (including at the current tick, which fire before time
- * advances).
+ * Events at the same tick fire in (phase, scheduling order): all phase-0
+ * ("early") events before all phase-1 (normal) events, and within a phase
+ * in scheduling order. Callbacks may schedule further events (including at
+ * the current tick, which fire before time advances).
+ *
+ * The early phase exists so producers that used to pre-schedule a long
+ * series of events up front (lowest ids -> first at tied ticks) can
+ * instead schedule each one lazily from its predecessor's callback without
+ * changing same-tick ordering against normally-scheduled events.
  */
 class EventQueue
 {
@@ -45,14 +154,21 @@ class EventQueue
      * Schedule @p fn at absolute time @p when (>= now()).
      * @return an id usable with deschedule().
      */
-    EventId schedule(Tick when, std::function<void()> fn);
+    EventId schedule(Tick when, SmallFn fn);
 
     /** Schedule @p fn @p delay ticks from now. */
     EventId
-    scheduleIn(Tick delay, std::function<void()> fn)
+    scheduleIn(Tick delay, SmallFn fn)
     {
         return schedule(now_ + delay, std::move(fn));
     }
+
+    /**
+     * Schedule @p fn at @p when in the early phase: it fires before every
+     * normally-scheduled event at the same tick, regardless of insertion
+     * order.
+     */
+    EventId scheduleEarly(Tick when, SmallFn fn);
 
     /** Cancel a pending event. Returns false if already fired/cancelled. */
     bool deschedule(EventId id);
@@ -79,13 +195,18 @@ class EventQueue
     struct Entry
     {
         Tick when;
+        std::uint8_t phase;
         EventId id;
-        std::function<void()> fn;
+        SmallFn fn;
 
         bool
         operator>(const Entry &o) const
         {
-            return when != o.when ? when > o.when : id > o.id;
+            if (when != o.when)
+                return when > o.when;
+            if (phase != o.phase)
+                return phase > o.phase;
+            return id > o.id;
         }
     };
 
@@ -97,6 +218,7 @@ class EventQueue
     std::size_t liveEvents_ = 0;
     std::uint64_t executed_ = 0;
 
+    EventId push(Tick when, std::uint8_t phase, SmallFn fn);
     bool isCancelled(EventId id) const;
     void dropCancelled(EventId id);
 };

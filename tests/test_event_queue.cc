@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -104,6 +106,75 @@ TEST(EventQueue, StepExecutesExactlyOne)
     EXPECT_TRUE(eq.step());
     EXPECT_FALSE(eq.step());
     EXPECT_EQ(eq.executed(), 2u);
+}
+
+// scheduleEarly wins every same-tick tie against schedule, no matter
+// which was enqueued first — that is its whole contract (the serving
+// drain uses it so a lazily scheduled arrival burst lands before the
+// completion handlers of the same tick pump the scheduler).
+TEST(EventQueue, EarlyPhaseFiresBeforeNormalAtSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.scheduleEarly(100, [&] { order.push_back(-1); });
+    eq.schedule(100, [&] { order.push_back(2); });
+    eq.scheduleEarly(100, [&] { order.push_back(-2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{-1, -2, 1, 2}));
+}
+
+TEST(EventQueue, EarlyPhaseKeepsInsertionOrderWithinTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i)
+        eq.scheduleEarly(7, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, EarlyPhaseDoesNotJumpTicks)
+{
+    // Phase only breaks ties *within* a tick: a normal event at an
+    // earlier tick still precedes an early event at a later one.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleEarly(20, [&] { order.push_back(2); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, EarlyEventsCanBeDescheduled)
+{
+    EventQueue eq;
+    int fired = 0;
+    auto id = eq.scheduleEarly(5, [&] { ++fired; });
+    eq.schedule(5, [&] { ++fired; });
+    EXPECT_TRUE(eq.deschedule(id));
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+// A capture bigger than the inline buffer forces SmallFn onto its heap
+// fallback; the callable must still move through the queue intact.
+TEST(EventQueue, LargeCapturesSurviveHeapFallback)
+{
+    EventQueue eq;
+    std::array<std::uint64_t, 16> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = i * 3 + 1;
+    std::uint64_t sum = 0;
+    eq.schedule(1, [payload, &sum] {
+        for (std::uint64_t v : payload)
+            sum += v;
+    });
+    eq.run();
+    std::uint64_t expect = 0;
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        expect += i * 3 + 1;
+    EXPECT_EQ(sum, expect);
 }
 
 } // namespace
