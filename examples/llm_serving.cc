@@ -30,12 +30,21 @@
  *                 [--kv-layout unified|partitioned]
  *                 [--rate req_per_s] [--seed S]
  *                 [--clients N] [--think-ms T]
+ *                 [--sessions N] [--turns T] [--prefix-cache on|off]
  *                 [--trace-in path] [--trace-out path]
  *                 [--shards N]
  *
  * --shards N splits the cluster drain into N independent sub-cluster
  * simulations (serve/sharded_drain.hh) that run on N worker threads
  * and merge deterministically; see docs/PERFORMANCE.md.
+ *
+ * --sessions N generates a multi-turn session workload (N sessions,
+ * mean --turns turns each, think time --think-ms between turns; --rate
+ * is the session start rate). Later turns share a growing prefix with
+ * their predecessors; the engine's prefix cache (--prefix-cache,
+ * default on) re-prefills only each turn's delta when the turn lands
+ * on the replica still pinning its session KV. Saved/replayed session
+ * traces use the "ianus-arrival-trace v2" format (docs/SERVING.md).
  */
 
 #include <cstdio>
@@ -74,7 +83,10 @@ struct Args
     double rate = 0.0; ///< req/s; 0 = auto (saturate the pool)
     std::uint64_t seed = 7;
     unsigned clients = 0; ///< 0 = open loop; N = closed-loop clients
-    double thinkMs = 50.0; ///< mean client think time (closed loop)
+    double thinkMs = 50.0; ///< mean think time (clients or sessions)
+    unsigned sessions = 0; ///< 0 = single-turn; N = multi-turn sessions
+    double turns = 4.0;    ///< mean turns per session (--sessions)
+    bool prefixCache = true; ///< engine prefix cache for session turns
     unsigned shards = 1;  ///< sub-cluster drains merged deterministically
     std::string traceIn;  ///< replay arrivals from this trace file
     std::string traceOut; ///< record the served arrivals here
@@ -158,6 +170,8 @@ parseArgs(int argc, char **argv)
     int positional = 0;
     bool cluster_flag = false;
     bool think_flag = false;
+    bool turns_flag = false;
+    bool prefix_flag = false;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         auto next = [&]() -> const char * {
@@ -208,7 +222,28 @@ parseArgs(int argc, char **argv)
         else if (a == "--think-ms")
             args.thinkMs = parseNonNegative(a, next()),
             cluster_flag = true, think_flag = true;
-        else if (a == "--trace-in")
+        else if (a == "--sessions")
+            args.sessions = parseCount(a, next(), 100000),
+            cluster_flag = true;
+        else if (a == "--turns")
+            args.turns = parsePositive(a, next()), cluster_flag = true,
+            turns_flag = true;
+        else if (a == "--prefix-cache") {
+            std::string v = next();
+            cluster_flag = true;
+            prefix_flag = true;
+            if (v == "on")
+                args.prefixCache = true;
+            else if (v == "off")
+                args.prefixCache = false;
+            else {
+                std::fprintf(stderr,
+                             "--prefix-cache wants on or off, got "
+                             "'%s'\n",
+                             v.c_str());
+                std::exit(2);
+            }
+        } else if (a == "--trace-in")
             args.traceIn = next(), cluster_flag = true;
         else if (a == "--trace-out")
             args.traceOut = next(), cluster_flag = true;
@@ -233,9 +268,45 @@ parseArgs(int argc, char **argv)
                      "--policy/--router/--batching/--max-batch/"
                      "--prefill-chunk/--preempt/--kv-capacity/"
                      "--kv-block/--kv-admission/--kv-layout/--rate/"
-                     "--seed/--clients/--think-ms/--trace-in/--trace-out/"
+                     "--seed/--clients/--think-ms/--sessions/--turns/"
+                     "--prefix-cache/--trace-in/--trace-out/"
                      "--shards only apply to cluster mode; add "
                      "--replicas N\n");
+        std::exit(2);
+    }
+    if (args.sessions > 0 && args.clients > 0) {
+        std::fprintf(stderr,
+                     "--sessions generates an open-loop multi-turn "
+                     "trace; --clients generates closed-loop arrivals "
+                     "— use one or the other\n");
+        std::exit(2);
+    }
+    if (args.sessions > 0 && !args.traceIn.empty()) {
+        std::fprintf(stderr,
+                     "--trace-in replays a recorded trace (session "
+                     "tags included if it is v2); --sessions generates "
+                     "a fresh one — use one or the other\n");
+        std::exit(2);
+    }
+    if (turns_flag && args.sessions == 0) {
+        std::fprintf(stderr, "--turns is a session-workload knob; add "
+                             "--sessions N\n");
+        std::exit(2);
+    }
+    if (turns_flag && args.turns < 1.0) {
+        std::fprintf(stderr, "--turns wants a mean of at least 1 turn "
+                             "per session\n");
+        std::exit(2);
+    }
+    if (prefix_flag && args.replicas == 0) {
+        std::fprintf(stderr, "--prefix-cache is a cluster-mode knob; "
+                             "add --replicas N\n");
+        std::exit(2);
+    }
+    if (args.sessions > 0 && think_flag && args.thinkMs <= 0.0) {
+        std::fprintf(stderr, "--sessions needs a positive --think-ms "
+                             "(the gap between a turn's completion-"
+                             "sized arrival and the next)\n");
         std::exit(2);
     }
     if (args.kvCapacity.empty() &&
@@ -261,9 +332,10 @@ parseArgs(int argc, char **argv)
                      "the other\n");
         std::exit(2);
     }
-    if (think_flag && args.clients == 0) {
-        std::fprintf(stderr, "--think-ms is a closed-loop client knob; "
-                             "add --clients N\n");
+    if (think_flag && args.clients == 0 && args.sessions == 0) {
+        std::fprintf(stderr, "--think-ms is a closed-loop client or "
+                             "session-workload knob; add --clients N "
+                             "or --sessions N\n");
         std::exit(2);
     }
     if (args.clients > 0 && args.rate > 0.0) {
@@ -414,6 +486,7 @@ clusterMode(const Args &args)
     opts.maxBatch = args.maxBatch;
     opts.prefillChunk = args.prefillChunk;
     opts.preempt = args.preempt;
+    opts.prefixCache = args.prefixCache;
     if (!args.kvCapacity.empty()) {
         // "auto" derives the per-replica budget from the device's DRAM
         // channel geometry minus one copy of the weights.
@@ -476,11 +549,30 @@ clusterMode(const Args &args)
         trace = std::move(res.realized);
         std::printf("realized: %zu arrivals over %.1f ms\n\n",
                     trace.size(), trace.horizonMs());
+    } else if (args.sessions > 0) {
+        serve::SessionOptions sopts;
+        sopts.seed = args.seed;
+        sopts.sessions = args.sessions;
+        sopts.meanTurns = args.turns;
+        sopts.meanThinkMs = args.thinkMs;
+        if (args.rate > 0.0)
+            sopts.sessionsPerSec = args.rate;
+        trace = serve::generateSessionTrace(sopts);
+        std::printf("sessions: %u sessions, mean %.1f turns, think "
+                    "%.1f ms, %.1f sessions/s (seed %llu) -> %zu "
+                    "turns, horizon %.1f ms | prefix cache %s\n\n",
+                    args.sessions, args.turns, args.thinkMs,
+                    sopts.sessionsPerSec,
+                    (unsigned long long)args.seed, trace.size(),
+                    trace.horizonMs(),
+                    args.prefixCache ? "on" : "off");
+        serveTrace();
     } else if (!args.traceIn.empty()) {
         trace = serve::loadTrace(args.traceIn);
-        std::printf("trace: %zu requests replayed from %s, horizon "
+        std::printf("trace: %zu requests replayed from %s%s, horizon "
                     "%.1f ms\n\n",
                     trace.size(), args.traceIn.c_str(),
+                    trace.hasSessions() ? " (session-tagged v2)" : "",
                     trace.horizonMs());
         serveTrace();
     } else {
@@ -546,6 +638,16 @@ clusterMode(const Args &args)
                     100.0 * rep.kvShedRate(),
                     (unsigned long long)rep.kvSpilledSegments,
                     rep.kvMaxDilation, rep.sloGoodputTokensPerSec());
+    if (trace.hasSessions())
+        std::printf("sessions: %zu served | prefix hit rate %.1f%% "
+                    "(%llu hits, %llu misses) | prefill tokens saved "
+                    "%llu | session latency p50/p95 %.1f/%.1f ms\n",
+                    rep.sessions(), 100.0 * rep.prefixHitRate(),
+                    (unsigned long long)rep.prefixHits,
+                    (unsigned long long)rep.prefixMisses,
+                    (unsigned long long)rep.prefillTokensSaved,
+                    rep.sessionLatencyPercentile(50),
+                    rep.sessionLatencyPercentile(95));
     return 0;
 }
 

@@ -165,6 +165,13 @@ CompiledModel::estimatePrefillMs(std::uint64_t input_tokens) const
 }
 
 double
+CompiledModel::estimateResumePrefillMs(std::uint64_t prior_tokens,
+                                       std::uint64_t chunk_tokens) const
+{
+    return prefillChunkStats(prior_tokens, chunk_tokens, true).wallMs();
+}
+
+double
 CompiledModel::estimateGenerationMs(
     const workloads::InferenceRequest &request) const
 {

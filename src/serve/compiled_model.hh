@@ -159,6 +159,18 @@ class CompiledModel
     double estimatePrefillMs(std::uint64_t input_tokens) const;
 
     /**
+     * Estimated wall ms of resuming @p request's prefill from a warm
+     * prefix cache: process the @p chunk_tokens-token delta with
+     * @p prior_tokens already in the KV cache, LM head included — the
+     * memoized chunk entry a prefix-cache hit would execute anyway.
+     * The session-sticky router's re-prefill penalty: a hit candidate
+     * is priced with this on its bound replica and with the full
+     * estimatePrefillMs() everywhere else.
+     */
+    double estimateResumePrefillMs(std::uint64_t prior_tokens,
+                                   std::uint64_t chunk_tokens) const;
+
+    /**
      * Estimated wall ms of @p request's generation stage served alone
      * on this replica: (output - 1) steps charged at the midpoint-KV
      * step cost (token latency is smooth in KV length, so the midpoint

@@ -299,6 +299,27 @@ KvBlockManager::parkWouldResume(std::uint64_t victim,
     return free >= grow;
 }
 
+bool
+KvBlockManager::releaseWouldAdmit(std::uint64_t old_id,
+                                  std::uint64_t max_tokens) const
+{
+    if (opts_.admission == KvAdmission::None)
+        return true;
+    auto it = requests_.find(old_id);
+    if (it == requests_.end())
+        IANUS_FATAL("releaseWouldAdmit needs a resident, got ", old_id);
+    const Resident &old = it->second;
+    const auto need = static_cast<std::int64_t>(blocksFor(max_tokens));
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+        std::int64_t free = regions_[i].freeBlocks;
+        if (i == old.region)
+            free += static_cast<std::int64_t>(old.reservedBlocks);
+        if (free >= need)
+            return true;
+    }
+    return false;
+}
+
 void
 KvBlockManager::resume(std::uint64_t id)
 {

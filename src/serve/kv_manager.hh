@@ -204,6 +204,15 @@ class KvBlockManager
      *  the parked request @p cand to resume? */
     bool parkWouldResume(std::uint64_t victim, std::uint64_t cand) const;
 
+    /** Would releasing resident @p old_id (running or parked — a
+     *  pinned session prefix is a parked resident) free enough blocks
+     *  for a fresh @p max_tokens admission? Gates the prefix-cache hit
+     *  path, where the pinned prior turn's KV is released in the same
+     *  dispatch that admits the new turn. Always true under `none`
+     *  admission. */
+    bool releaseWouldAdmit(std::uint64_t old_id,
+                           std::uint64_t max_tokens) const;
+
     /** Re-reserve the parked request's worst case (fatal if it does
      *  not fit and admission is not `none`). */
     void resume(std::uint64_t id);

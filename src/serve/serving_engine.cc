@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <tuple>
 #include <utility>
 
@@ -289,6 +290,17 @@ KvAffinityRouter::route(const QueuedRequest &request,
     if (request.resumed && request.boundReplica < replicas.size() &&
         replicas[request.boundReplica].idle)
         return request.boundReplica;
+    // Session stickiness second: a later turn whose prefix KV is still
+    // pinned on one replica goes back to it — the delta-only re-prefill
+    // there beats a full re-prefill anywhere else — unless that replica
+    // is drowning in KV pressure, where re-prefilling elsewhere is
+    // cheaper than queueing behind spill-degraded segments.
+    if (request.sessionHitReplica != QueuedRequest::noReplica &&
+        request.sessionHitReplica < replicas.size()) {
+        const ReplicaStatus &bound = replicas[request.sessionHitReplica];
+        if (bound.idle && bound.kvPressure <= stickyPressureLimit)
+            return bound.index;
+    }
     // Fresh work avoids replicas whose open slot is spoken for by a
     // parked evictee; among the rest, earliest predicted finish.
     const ReplicaStatus *best = earliestFinish(replicas, now_ms, true);
@@ -519,6 +531,56 @@ ServingReport::sloGoodputTokensPerSec() const
 }
 
 double
+ServingReport::prefixHitRate() const
+{
+    const std::uint64_t turns = prefixHits + prefixMisses;
+    return turns > 0
+               ? static_cast<double>(prefixHits) /
+                     static_cast<double>(turns)
+               : 0.0;
+}
+
+std::size_t
+ServingReport::sessions() const
+{
+    std::set<std::uint64_t> ids;
+    for (const RequestResult &r : results)
+        if (r.sessionId != 0)
+            ids.insert(r.sessionId);
+    return ids.size();
+}
+
+std::vector<double>
+ServingReport::sessionLatenciesMs() const
+{
+    // First arrival to last finish per session, ascending session id —
+    // a map keeps the order deterministic regardless of result order.
+    std::map<std::uint64_t, std::pair<double, double>> span;
+    for (const RequestResult &r : results) {
+        if (r.sessionId == 0)
+            continue;
+        auto [it, fresh] = span.emplace(
+            r.sessionId, std::make_pair(r.arrivalMs, r.finishMs));
+        if (!fresh) {
+            it->second.first = std::min(it->second.first, r.arrivalMs);
+            it->second.second = std::max(it->second.second, r.finishMs);
+        }
+    }
+    std::vector<double> out;
+    out.reserve(span.size());
+    for (const auto &[id, s] : span)
+        out.push_back(s.second - s.first);
+    return out;
+}
+
+double
+ServingReport::sessionLatencyPercentile(double p) const
+{
+    std::vector<double> lat = sessionLatenciesMs();
+    return percentilesInPlace(lat, {p}).front();
+}
+
+double
 ServingReport::meanBatchOccupancy() const
 {
     double steps = 0.0;
@@ -580,6 +642,16 @@ ServingReport::summary() const
             toString(kv.layout), kvPeakPressure,
             100.0 * kvMeanFragmentation, (unsigned long long)kvShed,
             100.0 * kvShedRate(), (unsigned long long)kvSpilledSegments);
+        out += buf;
+    }
+    if (prefixHits + prefixMisses > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            " | sessions %zu: prefix hit %.0f%%, %llu prefill tok saved, "
+            "session p95 %.1f ms",
+            sessions(), 100.0 * prefixHitRate(),
+            (unsigned long long)prefillTokensSaved,
+            sessionLatencyPercentile(95.0));
         out += buf;
     }
     return out;
@@ -681,7 +753,8 @@ ServingEngine::inject(const workloads::InferenceRequest &request,
 
 std::uint64_t
 ServingEngine::submit(const workloads::InferenceRequest &request,
-                      double arrival_ms)
+                      double arrival_ms, std::uint64_t session_id,
+                      std::uint64_t turn_index, std::uint64_t prefix_tokens)
 {
     if (request.inputTokens == 0)
         IANUS_FATAL("inference request needs at least one input token");
@@ -694,11 +767,26 @@ ServingEngine::submit(const workloads::InferenceRequest &request,
     if (arrival_ms < lastArrivalMs_)
         IANUS_FATAL("request arrivals must be non-decreasing (got ",
                     arrival_ms, " ms after ", lastArrivalMs_, " ms)");
+    if (session_id == 0 && (turn_index != 0 || prefix_tokens != 0))
+        IANUS_FATAL("a single-turn submit (session 0) cannot carry turn ",
+                    turn_index, " / prefix ", prefix_tokens);
+    if (turn_index == 0 && prefix_tokens != 0)
+        IANUS_FATAL("session ", session_id,
+                    " turn 0 cannot carry a prefix of ", prefix_tokens,
+                    " tokens (nothing precedes it)");
+    if (prefix_tokens >= request.inputTokens)
+        IANUS_FATAL("session ", session_id, " turn ", turn_index,
+                    " has prefix ", prefix_tokens, " >= input ",
+                    request.inputTokens,
+                    " (each turn must add new prompt tokens)");
     lastArrivalMs_ = arrival_ms;
     QueuedRequest q;
     q.id = nextId_++;
     q.request = request;
     q.arrivalMs = arrival_ms;
+    q.sessionId = session_id;
+    q.turnIndex = turn_index;
+    q.prefixTokens = prefix_tokens;
     queue_.push_back(q);
     return q.id;
 }
@@ -732,8 +820,26 @@ ServingEngine::drain()
     // service through the segment loop — token boundaries are what
     // both features schedule at, and so does the KV capacity model
     // (admission and spill are charged at segment granularity).
+    // Multi-turn sessions: with the prefix cache on and session-tagged
+    // work queued, a completed non-final turn parks its KV on its
+    // replica (a pin) so the next turn prefills only its delta there.
+    // A tagless drain — or prefixCache off — leaves prefixOn false and
+    // every session structure below empty and untouched, keeping the
+    // cold path structurally bit-identical.
+    bool any_sessions = false;
+    std::map<std::uint64_t, std::uint64_t> lastTurn; // session -> max turn
+    for (const QueuedRequest &q : queue_) {
+        if (q.sessionId == 0)
+            continue;
+        any_sessions = true;
+        auto [it, fresh] = lastTurn.emplace(q.sessionId, q.turnIndex);
+        if (!fresh)
+            it->second = std::max(it->second, q.turnIndex);
+    }
+    const bool prefixOn = opts_.prefixCache && any_sessions;
     const bool segmented = opts_.maxBatch > 1 || opts_.prefillChunk > 0 ||
-                           opts_.preempt || opts_.kv.enabled();
+                           opts_.preempt || opts_.kv.enabled() ||
+                           prefixOn;
     sim::EventQueue events;
     report.results.reserve(queue_.size());
 
@@ -796,6 +902,7 @@ ServingEngine::drain()
     {
         RequestResult res;
         std::uint64_t prefillDone = 0; ///< prompt tokens summarized
+        std::uint64_t chunksDone = 0; ///< prefill segments run so far
         std::uint64_t kvLen = 0;     ///< KV length the next step sees
         std::uint64_t remaining = 0; ///< generation steps left
         double weightedBatch = 0.0;  ///< sum of batch size over steps
@@ -840,6 +947,31 @@ ServingEngine::drain()
             kvm.emplace_back(opts_.kv, replicas_[d]->config());
     }
 
+    // Prefix-cache state (prefixOn drains only). At most one pin per
+    // session: the replica, token count, and request id of the newest
+    // completed non-final turn, whose KV is parked (blocks charged, no
+    // batch slot held) awaiting the next turn. pins[d] orders replica
+    // d's pinned sessions oldest-first for deterministic reclamation.
+    struct SessionState
+    {
+        bool cached = false;
+        std::size_t replica = 0;
+        std::uint64_t cachedTokens = 0;
+        std::uint64_t reqId = 0;
+    };
+    std::map<std::uint64_t, SessionState> sessions;
+    std::vector<std::deque<std::uint64_t>> pins(n);
+    // Drop session sid's pin: consumed by a hit, stale after a miss,
+    // or reclaimed for space. The blocks return to sid's replica pool.
+    auto unpin = [&](std::uint64_t sid) {
+        SessionState &st = sessions[sid];
+        std::deque<std::uint64_t> &p = pins[st.replica];
+        p.erase(std::find(p.begin(), p.end(), sid));
+        if (kvOn)
+            kvm[st.replica].release(st.reqId);
+        st.cached = false;
+    };
+
     // Worst-case KV a request can reach on replica d: a decoder's
     // cache grows to prompt + every generated token; an encoder stops
     // at the prompt. Reserving this at admission is what lets every
@@ -852,13 +984,37 @@ ServingEngine::drain()
                                                 : 0);
     };
 
+    // The replica where queued turn q would hit the prefix cache, or
+    // noReplica. The session's pinned prefix must still cover q's
+    // declared prefix — an older, shorter pin (the prior turn was shed
+    // or completed out of order) cannot serve it and reads as a miss.
+    auto sessionHitDev = [&](const QueuedRequest &q) -> std::size_t {
+        if (!prefixOn || q.resumed || q.sessionId == 0 ||
+            q.turnIndex == 0)
+            return QueuedRequest::noReplica;
+        auto it = sessions.find(q.sessionId);
+        if (it == sessions.end() || !it->second.cached ||
+            it->second.cachedTokens < q.prefixTokens)
+            return QueuedRequest::noReplica;
+        return it->second.replica;
+    };
+
     // Would the KV manager turn this candidate away from replica d
     // right now? (Capacity off, or `none` admission: never.)
     auto kvBlocked = [&](const QueuedRequest &q, std::size_t d) {
         if (!kvOn)
             return false;
-        return q.resumed ? !kvm[d].canResume(q.id)
-                         : !kvm[d].canAdmit(maxKvTokens(d, q));
+        if (q.resumed)
+            return !kvm[d].canResume(q.id);
+        // A prefix-cache hit recycles its own pin's blocks on the
+        // bound replica: gate admission on the headroom *after* that
+        // release, or a pool full of pins would starve the very hit
+        // the pin was kept for.
+        if (sessionHitDev(q) == d)
+            return !kvm[d].releaseWouldAdmit(
+                sessions.find(q.sessionId)->second.reqId,
+                maxKvTokens(d, q));
+        return !kvm[d].canAdmit(maxKvTokens(d, q));
     };
 
     // The queue-entry view of a resident, for urgency queries: both
@@ -889,9 +1045,32 @@ ServingEngine::drain()
     };
 
     // Close out a batched member whose last token was emitted at @p now
-    // on replica @p d, returning its KV blocks to d's pool.
+    // on replica @p d, returning its KV blocks to d's pool — unless it
+    // is a non-final session turn, whose KV stays pinned here for the
+    // next turn's delta-only prefill.
     auto finalize = [&](Member &m, double now, std::size_t d) {
-        if (kvOn)
+        bool pin = false;
+        if (prefixOn && m.res.sessionId != 0 &&
+            replicas_[d]->model().decoder()) {
+            auto lt = lastTurn.find(m.res.sessionId);
+            if (lt != lastTurn.end() && m.res.turnIndex < lt->second) {
+                SessionState &st = sessions[m.res.sessionId];
+                // Out-of-order completion left an older turn's pin
+                // behind: newest context wins, one pin per session.
+                if (st.cached)
+                    unpin(m.res.sessionId);
+                st.cached = true;
+                st.replica = d;
+                st.cachedTokens = m.res.request.inputTokens +
+                                  m.res.request.outputTokens;
+                st.reqId = m.res.id;
+                pins[d].push_back(m.res.sessionId);
+                if (kvOn)
+                    kvm[d].park(m.res.id);
+                pin = true;
+            }
+        }
+        if (kvOn && !pin)
             kvm[d].release(m.res.id);
         RequestResult res = std::move(m.res);
         res.finishMs = now;
@@ -980,13 +1159,18 @@ ServingEngine::drain()
             // The prefill is exclusively this request's work: attribute
             // it whole (assignment on the first chunk keeps the
             // monolithic path bit-identical to the pre-chunking loop).
-            if (m.prefillDone == 0) {
+            // The chunk counter, not prefillDone, detects the first
+            // chunk: a prefix-cache hit starts prefillDone at the
+            // cached prefix, and its first delta chunk must still
+            // *assign* (the two tests coincide on every cold path).
+            if (m.chunksDone == 0) {
                 m.res.report.summarization = s;
                 m.res.prefillChunks = 1;
             } else {
                 m.res.report.summarization.merge(s);
                 m.res.prefillChunks += 1;
             }
+            m.chunksDone += 1;
             m.prefillDone += c;
             r.prefillSinceGen += c;
             if (kvOn)
@@ -1117,9 +1301,16 @@ ServingEngine::drain()
                 return Attempt::Blocked;
             // Resume only when the parked request's worst-case
             // headroom fits the pool again (queue/shed modes;
-            // `none` overcommits and spills instead).
-            if (kvOn && !kvm[dev].canResume(q.id))
-                return Attempt::Blocked;
+            // `none` overcommits and spills instead). An evictee's
+            // return outranks cached prefixes: reclaim this replica's
+            // pins oldest-first until it fits.
+            if (kvOn && !kvm[dev].canResume(q.id)) {
+                while (prefixOn && !pins[dev].empty() &&
+                       !kvm[dev].canResume(q.id))
+                    unpin(pins[dev].front());
+                if (!kvm[dev].canResume(q.id))
+                    return Attempt::Blocked;
+            }
         } else {
                     // The router contract, enforced here where drain()
                     // consumes the route (the selectBatch twin above):
@@ -1134,45 +1325,94 @@ ServingEngine::drain()
                     // anything else is fatal. Resumed requests never
                     // reach it (pinned to their KV-holding replica
                     // above).
-                    statuses.assign(n, ReplicaStatus{});
+                    const std::size_t hitDev = sessionHitDev(q);
                     const bool est = router_->needsEstimates();
                     bool any_accepting = false;
-                    for (std::size_t d = 0; d < n; ++d) {
-                        statuses[d].index = d;
-                        // A kv-blocked replica is not accepting for
-                        // this candidate (queue/shed modes; `none`
-                        // never blocks), so the router only ever sees
-                        // placements the block pool can honor.
-                        statuses[d].idle =
-                            capacity(d) > 0 && !kvBlocked(q, d);
-                        any_accepting |= statuses[d].idle;
-                        statuses[d].freeAtMs = freeAt[d];
-                        statuses[d].busyMs = report.replicas[d].busyMs;
-                        statuses[d].dispatched =
-                            report.replicas[d].dispatched;
-                        statuses[d].resident =
-                            rt[d].prefill.size() + rt[d].gen.size();
-                        statuses[d].pendingPrefill = rt[d].prefill.size();
-                        for (const Member &m : rt[d].gen) {
-                            statuses[d].kvTokens += m.kvLen;
-                            statuses[d].backlogTokens += m.remaining;
+                    auto fillStatuses = [&] {
+                        statuses.assign(n, ReplicaStatus{});
+                        any_accepting = false;
+                        for (std::size_t d = 0; d < n; ++d) {
+                            statuses[d].index = d;
+                            // A kv-blocked replica is not accepting for
+                            // this candidate (queue/shed modes; `none`
+                            // never blocks), so the router only ever
+                            // sees placements the block pool can honor.
+                            statuses[d].idle =
+                                capacity(d) > 0 && !kvBlocked(q, d);
+                            any_accepting |= statuses[d].idle;
+                            statuses[d].freeAtMs = freeAt[d];
+                            statuses[d].busyMs =
+                                report.replicas[d].busyMs;
+                            statuses[d].dispatched =
+                                report.replicas[d].dispatched;
+                            statuses[d].resident =
+                                rt[d].prefill.size() + rt[d].gen.size();
+                            statuses[d].pendingPrefill =
+                                rt[d].prefill.size();
+                            for (const Member &m : rt[d].gen) {
+                                statuses[d].kvTokens += m.kvLen;
+                                statuses[d].backlogTokens += m.remaining;
+                            }
+                            statuses[d].suspendedKv = parked[d];
+                            statuses[d].pinnedSessions = pins[d].size();
+                            if (kvOn) {
+                                statuses[d].kvFreeBlocks =
+                                    kvm[d].freeBlocks();
+                                statuses[d].kvPressure =
+                                    kvm[d].pressure();
+                            }
+                            if (est) {
+                                statuses[d].estStepMs =
+                                    replicas_[d]->estimatedStepMs();
+                                // The hit replica re-prefills only the
+                                // delta; pricing that into its estimate
+                                // is the re-prefill penalty every
+                                // predicted-finish router weighs.
+                                statuses[d].estPrefillMs =
+                                    hitDev == d
+                                        ? replicas_[d]
+                                              ->estimateResumePrefillMs(
+                                                  q.prefixTokens,
+                                                  q.request.inputTokens -
+                                                      q.prefixTokens)
+                                        : replicas_[d]->estimatePrefillMs(
+                                              q.request.inputTokens);
+                                statuses[d].estGenMs =
+                                    replicas_[d]->estimateGenerationMs(
+                                        q.request);
+                            }
                         }
-                        statuses[d].suspendedKv = parked[d];
-                        if (kvOn) {
-                            statuses[d].kvFreeBlocks =
-                                kvm[d].freeBlocks();
-                            statuses[d].kvPressure = kvm[d].pressure();
+                    };
+                    fillStatuses();
+                    if (!any_accepting && prefixOn && kvOn) {
+                        // Pinned prefixes are a cache, not a promise:
+                        // with every replica KV-blocked for this
+                        // candidate, reclaim pins oldest-first (lowest
+                        // replica index first) until one replica can
+                        // take it. The candidate's own pin is never
+                        // dropped here — its replica already prices
+                        // that release via releaseWouldAdmit, and
+                        // dropping it would forfeit the hit.
+                        auto reclaimOne = [&](std::size_t d) {
+                            for (std::uint64_t sid : pins[d]) {
+                                if (sid == q.sessionId)
+                                    continue;
+                                unpin(sid);
+                                return true;
+                            }
+                            return false;
+                        };
+                        bool freed = false;
+                        for (std::size_t d = 0; d < n; ++d) {
+                            if (capacity(d) == 0)
+                                continue;
+                            while (kvBlocked(q, d) && reclaimOne(d))
+                                freed = true;
+                            if (!kvBlocked(q, d))
+                                break; // one accepting replica suffices
                         }
-                        if (est) {
-                            statuses[d].estStepMs =
-                                replicas_[d]->estimatedStepMs();
-                            statuses[d].estPrefillMs =
-                                replicas_[d]->estimatePrefillMs(
-                                    q.request.inputTokens);
-                            statuses[d].estGenMs =
-                                replicas_[d]->estimateGenerationMs(
-                                    q.request);
-                        }
+                        if (freed)
+                            fillStatuses();
                     }
                     if (!any_accepting) {
                         // Some replica has an open slot (the admission
@@ -1199,7 +1439,17 @@ ServingEngine::drain()
                                 "queue admission");
                         return Attempt::Blocked;
                     }
-                    dev = router_->route(q, statuses, now);
+                    if (hitDev != QueuedRequest::noReplica) {
+                        // Session-sticky routers read the hit replica
+                        // off the candidate; a copy keeps the queued
+                        // entry itself untouched (the hit may be gone
+                        // by the next attempt).
+                        QueuedRequest qc = q;
+                        qc.sessionHitReplica = hitDev;
+                        dev = router_->route(qc, statuses, now);
+                    } else {
+                        dev = router_->route(q, statuses, now);
+                    }
                     if (dev >= n)
                         IANUS_FATAL("router '", router_->name(),
                                     "' returned out-of-range replica ",
@@ -1221,6 +1471,10 @@ ServingEngine::drain()
                     res.id = q.id;
                     res.request = q.request;
                     res.arrivalMs = q.arrivalMs;
+                    res.sessionId = q.sessionId;
+                    res.turnIndex = q.turnIndex;
+                    res.prefixTokens = q.prefixTokens;
+                    res.prefilledTokens = q.request.inputTokens;
                     res.startMs = std::max(now, q.arrivalMs);
                     res.report =
                         replicas_[dev]->run(q.request, opts_.tokenStride);
@@ -1287,15 +1541,46 @@ ServingEngine::drain()
                     m.res.id = q.id;
                     m.res.request = q.request;
                     m.res.arrivalMs = q.arrivalMs;
+                    m.res.sessionId = q.sessionId;
+                    m.res.turnIndex = q.turnIndex;
+                    m.res.prefixTokens = q.prefixTokens;
                     m.res.startMs = std::max(now, q.arrivalMs);
                     m.res.deviceIndex = dev;
                     m.res.report.inputTokens = q.request.inputTokens;
                     m.res.report.outputTokens = q.request.outputTokens;
-                    if (kvOn)
+                    const bool hit =
+                        prefixOn && sessionHitDev(q) == dev;
+                    if (hit) {
+                        // Consume the pin before reserving: its
+                        // returned blocks fund the admission that
+                        // releaseWouldAdmit just priced. The prefix KV
+                        // transfers to this turn's charge and only the
+                        // delta is prefilled.
+                        unpin(q.sessionId);
+                        m.prefillDone = q.prefixTokens;
+                        m.res.prefixHit = true;
+                        report.prefixHits += 1;
+                        report.prefillTokensSaved += q.prefixTokens;
+                    } else if (prefixOn && q.sessionId != 0 &&
+                               q.turnIndex > 0) {
+                        // Honest miss: the full context re-prefills. A
+                        // surviving pin (shorter, or on another
+                        // replica) is dead weight now — drop it.
+                        auto sit = sessions.find(q.sessionId);
+                        if (sit != sessions.end() && sit->second.cached)
+                            unpin(q.sessionId);
+                        report.prefixMisses += 1;
+                    }
+                    m.res.prefilledTokens =
+                        q.request.inputTokens - m.prefillDone;
+                    if (kvOn) {
                         // Reserve the worst case up front; `none`
                         // admission overcommits here and pays in
                         // spill-dilated segments instead.
                         kvm[dev].admit(q.id, maxKvTokens(dev, q));
+                        if (hit)
+                            kvm[dev].setUsed(q.id, q.prefixTokens);
+                    }
                     rt[dev].prefill.push_back(std::move(m));
                     report.replicas[dev].dispatched += 1;
                 }
@@ -1652,6 +1937,14 @@ ServingEngine::drain()
     events.run();
     report.simEvents = events.executed();
     queue_.clear();
+
+    // Pins surviving the drain — prefixes whose next turn never
+    // dispatched (trace tail, or sheds) — are cache, not leaks:
+    // release them before the audit below counts leftovers.
+    if (prefixOn)
+        for (std::size_t d = 0; d < n; ++d)
+            while (!pins[d].empty())
+                unpin(pins[d].front());
 
     for (ReplicaUtilization &r : report.replicas) {
         r.idleMs = std::max(0.0, report.makespanMs - r.busyMs);

@@ -92,6 +92,22 @@ struct QueuedRequest
     std::size_t boundReplica = 0;
     std::uint64_t kvTokens = 0;        ///< KV length reached at eviction
     std::uint64_t remainingTokens = 0; ///< generation steps still owed
+
+    // --- Multi-turn session tags (engine-managed) -----------------------
+    /** Session this request is one turn of; 0 = single-turn (the
+     *  sentinel every pre-session trace carries). Like the resume
+     *  fields, session tags are off-limits to policy urgency keys. */
+    std::uint64_t sessionId = 0;
+    std::uint64_t turnIndex = 0;    ///< 0-based turn within the session
+    std::uint64_t prefixTokens = 0; ///< shared-prefix tokens of the input
+
+    /** Filled by the engine right before routing: the replica whose
+     *  prefix cache still holds this session's prior-turn KV, or
+     *  npos when no hit is possible (cold turn, evicted prefix, or
+     *  prefix cache off). Session-sticky routers read it; others are
+     *  free to ignore it. */
+    static constexpr std::size_t noReplica = static_cast<std::size_t>(-1);
+    std::size_t sessionHitReplica = noReplica;
 };
 
 /**
@@ -293,6 +309,11 @@ struct ReplicaStatus
     /** Evicted requests whose KV cache is parked on this replica,
      *  waiting to resume (their slot is spoken for). */
     std::size_t suspendedKv = 0;
+    /** Completed turns whose session KV is pinned on this replica,
+     *  awaiting the session's next turn (prefix cache). Unlike
+     *  suspendedKv these hold no batch slot — only KV blocks — so
+     *  fresh work need not steer away from them. */
+    std::size_t pinnedSessions = 0;
 
     // --- KV capacity signals (ServingOptions::kv enabled only) ---------
     /** Unreserved KV blocks on this replica; negative when the `none`
@@ -429,11 +450,24 @@ class PredictedFinishRouter : public Router
  * is spoken for by an evictee waiting to resume — and scores the rest
  * by predicted finish, falling back to pure predicted-finish when every
  * accepting replica holds parked KV.
+ *
+ * Session turns are sticky the same way: a candidate whose
+ * sessionHitReplica is set (its prior-turn prefix KV is still pinned
+ * there) returns to that replica whenever it accepts and its KV
+ * pressure is at most stickyPressureLimit. The engine prices the
+ * delta-only re-prefill into the bound replica's estPrefillMs, so the
+ * predicted-finish fallback also sees the saving when stickiness
+ * yields.
  */
 class KvAffinityRouter : public Router
 {
   public:
     const char *name() const override { return "kv-affinity"; }
+
+    /** Session stickiness yields above this KV pressure on the bound
+     *  replica: past it, a full re-prefill elsewhere beats queueing
+     *  behind spill-degraded segments for the delta. */
+    static constexpr double stickyPressureLimit = 0.9;
 
     bool needsEstimates() const override { return true; }
 
@@ -497,6 +531,19 @@ struct RequestResult
 
     /** Prefill segments the summarization ran as (1 = monolithic). */
     std::uint64_t prefillChunks = 1;
+
+    // --- Multi-turn session accounting ---------------------------------
+    /** Session tags echoed from the submit (0/0/0 = single-turn). */
+    std::uint64_t sessionId = 0;
+    std::uint64_t turnIndex = 0;
+    std::uint64_t prefixTokens = 0;
+    /** True iff the prefix cache served this turn's shared prefix: the
+     *  request prefilled only its delta on the replica still holding
+     *  the prior turn's KV. */
+    bool prefixHit = false;
+    /** Prompt tokens this request actually prefilled (= input tokens,
+     *  minus prefixTokens on a hit). */
+    std::uint64_t prefilledTokens = 0;
 
     /** Per-request attribution: the prefill is exclusive; each batched
      *  generation step contributes a 1/B share of its RunStats, so
@@ -573,6 +620,19 @@ struct ServingReport
     /** Largest per-segment dilation factor applied (1.0 = no spill). */
     double kvMaxDilation = 1.0;
 
+    // --- Prefix-cache accounting (session traces only) ------------------
+    /** Resumable turns (turnIndex > 0) whose shared prefix was served
+     *  from the prior turn's pinned KV (delta-only prefill). */
+    std::uint64_t prefixHits = 0;
+    /** Resumable turns that had to re-prefill their full context
+     *  (prefix evicted for space, shed, or routed off the bound
+     *  replica). Turn-0 requests are neither hits nor misses. */
+    std::uint64_t prefixMisses = 0;
+    /** Prompt tokens the prefix cache kept out of prefill (the sum of
+     *  prefixTokens over hits) — the aggregate-prefill-compute saving
+     *  bench/micro_session_prefix gates on. */
+    std::uint64_t prefillTokensSaved = 0;
+
     /** Merged per-request combined() stats (energy-model input). */
     RunStats aggregate;
 
@@ -638,6 +698,20 @@ struct ServingReport
      *  admission moves (tokens generated late, or at spill-dilated
      *  cadence, stop counting). */
     double sloGoodputTokensPerSec() const;
+
+    /** Prefix hits / (hits + misses); 0 with no resumable turns. */
+    double prefixHitRate() const;
+
+    /** Number of distinct sessions among the results (sessionId != 0). */
+    std::size_t sessions() const;
+
+    /** Per-session end-to-end latencies — last turn's finish minus
+     *  first turn's arrival, one value per distinct session, in
+     *  ascending sessionId order. Empty for sessionless drains. */
+    std::vector<double> sessionLatenciesMs() const;
+
+    /** Percentile over sessionLatenciesMs() (0 with no sessions). */
+    double sessionLatencyPercentile(double p) const;
 
     /** One-line fleet summary. */
     std::string summary() const;
@@ -724,6 +798,21 @@ struct ServingOptions
      * engine bit for bit.
      */
     KvOptions kv{};
+
+    /**
+     * Per-replica prefix cache for multi-turn sessions: when a
+     * completed turn has a successor in the drain, its KV stays pinned
+     * on the replica (parked under the KV manager's accounting — the
+     * blocks remain charged until the next turn claims or evicts
+     * them), and a follow-up turn dispatched to that replica prefills
+     * only its delta (prior = the cached prefix, via the chunked
+     * prefill path). A turn landing anywhere else — or whose pin was
+     * reclaimed for space — honestly re-prefills the full context.
+     * Only active when the drain actually contains session-tagged
+     * requests; `false`, or a tagless trace, is the cold path bit for
+     * bit.
+     */
+    bool prefixCache = true;
 };
 
 /** Replays queued requests on a pool of replicas, event-driven. */
@@ -767,10 +856,21 @@ class ServingEngine
      * Queue a request arriving at @p arrival_ms on the serving clock
      * (default: immediately, i.e. time 0 — a closed-loop replay).
      * Arrival times must be non-decreasing across submits.
+     *
+     * The trailing session tags mark the request as one turn of a
+     * multi-turn conversation (see TimedRequest in trace_gen.hh):
+     * @p session_id 0 is the single-turn sentinel, @p turn_index
+     * counts turns from 0, and @p prefix_tokens of the input are the
+     * shared conversation prefix (must be < input tokens; 0 for turn
+     * 0). Tags feed the prefix cache and the session report fields;
+     * defaulted, the request is an ordinary single-turn submit.
      * @return the request id, echoed in its RequestResult.
      */
     std::uint64_t submit(const workloads::InferenceRequest &request,
-                         double arrival_ms = 0.0);
+                         double arrival_ms = 0.0,
+                         std::uint64_t session_id = 0,
+                         std::uint64_t turn_index = 0,
+                         std::uint64_t prefix_tokens = 0);
 
     /** Requests queued and not yet drained. */
     std::size_t pending() const { return queue_.size(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <thread>
 #include <utility>
 
@@ -50,8 +51,26 @@ drainSharded(const DevicePool &pool, const ServingOptions &opts,
             runs[s].replicas.push_back(&pool.replica(d));
         runs[s].globalIndex.reserve(trace.requests.size() / S + 1);
     }
-    for (std::size_t i = 0; i < trace.requests.size(); ++i)
-        runs[i % S].globalIndex.push_back(i);
+    // Whole sessions stay on one shard (a cross-shard turn could never
+    // hit its prefix cache): a session's shard is fixed by the
+    // round-robin counter at its first trace row, and single-turn rows
+    // spend counter positions the same way — so a tagless trace
+    // reduces exactly to the original `i % S` assignment.
+    std::map<std::uint64_t, std::size_t> sessionShard;
+    std::size_t rr = 0;
+    for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+        const std::uint64_t sid = trace.requests[i].sessionId;
+        std::size_t s;
+        if (sid == 0) {
+            s = rr++ % S;
+        } else {
+            auto [it, fresh] = sessionShard.emplace(sid, rr % S);
+            if (fresh)
+                ++rr;
+            s = it->second;
+        }
+        runs[s].globalIndex.push_back(i);
+    }
 
     // Run every shard: an ordinary single-threaded drain over its own
     // replicas and trace slice. Shards share nothing mutable (each
@@ -65,7 +84,10 @@ drainSharded(const DevicePool &pool, const ServingOptions &opts,
                              router ? router() : nullptr);
         for (std::size_t g : r.globalIndex)
             engine.submit(trace.requests[g].request,
-                          trace.requests[g].arrivalMs);
+                          trace.requests[g].arrivalMs,
+                          trace.requests[g].sessionId,
+                          trace.requests[g].turnIndex,
+                          trace.requests[g].prefixTokens);
         r.report = engine.drain();
     };
 
@@ -157,6 +179,9 @@ drainSharded(const DevicePool &pool, const ServingOptions &opts,
         out.simEvents += rep.simEvents;
         out.kvShed += rep.kvShed;
         out.kvSpilledSegments += rep.kvSpilledSegments;
+        out.prefixHits += rep.prefixHits;
+        out.prefixMisses += rep.prefixMisses;
+        out.prefillTokensSaved += rep.prefillTokensSaved;
         out.kvPeakPressure =
             std::max(out.kvPeakPressure, rep.kvPeakPressure);
         out.kvMaxDilation = std::max(out.kvMaxDilation, rep.kvMaxDilation);

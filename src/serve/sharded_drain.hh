@@ -9,7 +9,11 @@
  * position in the (arrival-sorted) trace is congruent to s mod S — a
  * deterministic routing pre-pass that replaces the global router's
  * replica choice *across* shards while the shard-local router still
- * places each request *within* its shard. Each shard then runs an
+ * places each request *within* its shard. Session-tagged traces
+ * assign *whole sessions* instead: a session's shard is fixed by the
+ * same round-robin counter at its first row (a cross-shard turn could
+ * never hit its prefix cache), and a tagless trace reduces exactly to
+ * the per-request assignment. Each shard then runs an
  * ordinary ServingEngine::drain on its own event loop, touching only
  * its own replicas' CompiledModels, so shards execute concurrently
  * with no shared mutable state.

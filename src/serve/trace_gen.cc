@@ -64,6 +64,15 @@ ArrivalTrace::offeredTokensPerSec() const
     return static_cast<double>(tokens) / (horizon / 1000.0);
 }
 
+bool
+ArrivalTrace::hasSessions() const
+{
+    for (const TimedRequest &t : requests)
+        if (t.sessionId != 0)
+            return true;
+    return false;
+}
+
 ArrivalTrace
 generatePoissonTrace(const TraceOptions &opts)
 {
@@ -97,13 +106,108 @@ generatePoissonTrace(const TraceOptions &opts)
     return trace;
 }
 
+ArrivalTrace
+generateSessionTrace(const SessionOptions &opts)
+{
+    if (opts.sessions == 0)
+        IANUS_FATAL("a session trace needs at least one session");
+    if (!(opts.meanTurns >= 1.0))
+        IANUS_FATAL("mean turns per session must be >= 1, got ",
+                    opts.meanTurns);
+    if (opts.maxTurns == 0)
+        IANUS_FATAL("max turns per session must be positive");
+    if (!(opts.meanThinkMs > 0.0))
+        IANUS_FATAL("session think time must be a positive number of "
+                    "ms, got ",
+                    opts.meanThinkMs, " (turns need distinct arrivals)");
+    if (opts.sessionsPerSec <= 0.0)
+        IANUS_FATAL("session start rate must be positive, got ",
+                    opts.sessionsPerSec, " sessions/s");
+    if (opts.deltaTokenChoices.empty() || opts.outputTokenChoices.empty())
+        IANUS_FATAL("session generation needs non-empty delta and "
+                    "output token choice lists");
+    for (std::uint64_t d : opts.deltaTokenChoices)
+        if (d == 0 || d > opts.maxContextTokens)
+            IANUS_FATAL("session delta choice ", d,
+                        " must be in [1, maxContextTokens = ",
+                        opts.maxContextTokens,
+                        "] (every delta must fit an opening turn)");
+    for (std::uint64_t o : opts.outputTokenChoices)
+        if (o == 0)
+            IANUS_FATAL("session output choices must be positive");
+
+    // Session starts are one Poisson stream; everything inside a
+    // session comes from its own (seed, index) stream, so adding
+    // sessions never perturbs the earlier ones' draws.
+    std::seed_seq start_seq{static_cast<std::uint32_t>(opts.seed),
+                            static_cast<std::uint32_t>(opts.seed >> 32)};
+    std::mt19937 start_rng(start_seq);
+
+    ArrivalTrace trace;
+    double start_clock = 0.0;
+    for (std::size_t s = 0; s < opts.sessions; ++s) {
+        start_clock += expGapMs(start_rng, opts.sessionsPerSec);
+        std::seed_seq seq{static_cast<std::uint32_t>(opts.seed),
+                          static_cast<std::uint32_t>(opts.seed >> 32),
+                          static_cast<std::uint32_t>(s)};
+        std::mt19937 rng(seq);
+
+        // Geometric turn count with the requested mean (inverse CDF
+        // over success probability 1/mean), clamped to [1, maxTurns].
+        std::uint64_t turns = 1;
+        const double p = 1.0 / opts.meanTurns;
+        if (p < 1.0) {
+            double u = canonical53(rng);
+            double k = 1.0 + std::floor(std::log1p(-u) / std::log1p(-p));
+            if (k > 1.0)
+                turns = static_cast<std::uint64_t>(k);
+        }
+        turns = std::min<std::uint64_t>(turns, opts.maxTurns);
+
+        double arrival = start_clock;
+        std::uint64_t prefix = 0;
+        for (std::uint64_t k = 0; k < turns; ++k) {
+            const std::uint64_t delta = pick(rng, opts.deltaTokenChoices);
+            // Context window: a conversation that can no longer fit
+            // its history plus a fresh prompt ends here, whatever the
+            // turn draw said (the delta and the turn count were
+            // already drawn, so truncation never shifts the session's
+            // other streams).
+            if (prefix + delta > opts.maxContextTokens)
+                break;
+            TimedRequest t;
+            t.sessionId = s + 1; // 0 is the single-turn sentinel
+            t.turnIndex = k;
+            t.prefixTokens = prefix;
+            t.request.inputTokens = prefix + delta;
+            t.request.outputTokens = pick(rng, opts.outputTokenChoices);
+            t.arrivalMs = arrival;
+            trace.requests.push_back(t);
+
+            prefix = t.request.inputTokens + t.request.outputTokens;
+            double u = canonical53(rng);
+            arrival += opts.meanThinkMs * -std::log1p(-u);
+        }
+    }
+    std::sort(trace.requests.begin(), trace.requests.end(),
+              [](const TimedRequest &a, const TimedRequest &b) {
+                  if (a.arrivalMs != b.arrivalMs)
+                      return a.arrivalMs < b.arrivalMs;
+                  if (a.sessionId != b.sessionId)
+                      return a.sessionId < b.sessionId;
+                  return a.turnIndex < b.turnIndex;
+              });
+    return trace;
+}
+
 std::vector<std::uint64_t>
 submitAll(const ArrivalTrace &trace, ServingEngine &engine)
 {
     std::vector<std::uint64_t> ids;
     ids.reserve(trace.requests.size());
     for (const TimedRequest &t : trace.requests)
-        ids.push_back(engine.submit(t.request, t.arrivalMs));
+        ids.push_back(engine.submit(t.request, t.arrivalMs, t.sessionId,
+                                    t.turnIndex, t.prefixTokens));
     return ids;
 }
 
@@ -234,6 +338,7 @@ namespace
 {
 
 constexpr const char *traceMagic = "ianus-arrival-trace v1";
+constexpr const char *traceMagicV2 = "ianus-arrival-trace v2";
 
 /** strtoull that rejects a leading '-' (which strtoull would otherwise
  *  silently wrap modulo 2^64 instead of failing). */
@@ -276,17 +381,30 @@ nextLine(const std::string &text, std::size_t &pos, std::string &line)
 std::string
 formatTrace(const ArrivalTrace &trace)
 {
-    std::string out = traceMagic;
+    // Tagless traces keep emitting v1 byte for byte; the v2 columns
+    // only appear when there is a session to describe.
+    const bool v2 = trace.hasSessions();
+    std::string out = v2 ? traceMagicV2 : traceMagic;
     out += '\n';
-    char buf[96];
+    char buf[160];
     std::snprintf(buf, sizeof(buf), "%zu\n", trace.requests.size());
     out += buf;
     for (const TimedRequest &t : trace.requests) {
         // %.17g round-trips IEEE doubles bit-exactly, so
         // format(parse(format(t))) == format(t) byte for byte.
-        std::snprintf(buf, sizeof(buf), "%.17g %llu %llu\n", t.arrivalMs,
-                      (unsigned long long)t.request.inputTokens,
-                      (unsigned long long)t.request.outputTokens);
+        if (v2)
+            std::snprintf(buf, sizeof(buf),
+                          "%.17g %llu %llu %llu %llu %llu\n", t.arrivalMs,
+                          (unsigned long long)t.request.inputTokens,
+                          (unsigned long long)t.request.outputTokens,
+                          (unsigned long long)t.sessionId,
+                          (unsigned long long)t.turnIndex,
+                          (unsigned long long)t.prefixTokens);
+        else
+            std::snprintf(buf, sizeof(buf), "%.17g %llu %llu\n",
+                          t.arrivalMs,
+                          (unsigned long long)t.request.inputTokens,
+                          (unsigned long long)t.request.outputTokens);
         out += buf;
     }
     return out;
@@ -297,9 +415,12 @@ parseTrace(const std::string &text)
 {
     std::size_t pos = 0;
     std::string line;
-    if (!nextLine(text, pos, line) || line != traceMagic)
+    bool v2 = false;
+    if (!nextLine(text, pos, line) ||
+        (line != traceMagic && line != traceMagicV2))
         IANUS_FATAL("arrival trace must start with '", traceMagic,
-                    "', got '", line, "'");
+                    "' or '", traceMagicV2, "', got '", line, "'");
+    v2 = (line == traceMagicV2);
     if (!nextLine(text, pos, line))
         IANUS_FATAL("arrival trace is missing its request-count line");
     char *end = nullptr;
@@ -317,6 +438,7 @@ parseTrace(const std::string &text)
     trace.requests.reserve(static_cast<std::size_t>(
         std::min<unsigned long long>(count, text.size() / 4)));
     double prev = 0.0;
+    std::map<unsigned long long, unsigned long long> next_turn;
     for (unsigned long long i = 0; i < count; ++i) {
         if (!nextLine(text, pos, line))
             IANUS_FATAL("arrival trace ends after ", i, " of ", count,
@@ -329,11 +451,21 @@ parseTrace(const std::string &text)
         unsigned long long input = parseUnsigned(s, &end, ok);
         s = end;
         unsigned long long output = parseUnsigned(s, &end, ok);
+        unsigned long long session = 0, turn = 0, prefix = 0;
+        if (v2) {
+            s = end;
+            session = parseUnsigned(s, &end, ok);
+            s = end;
+            turn = parseUnsigned(s, &end, ok);
+            s = end;
+            prefix = parseUnsigned(s, &end, ok);
+        }
         ok = ok && *end == '\0';
         if (!ok)
-            IANUS_FATAL("arrival trace row ", i,
-                        " must be 'arrival_ms input output', got '",
-                        line, "'");
+            IANUS_FATAL("arrival trace row ", i, " must be 'arrival_ms "
+                        "input output",
+                        v2 ? " session_id turn_index prefix_tokens" : "",
+                        "', got '", line, "'");
         if (!std::isfinite(t.arrivalMs) || t.arrivalMs < 0.0)
             IANUS_FATAL("arrival trace row ", i,
                         " has a non-finite or negative arrival: '", line,
@@ -347,9 +479,38 @@ parseTrace(const std::string &text)
                         " needs positive input and output token counts: "
                         "'",
                         line, "'");
+        if (session == 0 && (turn != 0 || prefix != 0))
+            IANUS_FATAL("arrival trace row ", i, " is single-turn "
+                        "(session 0) but carries turn ",
+                        turn, " / prefix ", prefix, ": '", line, "'");
+        if (turn == 0 && prefix != 0)
+            IANUS_FATAL("arrival trace row ", i, " opens session ",
+                        session, " (turn 0) with a non-zero prefix of ",
+                        prefix, " tokens: '", line, "'");
+        if (prefix >= input)
+            IANUS_FATAL("arrival trace row ", i, " has prefix ", prefix,
+                        " >= input ", input,
+                        " (each turn must add new prompt tokens): '",
+                        line, "'");
+        if (session != 0) {
+            unsigned long long expected = 0;
+            auto it = next_turn.find(session);
+            if (it != next_turn.end())
+                expected = it->second;
+            if (turn != expected)
+                IANUS_FATAL("arrival trace row ", i, " gives session ",
+                            session, " turn ", turn, " but turn ",
+                            expected, " was expected (turns must count "
+                            "0,1,2,... in row order): '",
+                            line, "'");
+            next_turn[session] = turn + 1;
+        }
         prev = t.arrivalMs;
         t.request.inputTokens = input;
         t.request.outputTokens = output;
+        t.sessionId = session;
+        t.turnIndex = turn;
+        t.prefixTokens = prefix;
         trace.requests.push_back(t);
     }
     while (nextLine(text, pos, line))

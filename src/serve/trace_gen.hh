@@ -36,11 +36,21 @@
 namespace ianus::serve
 {
 
-/** One request with its open-loop arrival time. */
+/** One request with its open-loop arrival time.
+ *
+ *  Session fields tag the request as one turn of a multi-turn
+ *  conversation: sessionId 0 is the single-turn sentinel (generated
+ *  session ids start at 1), turnIndex counts turns from 0 within a
+ *  session, and prefixTokens is how many of the request's input tokens
+ *  are the shared conversation prefix (prior prompt + prior output) a
+ *  prefix cache could reuse. Single-turn requests leave all three 0. */
 struct TimedRequest
 {
     workloads::InferenceRequest request{};
     double arrivalMs = 0.0;
+    std::uint64_t sessionId = 0;
+    std::uint64_t turnIndex = 0;
+    std::uint64_t prefixTokens = 0;
 };
 
 /** Knobs of the synthetic arrival process. */
@@ -76,10 +86,65 @@ struct ArrivalTrace
 
     /** Offered generation load: output tokens per second of horizon. */
     double offeredTokensPerSec() const;
+
+    /** True iff any request carries a session tag (sessionId != 0);
+     *  selects the v2 on-disk format and session accounting. */
+    bool hasSessions() const;
 };
 
 /** Generate a trace; rejects a non-positive rate or empty choice lists. */
 ArrivalTrace generatePoissonTrace(const TraceOptions &opts);
+
+// --- Multi-turn sessions ----------------------------------------------------
+
+/** Knobs of the synthetic multi-turn session workload. */
+struct SessionOptions
+{
+    std::uint64_t seed = 1;
+
+    /** Number of sessions (conversations) to generate. */
+    std::size_t sessions = 8;
+
+    /** Mean turns per session: turn counts are a seeded geometric draw
+     *  with this mean, clamped to [1, maxTurns]. */
+    double meanTurns = 4.0;
+
+    /** Hard cap on turns per session. */
+    std::uint64_t maxTurns = 64;
+
+    /** Context window: a session ends early (before its drawn turn
+     *  count) rather than grow a turn whose input — inherited prefix
+     *  plus delta — would exceed this. Must admit every delta choice
+     *  as a first turn. The default keeps the growing context within
+     *  what the stock models' activation scratchpads compile. */
+    std::uint64_t maxContextTokens = 512;
+
+    /** Mean think time between a turn's (synthetic) completion horizon
+     *  and the next turn's arrival (exponential; must be positive so
+     *  turns of a session arrive strictly later than their
+     *  predecessors). */
+    double meanThinkMs = 200.0;
+
+    /** Poisson session-start rate (sessions per second). */
+    double sessionsPerSec = 20.0;
+
+    /** Uniform choice lists for the *new* prompt tokens each turn adds
+     *  on top of the inherited prefix, and for the output tokens. */
+    std::vector<std::uint64_t> deltaTokenChoices = {32, 64, 128};
+    std::vector<std::uint64_t> outputTokenChoices = {16, 32, 64};
+};
+
+/**
+ * Generate a multi-turn session trace. Each session s (ids start at 1)
+ * draws its turn count, shapes, and think times from its own seeded
+ * stream derived from (seed, s), so the draws are independent of how
+ * many sessions precede it. Turn k's input is the full conversation so
+ * far — prefixTokens (= turn k-1's input + output) plus a fresh delta
+ * draw — and turn k arrives one think draw after turn k-1. The result
+ * is sorted by (arrivalMs, sessionId, turnIndex), which keeps it a
+ * valid non-decreasing arrival trace.
+ */
+ArrivalTrace generateSessionTrace(const SessionOptions &opts);
 
 /** Submit every trace request; returns the ids in trace order. */
 std::vector<std::uint64_t> submitAll(const ArrivalTrace &trace,
@@ -144,11 +209,20 @@ ClosedLoopResult runClosedLoop(ServingEngine &engine,
 // --- Versioned trace files --------------------------------------------------
 
 /**
- * Serialize @p trace in the versioned text format:
+ * Serialize @p trace in the versioned text format. A trace with no
+ * session tags emits v1 — byte-identical to every earlier PR's output:
  *
  *   ianus-arrival-trace v1
  *   <request count>
  *   <arrival_ms> <input_tokens> <output_tokens>      (one per request)
+ *
+ * A trace with session tags (hasSessions()) emits v2, which appends
+ * the session columns:
+ *
+ *   ianus-arrival-trace v2
+ *   <request count>
+ *   <arrival_ms> <input_tokens> <output_tokens> \
+ *       <session_id> <turn_index> <prefix_tokens>   (one per request)
  *
  * Arrival times print as %.17g, which round-trips IEEE doubles
  * bit-exactly — format(parse(format(t))) == format(t), the golden-file
@@ -157,8 +231,13 @@ ClosedLoopResult runClosedLoop(ServingEngine &engine,
  */
 std::string formatTrace(const ArrivalTrace &trace);
 
-/** Parse the text format; fatal on a bad header, malformed or
- *  out-of-order rows, or a row count that contradicts the header. */
+/** Parse the text format, either version; v1 rows default to
+ *  single-turn (session fields 0). Fatal on a bad header, malformed or
+ *  out-of-order rows, a row count that contradicts the header, or v2
+ *  session columns that violate the session contract (sessionId 0 with
+ *  a non-zero turn/prefix, turn 0 with a non-zero prefix, prefix >=
+ *  input, or a session's turn indices not counting 0,1,2,... in row
+ *  order). */
 ArrivalTrace parseTrace(const std::string &text);
 
 /** formatTrace() to a file; fatal if the file cannot be written. */

@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <tuple>
+#include <utility>
 
 #include "compiler/workload_builder.hh"
 #include "ianus/execution_engine.hh"
@@ -409,6 +412,138 @@ TEST(ServingInvariantSweep, KvCapacityPreservesConservation)
                 EXPECT_GT(rep.kvPeakPressure, 0.0) << cell;
                 if (admission == KvAdmission::Queue)
                     EXPECT_EQ(rep.kvSpilledSegments, 0u) << cell;
+            }
+}
+
+// Session conservation: for every (router x batching x kv) cell on one
+// multi-turn trace, every turn completes exactly once and echoes its
+// trace tags; a prefix hit prefills exactly the delta (input - prefix)
+// while a miss honestly re-prefills the full input; prefillTokensSaved
+// is the exact sum of hit prefixes; pinned session KV never leaks
+// blocks across park/evict/resume; and per-session aggregates sum back
+// to the fleet totals.
+TEST(ServingInvariantSweep, SessionConservationAcrossCells)
+{
+    using namespace serve;
+    workloads::ModelConfig model = workloads::gpt2("m");
+
+    DevicePool pool;
+    pool.addReplica(std::make_unique<CompiledModel>(
+        SystemConfig::ianusDefault(), model));
+    pool.addReplica(
+        std::make_unique<CompiledModel>(SystemConfig::npuMem(), model));
+
+    SessionOptions sopts;
+    sopts.seed = 11;
+    sopts.sessions = 5;
+    sopts.meanTurns = 3.0;
+    sopts.meanThinkMs = 400.0; // think >> service so later turns can hit
+    sopts.sessionsPerSec = 25.0;
+    ArrivalTrace trace = generateSessionTrace(sopts);
+    ASSERT_TRUE(trace.hasSessions());
+
+    const std::vector<std::string> routers = {
+        "round-robin", "kv-affinity", "predicted-finish"};
+    for (const std::string &router : routers)
+        for (bool batched : {false, true})
+            for (bool kv : {false, true}) {
+                ServingOptions opts;
+                opts.batching = batched ? BatchingMode::Continuous
+                                        : BatchingMode::None;
+                opts.maxBatch = batched ? 4 : 1;
+                opts.preempt = batched;
+                opts.tokenStride = 4;
+                if (kv) {
+                    // Tight enough that pins contend with fresh
+                    // admissions (forcing the reclamation path), loose
+                    // enough that queue admission always drains.
+                    opts.kv.capacityTokens = 1024;
+                    opts.kv.blockTokens = 16;
+                    opts.kv.admission = KvAdmission::Queue;
+                }
+                ServingEngine engine(pool, opts, makePolicy("fcfs"),
+                                     makeRouter(router));
+                submitAll(trace, engine);
+                ServingReport rep = engine.drain();
+
+                std::string cell = router +
+                                   (batched ? "/continuous" : "/none") +
+                                   (kv ? "/kv" : "");
+
+                // Every turn completes exactly once and keeps its tags.
+                ASSERT_EQ(rep.requests(), trace.size()) << cell;
+                std::set<std::uint64_t> ids;
+                std::uint64_t resumable = 0, hits = 0, saved = 0;
+                std::map<std::uint64_t, std::uint64_t> turnsBySession,
+                    tokensBySession;
+                std::map<std::uint64_t, std::pair<double, double>> span;
+                for (const auto &r : rep.results) {
+                    ids.insert(r.id);
+                    const auto &row =
+                        trace.requests[static_cast<std::size_t>(r.id)];
+                    EXPECT_EQ(r.sessionId, row.sessionId) << cell;
+                    EXPECT_EQ(r.turnIndex, row.turnIndex) << cell;
+                    EXPECT_EQ(r.prefixTokens, row.prefixTokens) << cell;
+                    if (r.turnIndex > 0)
+                        resumable += 1;
+                    if (r.prefixHit) {
+                        // A hit prefills exactly the delta...
+                        EXPECT_EQ(r.prefilledTokens,
+                                  r.request.inputTokens - r.prefixTokens)
+                            << cell << " id " << r.id;
+                        hits += 1;
+                        saved += r.prefixTokens;
+                    } else {
+                        // ...and a miss re-prefills the full context.
+                        EXPECT_EQ(r.prefilledTokens,
+                                  r.request.inputTokens)
+                            << cell << " id " << r.id;
+                    }
+                    turnsBySession[r.sessionId] += 1;
+                    tokensBySession[r.sessionId] +=
+                        r.request.outputTokens;
+                    auto [it, fresh] = span.emplace(
+                        r.sessionId,
+                        std::make_pair(r.arrivalMs, r.finishMs));
+                    if (!fresh) {
+                        it->second.first =
+                            std::min(it->second.first, r.arrivalMs);
+                        it->second.second =
+                            std::max(it->second.second, r.finishMs);
+                    }
+                }
+                EXPECT_EQ(ids.size(), trace.size()) << cell;
+
+                // Hit/miss bookkeeping is exact.
+                EXPECT_EQ(rep.prefixHits, hits) << cell;
+                EXPECT_EQ(rep.prefixHits + rep.prefixMisses, resumable)
+                    << cell;
+                EXPECT_EQ(rep.prefillTokensSaved, saved) << cell;
+
+                // Session KV pins never leak: every drain returns the
+                // resident count to zero even with turns parked,
+                // evicted, and resumed in between.
+                for (const auto &u : rep.replicas) {
+                    EXPECT_EQ(u.kvTokensEnd, 0u) << cell;
+                    EXPECT_EQ(u.kvBlocksLeaked, 0u) << cell;
+                }
+                EXPECT_EQ(rep.kvShed, 0u) << cell;
+
+                // Per-session aggregates sum to the fleet totals.
+                EXPECT_EQ(rep.sessions(), turnsBySession.size()) << cell;
+                std::uint64_t turns = 0, tokens = 0;
+                for (const auto &[sid, n] : turnsBySession)
+                    turns += n;
+                for (const auto &[sid, n] : tokensBySession)
+                    tokens += n;
+                EXPECT_EQ(turns, trace.size()) << cell;
+                EXPECT_EQ(tokens, rep.generatedTokens) << cell;
+                std::vector<double> lat = rep.sessionLatenciesMs();
+                ASSERT_EQ(lat.size(), span.size()) << cell;
+                std::size_t i = 0;
+                for (const auto &[sid, mm] : span)
+                    EXPECT_DOUBLE_EQ(lat[i++], mm.second - mm.first)
+                        << cell << " session " << sid;
             }
 }
 

@@ -78,6 +78,9 @@ expectReportsIdentical(const ServingReport &a, const ServingReport &b,
     EXPECT_EQ(a.kvFragGrossTokens, b.kvFragGrossTokens) << cell;
     EXPECT_EQ(a.kvSpilledSegments, b.kvSpilledSegments) << cell;
     EXPECT_EQ(a.kvMaxDilation, b.kvMaxDilation) << cell;
+    EXPECT_EQ(a.prefixHits, b.prefixHits) << cell;
+    EXPECT_EQ(a.prefixMisses, b.prefixMisses) << cell;
+    EXPECT_EQ(a.prefillTokensSaved, b.prefillTokensSaved) << cell;
     EXPECT_EQ(a.aggregate.commands, b.aggregate.commands) << cell;
     EXPECT_EQ(a.aggregate.muFlops, b.aggregate.muFlops) << cell;
     EXPECT_EQ(a.aggregate.dramReadBytes, b.aggregate.dramReadBytes)

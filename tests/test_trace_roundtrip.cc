@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <map>
 #include <string>
 
 #include "serve/serving_engine.hh"
@@ -82,8 +83,8 @@ TEST(TraceRoundtrip, ParseRejectsMalformedTraces)
     EXPECT_THROW(serve::parseTrace(""), std::runtime_error);
     EXPECT_THROW(serve::parseTrace("not-a-trace v1\n0\n"),
                  std::runtime_error);
-    // Wrong version is a different magic line.
-    EXPECT_THROW(serve::parseTrace("ianus-arrival-trace v2\n0\n"),
+    // Unknown versions are a different magic line (v2 is valid now).
+    EXPECT_THROW(serve::parseTrace("ianus-arrival-trace v3\n0\n"),
                  std::runtime_error);
     // Count contradicting the rows, both ways.
     EXPECT_THROW(
@@ -116,6 +117,161 @@ TEST(TraceRoundtrip, ParseRejectsMalformedTraces)
                  std::runtime_error);
     EXPECT_THROW(serve::loadTrace(tempPath("missing.trace")),
                  std::runtime_error);
+}
+
+// --- Session traces (v2) --------------------------------------------------
+
+serve::ArrivalTrace
+sampleSessionTrace(std::uint64_t seed = 5, std::size_t sessions = 6)
+{
+    serve::SessionOptions opts;
+    opts.seed = seed;
+    opts.sessions = sessions;
+    opts.meanTurns = 3.0;
+    opts.meanThinkMs = 150.0;
+    opts.sessionsPerSec = 40.0;
+    return serve::generateSessionTrace(opts);
+}
+
+TEST(TraceRoundtrip, SessionTraceUsesV2AndRoundtripsByteIdentically)
+{
+    ArrivalTrace trace = sampleSessionTrace();
+    ASSERT_TRUE(trace.hasSessions());
+    std::string once = serve::formatTrace(trace);
+    EXPECT_EQ(once.rfind("ianus-arrival-trace v2\n", 0), 0u);
+    ArrivalTrace parsed = serve::parseTrace(once);
+    // Same golden-file anchor as v1: save -> load -> re-save is the
+    // identity on bytes, session columns included.
+    EXPECT_EQ(serve::formatTrace(parsed), once);
+    ASSERT_EQ(parsed.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(parsed.requests[i].sessionId,
+                  trace.requests[i].sessionId);
+        EXPECT_EQ(parsed.requests[i].turnIndex,
+                  trace.requests[i].turnIndex);
+        EXPECT_EQ(parsed.requests[i].prefixTokens,
+                  trace.requests[i].prefixTokens);
+    }
+}
+
+TEST(TraceRoundtrip, TaglessTraceStillEmitsV1)
+{
+    // Single-turn traces keep the v1 bytes of every earlier PR — the
+    // session columns appear only when a session tag exists.
+    ArrivalTrace trace = sampleTrace(8);
+    EXPECT_FALSE(trace.hasSessions());
+    EXPECT_EQ(serve::formatTrace(trace).rfind("ianus-arrival-trace v1\n",
+                                              0),
+              0u);
+}
+
+TEST(TraceRoundtrip, V1RowsParseAsSingleTurn)
+{
+    ArrivalTrace parsed = serve::parseTrace(
+        "ianus-arrival-trace v1\n2\n1.5 64 8\n2.5 128 16\n");
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_FALSE(parsed.hasSessions());
+    for (const auto &t : parsed.requests) {
+        EXPECT_EQ(t.sessionId, 0u);
+        EXPECT_EQ(t.turnIndex, 0u);
+        EXPECT_EQ(t.prefixTokens, 0u);
+    }
+}
+
+TEST(TraceRoundtrip, ParseRejectsMalformedSessionColumns)
+{
+    auto v2 = [](const std::string &rows, std::size_t count) {
+        return "ianus-arrival-trace v2\n" + std::to_string(count) +
+               "\n" + rows;
+    };
+    // v2 rows need all six columns.
+    EXPECT_THROW(serve::parseTrace(v2("1.5 64 8\n", 1)),
+                 std::runtime_error);
+    // Single-turn sentinel (session 0) with a session field set.
+    EXPECT_THROW(serve::parseTrace(v2("1.5 64 8 0 1 0\n", 1)),
+                 std::runtime_error);
+    EXPECT_THROW(serve::parseTrace(v2("1.5 64 8 0 0 32\n", 1)),
+                 std::runtime_error);
+    // An opening turn inherits nothing.
+    EXPECT_THROW(serve::parseTrace(v2("1.5 64 8 1 0 32\n", 1)),
+                 std::runtime_error);
+    // The prefix is a strict subset of the input.
+    EXPECT_THROW(
+        serve::parseTrace(v2("1.5 64 8 1 0 0\n2.5 64 8 1 1 64\n", 2)),
+        std::runtime_error);
+    // Turn indices must count 0,1,2,... per session in row order.
+    EXPECT_THROW(serve::parseTrace(v2("1.5 64 8 1 1 0\n", 1)),
+                 std::runtime_error);
+    EXPECT_THROW(
+        serve::parseTrace(v2("1.5 64 8 1 0 0\n2.5 96 8 1 2 32\n", 2)),
+        std::runtime_error);
+    // Negative session columns must not wrap modulo 2^64.
+    EXPECT_THROW(serve::parseTrace(v2("1.5 64 8 -1 0 0\n", 1)),
+                 std::runtime_error);
+    // A well-formed two-turn session parses.
+    ArrivalTrace ok = serve::parseTrace(
+        v2("1.5 64 8 1 0 0\n2.5 104 8 1 1 72\n", 2));
+    ASSERT_EQ(ok.size(), 2u);
+    EXPECT_TRUE(ok.hasSessions());
+    EXPECT_EQ(ok.requests[1].prefixTokens, 72u);
+}
+
+TEST(TraceRoundtrip, SessionGeneratorIsSeedDeterministicAndWellFormed)
+{
+    ArrivalTrace a = sampleSessionTrace(21);
+    ArrivalTrace b = sampleSessionTrace(21);
+    EXPECT_EQ(serve::formatTrace(a), serve::formatTrace(b));
+    EXPECT_NE(serve::formatTrace(a),
+              serve::formatTrace(sampleSessionTrace(22)));
+
+    // Well-formedness: sorted arrivals; per-session turn indices count
+    // 0,1,2,... in row order; prefix k = input + output of turn k-1;
+    // no input exceeds the context window.
+    serve::SessionOptions opts;
+    opts.seed = 21;
+    opts.sessions = 6;
+    opts.meanTurns = 3.0;
+    opts.meanThinkMs = 150.0;
+    opts.sessionsPerSec = 40.0;
+    double prev = 0.0;
+    std::map<std::uint64_t, std::uint64_t> nextTurn, nextPrefix;
+    std::map<std::uint64_t, double> lastArrival;
+    for (const auto &t : a.requests) {
+        EXPECT_GE(t.arrivalMs, prev);
+        prev = t.arrivalMs;
+        ASSERT_NE(t.sessionId, 0u);
+        EXPECT_EQ(t.turnIndex, nextTurn[t.sessionId]++);
+        EXPECT_EQ(t.prefixTokens, nextPrefix[t.sessionId]);
+        EXPECT_LT(t.prefixTokens, t.request.inputTokens);
+        EXPECT_LE(t.request.inputTokens, opts.maxContextTokens);
+        if (t.turnIndex > 0) {
+            EXPECT_GT(t.arrivalMs, lastArrival[t.sessionId]);
+        }
+        lastArrival[t.sessionId] = t.arrivalMs;
+        nextPrefix[t.sessionId] =
+            t.request.inputTokens + t.request.outputTokens;
+    }
+    EXPECT_EQ(nextTurn.size(), 6u);
+}
+
+TEST(TraceRoundtrip, SessionGeneratorValidatesItsOptions)
+{
+    serve::SessionOptions opts;
+    opts.sessions = 0;
+    EXPECT_THROW(serve::generateSessionTrace(opts), std::runtime_error);
+    opts = serve::SessionOptions{};
+    opts.meanTurns = 0.5;
+    EXPECT_THROW(serve::generateSessionTrace(opts), std::runtime_error);
+    opts = serve::SessionOptions{};
+    opts.meanThinkMs = 0.0;
+    EXPECT_THROW(serve::generateSessionTrace(opts), std::runtime_error);
+    opts = serve::SessionOptions{};
+    opts.sessionsPerSec = 0.0;
+    EXPECT_THROW(serve::generateSessionTrace(opts), std::runtime_error);
+    opts = serve::SessionOptions{};
+    opts.deltaTokenChoices = {1024};
+    // A delta no opening turn could fit inside maxContextTokens.
+    EXPECT_THROW(serve::generateSessionTrace(opts), std::runtime_error);
 }
 
 // --- Replay equivalence ---------------------------------------------------
