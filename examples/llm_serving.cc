@@ -22,7 +22,8 @@
  *   ./llm_serving [model] [requests] [slo_ms_per_token]
  *                 [--replicas N] [--policy fcfs|sjf|edf]
  *                 [--router round-robin|least-loaded|queue-depth|
- *                           predicted-finish|kv-affinity]
+ *                           predicted-finish|kv-affinity|slo-budget]
+ *                 [--roles prefill,decode,...] [--kv-link-gbs G]
  *                 [--batching none|static|continuous] [--max-batch B]
  *                 [--prefill-chunk T] [--preempt]
  *                 [--kv-capacity auto|TOKENS] [--kv-block T]
@@ -38,6 +39,13 @@
  * simulations (serve/sharded_drain.hh) that run on N worker threads
  * and merge deterministically; see docs/PERFORMANCE.md.
  *
+ * --roles types each replica for the disaggregated lifecycle (comma
+ * list, one of unified|prefill|decode per replica): prefill-typed
+ * replicas run prompts only, then hand the KV cache to a decode-typed
+ * replica over a link costed at --kv-link-gbs GB/s (0 = derive from
+ * the device's PCIe parameters; inf = free). The fleet report then
+ * counts transfers and wire time. See docs/SERVING.md.
+ *
  * --sessions N generates a multi-turn session workload (N sessions,
  * mean --turns turns each, think time --think-ms between turns; --rate
  * is the session start rate). Later turns share a growing prefix with
@@ -50,6 +58,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <random>
 #include <string>
 #include <vector>
@@ -90,6 +99,9 @@ struct Args
     unsigned shards = 1;  ///< sub-cluster drains merged deterministically
     std::string traceIn;  ///< replay arrivals from this trace file
     std::string traceOut; ///< record the served arrivals here
+    std::string roles;    ///< comma list: unified|prefill|decode each
+    double kvLinkGBs = 0.0; ///< KV handoff link; 0 = derive from PCIe
+    bool kvLinkFlag = false; ///< --kv-link-gbs given explicitly
 };
 
 unsigned
@@ -250,6 +262,17 @@ parseArgs(int argc, char **argv)
         else if (a == "--shards")
             args.shards = parseCount(a, next(), 1024),
             cluster_flag = true;
+        else if (a == "--roles")
+            args.roles = next(), cluster_flag = true;
+        else if (a == "--kv-link-gbs") {
+            std::string v = next();
+            cluster_flag = true;
+            args.kvLinkFlag = true;
+            // "inf" models a free link (transfers cost exactly 0 ms).
+            args.kvLinkGBs =
+                v == "inf" ? std::numeric_limits<double>::infinity()
+                           : parseNonNegative(a, v.c_str());
+        }
         else if (positional == 0)
             args.model = a, ++positional;
         else if (positional == 1)
@@ -270,8 +293,8 @@ parseArgs(int argc, char **argv)
                      "--kv-block/--kv-admission/--kv-layout/--rate/"
                      "--seed/--clients/--think-ms/--sessions/--turns/"
                      "--prefix-cache/--trace-in/--trace-out/"
-                     "--shards only apply to cluster mode; add "
-                     "--replicas N\n");
+                     "--shards/--roles/--kv-link-gbs only apply to "
+                     "cluster mode; add --replicas N\n");
         std::exit(2);
     }
     if (args.sessions > 0 && args.clients > 0) {
@@ -363,6 +386,19 @@ parseArgs(int argc, char **argv)
                      args.shards, args.replicas);
         std::exit(2);
     }
+    if (args.kvLinkFlag && args.roles.empty()) {
+        std::fprintf(stderr,
+                     "--kv-link-gbs prices the prefill->decode KV "
+                     "handoff; nothing transfers without --roles\n");
+        std::exit(2);
+    }
+    if (!args.roles.empty() && args.batching == "static") {
+        std::fprintf(stderr,
+                     "--roles needs --batching none or continuous "
+                     "(a sealed static batch cannot migrate mid-"
+                     "request)\n");
+        std::exit(2);
+    }
     if (args.preempt && args.batching == "static") {
         std::fprintf(stderr, "--preempt cannot evict from a sealed "
                              "static batch; use --batching none or "
@@ -385,6 +421,36 @@ parseArgs(int argc, char **argv)
         std::exit(2);
     }
     return args;
+}
+
+/** "prefill,decode,unified" -> roles, one per replica. */
+std::vector<ianus::serve::ReplicaRole>
+parseRoles(const std::string &list, unsigned replicas)
+{
+    using ianus::serve::ReplicaRole;
+    std::vector<ReplicaRole> roles;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        try {
+            roles.push_back(ianus::serve::makeReplicaRole(
+                list.substr(start, comma - start)));
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "--roles: %s\n", e.what());
+            std::exit(2);
+        }
+        start = comma + 1;
+    }
+    if (roles.size() != replicas) {
+        std::fprintf(stderr,
+                     "--roles lists %zu roles for %u replicas (one "
+                     "per replica, comma-separated)\n",
+                     roles.size(), replicas);
+        std::exit(2);
+    }
+    return roles;
 }
 
 ianus::serve::ServingReport
@@ -487,6 +553,18 @@ clusterMode(const Args &args)
     opts.prefillChunk = args.prefillChunk;
     opts.preempt = args.preempt;
     opts.prefixCache = args.prefixCache;
+    if (!args.roles.empty()) {
+        opts.roles = parseRoles(args.roles, args.replicas);
+        opts.kvLinkGBs = args.kvLinkGBs;
+        std::printf("disaggregated lifecycle: roles");
+        for (std::size_t i = 0; i < opts.roles.size(); ++i)
+            std::printf("%s %s", i ? "," : "",
+                        serve::toString(opts.roles[i]));
+        if (args.kvLinkGBs == 0.0)
+            std::printf(" | kv link derived from PCIe\n");
+        else
+            std::printf(" | kv link %.2f GB/s\n", args.kvLinkGBs);
+    }
     if (!args.kvCapacity.empty()) {
         // "auto" derives the per-replica budget from the device's DRAM
         // channel geometry minus one copy of the weights.
@@ -509,7 +587,8 @@ clusterMode(const Args &args)
     }
     serve::ServingEngine engine(pool, opts,
                                 serve::makePolicy(args.policy),
-                                serve::makeRouter(args.router));
+                                serve::makeRouter(args.router,
+                                                  args.slo));
 
     serve::ServingReport rep;
     serve::ArrivalTrace trace; // served (or realized) arrivals
@@ -523,8 +602,12 @@ clusterMode(const Args &args)
             std::printf("sharded drain: %u sub-clusters of %u replicas, "
                         "one worker thread each\n\n",
                         args.shards, args.replicas / args.shards);
-            rep = serve::drainSharded(pool, opts, trace, sh,
-                                      args.policy, args.router);
+            rep = serve::drainSharded(
+                pool, opts, trace, sh,
+                [&] { return serve::makePolicy(args.policy); },
+                [&] {
+                    return serve::makeRouter(args.router, args.slo);
+                });
             return;
         }
         serve::submitAll(trace, engine);
@@ -638,6 +721,13 @@ clusterMode(const Args &args)
                     100.0 * rep.kvShedRate(),
                     (unsigned long long)rep.kvSpilledSegments,
                     rep.kvMaxDilation, rep.sloGoodputTokensPerSec());
+    if (rep.kvTransfers > 0)
+        std::printf("kv handoff: %llu transfers | %.3f GB over the "
+                    "link | %.1f ms wire time | slo-goodput %.1f "
+                    "tok/s\n",
+                    (unsigned long long)rep.kvTransfers,
+                    rep.kvTransferGB, rep.kvTransferMs,
+                    rep.sloGoodputTokensPerSec());
     if (trace.hasSessions())
         std::printf("sessions: %zu served | prefix hit rate %.1f%% "
                     "(%llu hits, %llu misses) | prefill tokens saved "

@@ -22,13 +22,35 @@
 #define IANUS_SERVE_DEVICE_POOL_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "serve/compiled_model.hh"
 
 namespace ianus::serve
 {
+
+/**
+ * What lifecycle stages a replica serves. `Unified` replicas run a
+ * request end to end (every pool before disaggregation). A `Prefill`
+ * replica only runs prompt phases: when a decoding request finishes
+ * its last prefill chunk there, its written KV is shipped over the
+ * costed pool link to a `Decode` replica, which only runs generation.
+ * A pool whose replicas are all Unified never takes the transfer path.
+ */
+enum class ReplicaRole : std::uint8_t
+{
+    Unified, ///< prefill and decode on the same replica (the default)
+    Prefill, ///< prompt phases only; KV hands off after the last chunk
+    Decode   ///< generation only; receives KV from a prefill replica
+};
+
+const char *toString(ReplicaRole role);
+
+/** Role by name: "unified", "prefill", "decode". Unknown is fatal. */
+ReplicaRole makeReplicaRole(const std::string &name);
 
 /** Pool shape: replica count and the per-replica build options. */
 struct PoolOptions
@@ -56,19 +78,33 @@ class DevicePool
     DevicePool(DevicePool &&) = default;
     DevicePool &operator=(DevicePool &&) = default;
 
-    /** Append a (possibly heterogeneous) replica. */
-    void addReplica(std::unique_ptr<CompiledModel> replica);
+    /** Append a (possibly heterogeneous) replica with a role. */
+    void addReplica(std::unique_ptr<CompiledModel> replica,
+                    ReplicaRole role = ReplicaRole::Unified);
 
     std::size_t size() const { return replicas_.size(); }
     bool empty() const { return replicas_.empty(); }
 
     const CompiledModel &replica(std::size_t i) const;
 
+    /** Replica @p i's lifecycle role (fatal on a bad index). */
+    ReplicaRole role(std::size_t i) const;
+
+    /** Re-type replica @p i (fatal on a bad index). */
+    void setRole(std::size_t i, ReplicaRole role);
+
+    /** All roles, in replica order (ServingOptions::roles shape). */
+    const std::vector<ReplicaRole> &roles() const { return roles_; }
+
+    /** True iff any replica is role-typed (non-Unified). */
+    bool disaggregated() const;
+
     /** Devices per replica summed over the pool (TDP/cost accounting). */
     unsigned totalDevices() const;
 
   private:
     std::vector<std::unique_ptr<CompiledModel>> replicas_;
+    std::vector<ReplicaRole> roles_;
 };
 
 } // namespace ianus::serve

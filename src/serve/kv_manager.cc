@@ -1,6 +1,7 @@
 #include "serve/kv_manager.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -79,6 +80,33 @@ deriveKvCapacityTokens(const SystemConfig &sys,
                     " B) exceed device DRAM (", dramBytes,
                     " B); no room for KV cache");
     return (dramBytes - weights) / kvBytesPerToken(model);
+}
+
+std::uint64_t
+kvTransferBytes(const workloads::ModelConfig &model, std::uint64_t tokens)
+{
+    return tokens * kvBytesPerToken(model);
+}
+
+double
+deriveKvLinkGBs(const SystemConfig &sys)
+{
+    // bytesPerTick is bytes/ps, so GB/s = bytesPerTick * 1000; the DMA
+    // engine never hits the line rate (same derate as the KV spill
+    // path).
+    return sys.pcie.bytesPerTick * 1000.0 * sys.dmaEfficiency;
+}
+
+double
+kvTransferMs(std::uint64_t bytes, double link_gbs)
+{
+    if (!(link_gbs > 0.0))
+        IANUS_FATAL("KV link bandwidth must be positive, got ", link_gbs,
+                    " GB/s");
+    if (std::isinf(link_gbs))
+        return 0.0; // the explicit zero-cost link, exactly
+    // GB/s = bytes/us, so ms = bytes / (GB/s * 1e6).
+    return static_cast<double>(bytes) / (link_gbs * 1e6);
 }
 
 KvBlockManager::KvBlockManager(const KvOptions &opts,

@@ -130,6 +130,30 @@ std::uint64_t kvBytesPerToken(const workloads::ModelConfig &model);
 std::uint64_t deriveKvCapacityTokens(const SystemConfig &sys,
                                      const workloads::ModelConfig &model);
 
+// --- Prefill -> decode KV transfer cost --------------------------------------
+
+/** Bytes a @p tokens-token KV occupies on the prefill->decode link for
+ *  @p model: tokens x kvBytesPerToken() — exactly the cache the decode
+ *  side must hold before generation can start. */
+std::uint64_t kvTransferBytes(const workloads::ModelConfig &model,
+                              std::uint64_t tokens);
+
+/**
+ * Default prefill->decode link bandwidth in GB/s, derived from the
+ * *source* replica's PCIe parameters: the per-tick PCIe byte rate
+ * scaled to GB/s (ticks are ps, so GB/s = bytesPerTick x 1000), times
+ * the DMA efficiency the spill model already charges. This is the
+ * honest "host-mediated handoff" cost when ServingOptions::kvLinkGBs
+ * is left at 0.
+ */
+double deriveKvLinkGBs(const SystemConfig &sys);
+
+/** Milliseconds @p bytes take at @p link_gbs GB/s. Monotone and linear
+ *  in bytes at fixed bandwidth; +infinity bandwidth is the exact-zero
+ *  cost link (bytes still counted). Fatal if @p link_gbs is not
+ *  positive. */
+double kvTransferMs(std::uint64_t bytes, double link_gbs);
+
 /**
  * One replica's KV block pool. The ServingEngine drives it at the same
  * event boundaries it already schedules at: admit() at dispatch,

@@ -312,8 +312,53 @@ KvAffinityRouter::route(const QueuedRequest &request,
     return best->index;
 }
 
+SloBudgetRouter::SloBudgetRouter(double slo_ms_per_token)
+    : sloMsPerToken_(slo_ms_per_token)
+{
+    if (!(slo_ms_per_token > 0.0))
+        IANUS_FATAL("slo-budget router needs a positive per-token SLO "
+                    "in ms, got ",
+                    slo_ms_per_token);
+}
+
+std::size_t
+SloBudgetRouter::route(const QueuedRequest &request,
+                       const std::vector<ReplicaStatus> &replicas,
+                       double now_ms)
+{
+    // Feasible set: accepting replicas predicted to finish within the
+    // candidate's completion budget. Among them, the *latest* predicted
+    // finish wins (ties: lowest index) — spend the least replica that
+    // still meets the deadline, and keep the fast ones free for
+    // requests whose budgets actually need them.
+    const double deadline =
+        deadlineMs(request.arrivalMs, request.request, sloMsPerToken_);
+    const ReplicaStatus *best = nullptr;
+    double best_finish = 0.0;
+    for (const ReplicaStatus &r : replicas) {
+        if (!r.idle)
+            continue;
+        const double finish = predictedFinishMs(r, now_ms);
+        if (finish > deadline)
+            continue;
+        if (!best || finish > best_finish) {
+            best = &r;
+            best_finish = finish;
+        }
+    }
+    if (best)
+        return best->index;
+    // Nobody meets the budget: degrade to predicted-finish (the
+    // least-bad lateness) rather than wasting a slow replica's time on
+    // a request that is already lost.
+    const ReplicaStatus *fallback = earliestFinish(replicas, now_ms, false);
+    if (!fallback)
+        IANUS_FATAL("slo-budget router called with no accepting replica");
+    return fallback->index;
+}
+
 std::unique_ptr<Router>
-makeRouter(const std::string &name)
+makeRouter(const std::string &name, double slo_ms_per_token)
 {
     if (name == "round-robin" || name == "rr")
         return std::make_unique<RoundRobinRouter>();
@@ -325,9 +370,11 @@ makeRouter(const std::string &name)
         return std::make_unique<PredictedFinishRouter>();
     if (name == "kv-affinity" || name == "kv")
         return std::make_unique<KvAffinityRouter>();
+    if (name == "slo-budget" || name == "slo")
+        return std::make_unique<SloBudgetRouter>(slo_ms_per_token);
     IANUS_FATAL("unknown router '", name,
                 "' (expected round-robin, least-loaded, queue-depth, "
-                "predicted-finish, or kv-affinity)");
+                "predicted-finish, kv-affinity, or slo-budget)");
 }
 
 // --- ServingReport ----------------------------------------------------------
@@ -644,6 +691,26 @@ ServingReport::summary() const
             100.0 * kvShedRate(), (unsigned long long)kvSpilledSegments);
         out += buf;
     }
+    bool typed = false;
+    for (ReplicaRole r : roles)
+        typed |= r != ReplicaRole::Unified;
+    if (typed) {
+        std::size_t pre = 0, dec = 0, uni = 0;
+        for (ReplicaRole r : roles) {
+            if (r == ReplicaRole::Prefill)
+                ++pre;
+            else if (r == ReplicaRole::Decode)
+                ++dec;
+            else
+                ++uni;
+        }
+        std::snprintf(buf, sizeof(buf),
+                      " | roles %zuP/%zuD/%zuU: %llu handoffs, %.3f GB "
+                      "over the KV link in %.1f ms",
+                      pre, dec, uni, (unsigned long long)kvTransfers,
+                      kvTransferGB, kvTransferMs);
+        out += buf;
+    }
     if (prefixHits + prefixMisses > 0) {
         std::snprintf(
             buf, sizeof(buf),
@@ -681,6 +748,11 @@ ServingEngine::ServingEngine(const DevicePool &pool, ServingOptions opts,
     replicas_.reserve(pool.size());
     for (std::size_t i = 0; i < pool.size(); ++i)
         replicas_.push_back(&pool.replica(i));
+    // The pool's own role typing carries over unless the options
+    // already chose one; an all-unified pool stays the (bit-identical)
+    // empty default.
+    if (opts_.roles.empty() && pool.disaggregated())
+        opts_.roles = pool.roles();
     if (!policy_)
         policy_ = std::make_unique<FcfsPolicy>();
     if (!router_)
@@ -733,6 +805,34 @@ ServingEngine::validateOptions() const
         IANUS_FATAL("KV capacity ", opts_.kv.capacityTokens,
                     " tokens is smaller than one ", opts_.kv.blockTokens,
                     "-token block");
+    if (std::isnan(opts_.kvLinkGBs) || opts_.kvLinkGBs < 0.0)
+        IANUS_FATAL("KV link bandwidth must be a non-negative GB/s "
+                    "value (0 derives it from the source replica's PCIe "
+                    "parameters), got ",
+                    opts_.kvLinkGBs);
+    if (!opts_.roles.empty()) {
+        if (opts_.roles.size() != replicas_.size())
+            IANUS_FATAL("roles list has ", opts_.roles.size(),
+                        " entries for ", replicas_.size(), " replicas");
+        bool typed = false, prefill_capable = false,
+             decode_capable = false;
+        for (ReplicaRole r : opts_.roles) {
+            typed |= r != ReplicaRole::Unified;
+            prefill_capable |= r != ReplicaRole::Decode;
+            decode_capable |= r != ReplicaRole::Prefill;
+        }
+        if (typed && !prefill_capable)
+            IANUS_FATAL("a disaggregated pool needs at least one "
+                        "prefill-capable (prefill or unified) replica");
+        if (typed && !decode_capable)
+            IANUS_FATAL("a disaggregated pool needs at least one "
+                        "decode-capable (decode or unified) replica");
+        if (typed && opts_.batching == BatchingMode::Static)
+            IANUS_FATAL("disaggregated pools cannot use static "
+                        "batching: a KV handoff joins a running decode "
+                        "batch at a token boundary, and a sealed batch "
+                        "admits no one");
+    }
 }
 
 void
@@ -837,9 +937,21 @@ ServingEngine::drain()
             it->second = std::max(it->second, q.turnIndex);
     }
     const bool prefixOn = opts_.prefixCache && any_sessions;
+    // Role-typed pools: empty roles (the default) leaves every replica
+    // unified and every disaggregation branch below unentered, keeping
+    // the drain bit-identical to the role-less engine. Any typed role
+    // flips disaggOn and runs the two-stage prefill → KV-transfer →
+    // decode lifecycle.
+    std::vector<ReplicaRole> roles = opts_.roles;
+    if (roles.empty())
+        roles.assign(n, ReplicaRole::Unified);
+    bool disaggOn = false;
+    for (ReplicaRole r : roles)
+        disaggOn = disaggOn || r != ReplicaRole::Unified;
+    report.roles = opts_.roles;
     const bool segmented = opts_.maxBatch > 1 || opts_.prefillChunk > 0 ||
                            opts_.preempt || opts_.kv.enabled() ||
-                           prefixOn;
+                           prefixOn || disaggOn;
     sim::EventQueue events;
     report.results.reserve(queue_.size());
 
@@ -908,11 +1020,19 @@ ServingEngine::drain()
         double weightedBatch = 0.0;  ///< sum of batch size over steps
         std::uint64_t doneSteps = 0;
         double evictedAtMs = 0.0;    ///< valid while suspended
+        /** KV tokens living elsewhere (a disaggregated prefix hit):
+         *  the prefill replica writes only [kvBase, kvLen). */
+        std::uint64_t kvBase = 0;
+        bool handoff = false;        ///< prefill here, decode elsewhere
     };
     struct ReplicaRun
     {
         std::vector<Member> prefill; ///< admission order
         std::vector<Member> gen;     ///< admission order
+        /** Members whose prefill finished here but whose decode runs
+         *  elsewhere: the KV transfer starts when the segment that
+         *  wrote the last prompt chunk completes. */
+        std::deque<Member> outbox;
         /** Static mode: membership is frozen once generation starts,
          *  until the replica drains completely. */
         bool sealed = false;
@@ -935,6 +1055,24 @@ ServingEngine::drain()
     // accounting (and, conceptually, its on-replica KV cache) until
     // the matching resumed QueuedRequest is re-dispatched.
     std::map<std::uint64_t, Member> suspended;
+
+    // Disaggregated handoff state (disaggOn drains only, all empty
+    // otherwise). A prefilled member rides the KV link to a
+    // decode-capable replica: pendingHandoff holds transfers whose
+    // decode-side KV reservation did not fit yet (retried at every
+    // pump), inbound holds arrived members awaiting a batch slot at
+    // their target, and claimedPins marks sessions whose pinned prefix
+    // is spoken for by an in-flight disaggregated hit — the pin funds
+    // the handoff target's admission and must not be reclaimed or
+    // replaced meanwhile.
+    struct Handoff
+    {
+        Member m;
+        std::size_t from;
+    };
+    std::deque<Handoff> pendingHandoff;
+    std::vector<std::deque<Member>> inbound(n);
+    std::set<std::uint64_t> claimedPins;
 
     // Per-replica KV block pools (capacity model on only). Each replica
     // derives its spill bandwidth ratio from its own SystemConfig, so a
@@ -999,6 +1137,49 @@ ServingEngine::drain()
         return it->second.replica;
     };
 
+    // Does a candidate admitted to replica d prefill here and decode
+    // elsewhere? Only Prefill-role replicas hand off, and only work
+    // with a decode phase to ship: encoders and single-token decoders
+    // finish at the prefill's LM head and finalize locally.
+    auto willHandoff = [&](std::size_t d, const QueuedRequest &q) {
+        return disaggOn && roles[d] == ReplicaRole::Prefill &&
+               replicas_[d]->model().decoder() &&
+               q.request.outputTokens > 1;
+    };
+
+    // Prompt tokens a disaggregated prefix hit skips on prefill
+    // replica d. The session's pinned KV lives on a decode-capable
+    // replica (finalize never pins on Prefill replicas) and stays
+    // there: d prefills only the delta and the handoff later lands on
+    // the pin — there is no cross-replica hit otherwise.
+    auto disaggHitPrefix = [&](std::size_t d,
+                               const QueuedRequest &q) -> std::uint64_t {
+        if (!willHandoff(d, q) || q.prefixTokens == 0)
+            return 0;
+        return sessionHitDev(q) != QueuedRequest::noReplica
+                   ? q.prefixTokens
+                   : 0;
+    };
+
+    // KV tokens replica d must reserve to admit q: a handoff member
+    // holds only the prompt KV it writes locally (prompt plus the
+    // bootstrap token, minus any prefix parked at the handoff target)
+    // — the decode-side worst case is reserved by the handoff itself.
+    auto admitKvTokens = [&](std::size_t d, const QueuedRequest &q) {
+        if (willHandoff(d, q))
+            return q.request.inputTokens + 1 - disaggHitPrefix(d, q);
+        return maxKvTokens(d, q);
+    };
+
+    // KV link bandwidth out of replica d: the explicit option when
+    // set, otherwise derived from d's own PCIe parameters — a
+    // heterogeneous pool prices each source link honestly.
+    auto linkGBsFrom = [&](std::size_t d) {
+        return opts_.kvLinkGBs > 0.0
+                   ? opts_.kvLinkGBs
+                   : deriveKvLinkGBs(replicas_[d]->config());
+    };
+
     // Would the KV manager turn this candidate away from replica d
     // right now? (Capacity off, or `none` admission: never.)
     auto kvBlocked = [&](const QueuedRequest &q, std::size_t d) {
@@ -1014,7 +1195,7 @@ ServingEngine::drain()
             return !kvm[d].releaseWouldAdmit(
                 sessions.find(q.sessionId)->second.reqId,
                 maxKvTokens(d, q));
-        return !kvm[d].canAdmit(maxKvTokens(d, q));
+        return !kvm[d].canAdmit(admitKvTokens(d, q));
     };
 
     // The queue-entry view of a resident, for urgency queries: both
@@ -1050,8 +1231,14 @@ ServingEngine::drain()
     // next turn's delta-only prefill.
     auto finalize = [&](Member &m, double now, std::size_t d) {
         bool pin = false;
+        // Disaggregated drains never pin on a Prefill replica (the
+        // next turn's decode could not run where its prefix lives),
+        // and never replace a pin an in-flight handoff has claimed —
+        // unpinning it would strand the transfer's accounting.
         if (prefixOn && m.res.sessionId != 0 &&
-            replicas_[d]->model().decoder()) {
+            replicas_[d]->model().decoder() &&
+            !(disaggOn && (roles[d] == ReplicaRole::Prefill ||
+                           claimedPins.count(m.res.sessionId)))) {
             auto lt = lastTurn.find(m.res.sessionId);
             if (lt != lastTurn.end() && m.res.turnIndex < lt->second) {
                 SessionState &st = sessions[m.res.sessionId];
@@ -1100,6 +1287,116 @@ ServingEngine::drain()
     };
 
     std::function<void(double)> pump; // forward: segments re-enter it
+
+    // Ship a prefilled member's KV to a decode-capable replica (the
+    // two-stage lifecycle's transfer edge; disaggOn drains only). The
+    // ordering contract (docs/SCHEDULING.md): the target reserves its
+    // worst-case KV *before* the transfer is scheduled, and the source
+    // releases its prefill-side blocks only when the handoff
+    // completes — at no instant is the member's KV unaccounted for. A
+    // disaggregated prefix hit must land on its pin's replica (the
+    // pin's returned blocks fund the admission); anything else ranks
+    // decode-capable replicas by (decode role first, load, fewest free
+    // blocks kept free, index). A target that cannot reserve yet parks
+    // the transfer in pendingHandoff for the next pump.
+    auto startHandoff = [&](Member m, std::size_t from, double now) {
+        const std::uint64_t sid = m.res.sessionId;
+        const bool claimed = sid != 0 && claimedPins.count(sid) != 0;
+        std::size_t to = QueuedRequest::noReplica;
+        if (claimed) {
+            SessionState &st = sessions[sid];
+            to = st.replica;
+            if (kvOn &&
+                !kvm[to].releaseWouldAdmit(
+                    st.reqId, maxKvTokens(to, asQueued(m)))) {
+                pendingHandoff.push_back({std::move(m), from});
+                return;
+            }
+            unpin(sid);
+            claimedPins.erase(sid);
+            if (kvOn) {
+                kvm[to].admit(m.res.id, maxKvTokens(to, asQueued(m)));
+                kvm[to].setUsed(m.res.id, m.kvBase);
+            }
+        } else {
+            bool found = false;
+            std::tuple<int, std::size_t, std::int64_t, std::size_t>
+                best_key{};
+            for (std::size_t d = 0; d < n; ++d) {
+                if (roles[d] == ReplicaRole::Prefill)
+                    continue;
+                if (kvOn &&
+                    !kvm[d].canAdmit(maxKvTokens(d, asQueued(m))))
+                    continue;
+                std::tuple<int, std::size_t, std::int64_t, std::size_t>
+                    key{roles[d] == ReplicaRole::Decode ? 0 : 1,
+                        rt[d].prefill.size() + rt[d].gen.size() +
+                            inbound[d].size(),
+                        kvOn ? -static_cast<std::int64_t>(
+                                   kvm[d].freeBlocks())
+                             : 0,
+                        d};
+                if (!found || key < best_key) {
+                    found = true;
+                    best_key = key;
+                    to = d;
+                }
+            }
+            if (!found) {
+                // Fatal if no decode-capable replica could hold this
+                // member even empty — its handoff would wait forever.
+                bool ever = false;
+                for (std::size_t d = 0; d < n; ++d)
+                    if (roles[d] != ReplicaRole::Prefill)
+                        ever = ever || !kvOn ||
+                               kvm[d].canEverAdmit(
+                                   maxKvTokens(d, asQueued(m)));
+                if (!ever)
+                    IANUS_FATAL("request ", m.res.id, " needs ",
+                                maxKvTokens(from, asQueued(m)),
+                                " KV tokens on a decode-capable "
+                                "replica, more than any can ever "
+                                "hold; its handoff can never "
+                                "complete");
+                pendingHandoff.push_back({std::move(m), from});
+                return;
+            }
+            if (kvOn)
+                kvm[to].admit(m.res.id, maxKvTokens(to, asQueued(m)));
+        }
+        const std::uint64_t xfer = m.kvLen - m.kvBase;
+        const std::uint64_t bytes =
+            kvTransferBytes(replicas_[from]->model(), xfer);
+        const double ms = kvTransferMs(bytes, linkGBsFrom(from));
+        m.res.kvTransferMs = ms;
+        m.res.kvTransferTokens = xfer;
+        report.kvTransfers += 1;
+        report.kvTransferMs += ms;
+        report.kvTransferGB += static_cast<double>(bytes) / 1e9;
+        const double arriveMs = now + ms;
+        events.schedule(
+            msToTicks(arriveMs),
+            [&, from, to, arriveMs, m = std::move(m)]() mutable {
+                if (kvOn) {
+                    // The contract's second half: the source lets go
+                    // only now that the target holds the KV.
+                    kvm[from].release(m.res.id);
+                    kvm[to].setUsed(m.res.id, m.kvLen);
+                }
+                m.res.deviceIndex = to;
+                report.replicas[to].dispatched += 1;
+                inbound[to].push_back(std::move(m));
+                pump(arriveMs);
+            });
+    };
+    auto retryHandoffs = [&](double now) {
+        if (pendingHandoff.empty())
+            return;
+        std::deque<Handoff> retry;
+        retry.swap(pendingHandoff);
+        for (Handoff &h : retry)
+            startHandoff(std::move(h.m), h.from, now);
+    };
 
     // Run the next segment on replica d: one admitted request's prefill
     // (whole, or one prefillChunk-sized slice of it), or a
@@ -1176,9 +1473,12 @@ ServingEngine::drain()
             if (kvOn)
                 // The chunk writes its slice of prompt KV (the last
                 // chunk's LM head adds the bootstrap token; encoders'
-                // reservations clamp it away).
+                // reservations clamp it away). A disaggregated hit's
+                // prefix (kvBase tokens) lives at the handoff target,
+                // not here — only the delta counts locally.
                 kvm[d].setUsed(m.res.id,
-                               last ? input + 1 : m.prefillDone);
+                               (last ? input + 1 : m.prefillDone) -
+                                   m.kvBase);
             if (last) {
                 // TTFT counts queueing, any batch stall or interleaved
                 // generation segments, and the prefill itself — the
@@ -1188,7 +1488,13 @@ ServingEngine::drain()
                 m.remaining = replicas_[d]->model().decoder()
                                   ? m.res.request.outputTokens - 1
                                   : 0;
-                r.gen.push_back(std::move(m));
+                if (m.handoff)
+                    // Decode runs elsewhere: the member waits in the
+                    // outbox until this segment completes (its KV is
+                    // fully written only then), then rides the link.
+                    r.outbox.push_back(std::move(m));
+                else
+                    r.gen.push_back(std::move(m));
                 r.prefill.erase(r.prefill.begin() +
                                 static_cast<std::ptrdiff_t>(pi));
             }
@@ -1273,6 +1579,16 @@ ServingEngine::drain()
             }
             if (rr.gen.empty() && rr.prefill.empty())
                 rr.sealed = false; // drained: the next batch may form
+            if (disaggOn)
+                // Handoffs launch before the follow-up pump below is
+                // scheduled, so a zero-cost transfer's arrival (same
+                // tick, FIFO) lands ahead of it and the target's
+                // admission pass sees the member already inbound.
+                while (!rr.outbox.empty()) {
+                    Member hm = std::move(rr.outbox.front());
+                    rr.outbox.pop_front();
+                    startHandoff(std::move(hm), d, end);
+                }
             // Admissions run in a same-tick follow-up event so every
             // replica whose boundary lands on this tick is free first —
             // otherwise the earliest boundary would greedily claim the
@@ -1305,9 +1621,18 @@ ServingEngine::drain()
             // return outranks cached prefixes: reclaim this replica's
             // pins oldest-first until it fits.
             if (kvOn && !kvm[dev].canResume(q.id)) {
-                while (prefixOn && !pins[dev].empty() &&
-                       !kvm[dev].canResume(q.id))
-                    unpin(pins[dev].front());
+                // Oldest-first, skipping pins an in-flight handoff has
+                // claimed (identical to a plain front-first scan when
+                // no pin is claimed — the non-disaggregated case).
+                std::size_t pi = 0;
+                while (prefixOn && pi < pins[dev].size() &&
+                       !kvm[dev].canResume(q.id)) {
+                    if (claimedPins.count(pins[dev][pi])) {
+                        ++pi;
+                        continue;
+                    }
+                    unpin(pins[dev][pi]);
+                }
                 if (!kvm[dev].canResume(q.id))
                     return Attempt::Blocked;
             }
@@ -1337,8 +1662,12 @@ ServingEngine::drain()
                             // this candidate (queue/shed modes; `none`
                             // never blocks), so the router only ever
                             // sees placements the block pool can honor.
+                            // Decode-role replicas take work over the
+                            // KV link, never fresh admissions.
                             statuses[d].idle =
-                                capacity(d) > 0 && !kvBlocked(q, d);
+                                capacity(d) > 0 && !kvBlocked(q, d) &&
+                                !(disaggOn &&
+                                  roles[d] == ReplicaRole::Decode);
                             any_accepting |= statuses[d].idle;
                             statuses[d].freeAtMs = freeAt[d];
                             statuses[d].busyMs =
@@ -1367,9 +1696,12 @@ ServingEngine::drain()
                                 // The hit replica re-prefills only the
                                 // delta; pricing that into its estimate
                                 // is the re-prefill penalty every
-                                // predicted-finish router weighs.
+                                // predicted-finish router weighs. A
+                                // disaggregated hit prices the delta on
+                                // the prefill replica the same way.
                                 statuses[d].estPrefillMs =
-                                    hitDev == d
+                                    (hitDev == d ||
+                                     disaggHitPrefix(d, q) > 0)
                                         ? replicas_[d]
                                               ->estimateResumePrefillMs(
                                                   q.prefixTokens,
@@ -1395,7 +1727,8 @@ ServingEngine::drain()
                         // dropping it would forfeit the hit.
                         auto reclaimOne = [&](std::size_t d) {
                             for (std::uint64_t sid : pins[d]) {
-                                if (sid == q.sessionId)
+                                if (sid == q.sessionId ||
+                                    claimedPins.count(sid))
                                     continue;
                                 unpin(sid);
                                 return true;
@@ -1404,7 +1737,9 @@ ServingEngine::drain()
                         };
                         bool freed = false;
                         for (std::size_t d = 0; d < n; ++d) {
-                            if (capacity(d) == 0)
+                            if (capacity(d) == 0 ||
+                                (disaggOn &&
+                                 roles[d] == ReplicaRole::Decode))
                                 continue;
                             while (kvBlocked(q, d) && reclaimOne(d))
                                 freed = true;
@@ -1415,6 +1750,21 @@ ServingEngine::drain()
                             fillStatuses();
                     }
                     if (!any_accepting) {
+                        // A disaggregated pool can land here with only
+                        // decode-side slots open (totalSlots counts
+                        // them for a parked evictee): a fresh candidate
+                        // simply has nowhere to go, and admission
+                        // control below must not run — shed would drop
+                        // it for want of a slot, not of KV blocks, and
+                        // the block pools may be off entirely.
+                        bool slot_somewhere = false;
+                        for (std::size_t d = 0; d < n; ++d)
+                            if (capacity(d) > 0 &&
+                                !(disaggOn &&
+                                  roles[d] == ReplicaRole::Decode))
+                                slot_somewhere = true;
+                        if (!slot_somewhere)
+                            return Attempt::Blocked;
                         // Some replica has an open slot (the admission
                         // loop's slots check) but every one is
                         // KV-blocked for this candidate: admission
@@ -1429,7 +1779,7 @@ ServingEngine::drain()
                         bool ever = false;
                         for (std::size_t d = 0; d < n; ++d)
                             ever |= kvm[d].canEverAdmit(
-                                maxKvTokens(d, q));
+                                admitKvTokens(d, q));
                         if (!ever)
                             IANUS_FATAL(
                                 "request ", q.id, " needs ",
@@ -1490,6 +1840,7 @@ ServingEngine::drain()
                                                   res.request,
                                                   opts_.sloMsPerToken);
                     res.deviceIndex = dev;
+                    res.prefillIndex = dev;
 
                     busy[dev] = true;
                     freeAt[dev] = res.finishMs;
@@ -1550,6 +1901,8 @@ ServingEngine::drain()
                     m.res.report.outputTokens = q.request.outputTokens;
                     const bool hit =
                         prefixOn && sessionHitDev(q) == dev;
+                    const std::uint64_t dhp =
+                        hit ? 0 : disaggHitPrefix(dev, q);
                     if (hit) {
                         // Consume the pin before reserving: its
                         // returned blocks fund the admission that
@@ -1561,23 +1914,40 @@ ServingEngine::drain()
                         m.res.prefixHit = true;
                         report.prefixHits += 1;
                         report.prefillTokensSaved += q.prefixTokens;
+                    } else if (dhp > 0) {
+                        // Disaggregated hit: the pin lives on a
+                        // decode-capable replica and stays put —
+                        // claim it for this member's handoff and
+                        // prefill only the delta here.
+                        claimedPins.insert(q.sessionId);
+                        m.prefillDone = q.prefixTokens;
+                        m.kvBase = q.prefixTokens;
+                        m.res.prefixHit = true;
+                        report.prefixHits += 1;
+                        report.prefillTokensSaved += q.prefixTokens;
                     } else if (prefixOn && q.sessionId != 0 &&
                                q.turnIndex > 0) {
                         // Honest miss: the full context re-prefills. A
                         // surviving pin (shorter, or on another
-                        // replica) is dead weight now — drop it.
+                        // replica) is dead weight now — drop it,
+                        // unless an in-flight handoff claimed it.
                         auto sit = sessions.find(q.sessionId);
-                        if (sit != sessions.end() && sit->second.cached)
+                        if (sit != sessions.end() &&
+                            sit->second.cached &&
+                            !claimedPins.count(q.sessionId))
                             unpin(q.sessionId);
                         report.prefixMisses += 1;
                     }
+                    m.handoff = willHandoff(dev, q);
+                    m.res.prefillIndex = dev;
                     m.res.prefilledTokens =
                         q.request.inputTokens - m.prefillDone;
                     if (kvOn) {
-                        // Reserve the worst case up front; `none`
-                        // admission overcommits here and pays in
-                        // spill-dilated segments instead.
-                        kvm[dev].admit(q.id, maxKvTokens(dev, q));
+                        // Reserve the worst case up front (a handoff
+                        // member reserves only its local prompt KV);
+                        // `none` admission overcommits here and pays
+                        // in spill-dilated segments instead.
+                        kvm[dev].admit(q.id, admitKvTokens(dev, q));
                         if (hit)
                             kvm[dev].setUsed(q.id, q.prefixTokens);
                     }
@@ -1594,8 +1964,16 @@ ServingEngine::drain()
     // below can decrement instead of recounting per round.
     auto totalSlots = [&] {
         std::size_t slots = 0;
-        for (std::size_t d = 0; d < n; ++d)
+        for (std::size_t d = 0; d < n; ++d) {
+            // A Decode replica's open slots admit nothing from the
+            // queue unless one of its own evictees waits to resume —
+            // counting them otherwise would spin the admission loops
+            // on candidates with nowhere to go.
+            if (disaggOn && roles[d] == ReplicaRole::Decode &&
+                parked[d] == 0)
+                continue;
             slots += capacity(d);
+        }
         return slots;
     };
 
@@ -1751,6 +2129,11 @@ ServingEngine::drain()
             auto eligible = [&](const QueuedRequest &q) {
                 if (q.resumed && q.boundReplica != d)
                     return false;
+                // Only a returning evictee justifies evicting on a
+                // Decode replica — fresh work cannot land there.
+                if (!q.resumed && disaggOn &&
+                    roles[d] == ReplicaRole::Decode)
+                    return false;
                 return slot_full || kvBlocked(q, d);
             };
             if (order == QueueOrder::StaticUrgency) {
@@ -1841,6 +2224,18 @@ ServingEngine::drain()
     // urgency key; for the shipped policies the two agree and the
     // static-key argument already bounds the loop.
     pump = [&](double now) {
+        if (disaggOn) {
+            // Transfers first: a retried handoff may land (or a
+            // zero-cost one already has), and arrived members join
+            // their target's decode batch at this token boundary
+            // ahead of fresh admissions.
+            retryHandoffs(now);
+            for (std::size_t d = 0; d < n; ++d)
+                while (!inbound[d].empty() && capacity(d) > 0) {
+                    rt[d].gen.push_back(std::move(inbound[d].front()));
+                    inbound[d].pop_front();
+                }
+        }
         admit(now);
         if (opts_.preempt) {
             std::size_t evict_budget = 0;
@@ -1966,6 +2361,19 @@ ServingEngine::drain()
     for (const auto &entry : suspended)
         report.replicas[entry.second.res.deviceIndex].kvTokensEnd +=
             entry.second.kvLen;
+    if (disaggOn) {
+        // Handoff limbo is still KV somewhere: an unshipped outbox or
+        // pending transfer charges its source, an arrived-but-unjoined
+        // member its target.
+        for (std::size_t d = 0; d < n; ++d) {
+            for (const Member &m : rt[d].outbox)
+                report.replicas[d].kvTokensEnd += m.kvLen;
+            for (const Member &m : inbound[d])
+                report.replicas[d].kvTokensEnd += m.kvLen;
+        }
+        for (const Handoff &h : pendingHandoff)
+            report.replicas[h.from].kvTokensEnd += h.m.kvLen;
+    }
     if (kvOn) {
         std::uint64_t waste = 0;
         std::uint64_t gross = 0;

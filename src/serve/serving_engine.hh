@@ -476,10 +476,47 @@ class KvAffinityRouter : public Router
                       double now_ms) override;
 };
 
+/**
+ * SLO-budget routing: route to the *cheapest* accepting replica whose
+ * estimated completion still meets the candidate's deadline
+ * (arrival + sloMsPerToken x output tokens — the same budget EDF and
+ * deadlineMiss judge against). Among the replicas predicted to finish
+ * in time it picks the one predicted to finish *latest* (ties: lowest
+ * index): a slack-rich request spills to a slow replica and leaves the
+ * fast ones free for requests whose budgets need them — the inversion
+ * of predicted-finish, which sends everyone to the fastest replica and
+ * burns its capacity on requests that never needed it. When no
+ * accepting replica can meet the deadline, it degrades to
+ * predicted-finish (least-bad lateness).
+ */
+class SloBudgetRouter : public Router
+{
+  public:
+    /** @p slo_ms_per_token must match the engine's
+     *  ServingOptions::sloMsPerToken for the deadlines to agree with
+     *  the report's deadlineMiss accounting. */
+    explicit SloBudgetRouter(double slo_ms_per_token = 10.0);
+
+    const char *name() const override { return "slo-budget"; }
+
+    bool needsEstimates() const override { return true; }
+
+    std::size_t route(const QueuedRequest &request,
+                      const std::vector<ReplicaStatus> &replicas,
+                      double now_ms) override;
+
+    double sloMsPerToken() const { return sloMsPerToken_; }
+
+  private:
+    double sloMsPerToken_;
+};
+
 /** Router by name: "round-robin" (or "rr"), "least-loaded" ("ll"),
  *  "queue-depth" ("qd"), "predicted-finish" ("pf"), "kv-affinity"
- *  ("kv"). Unknown names are fatal. */
-std::unique_ptr<Router> makeRouter(const std::string &name);
+ *  ("kv"), "slo-budget" ("slo", deadlines from @p slo_ms_per_token).
+ *  Unknown names are fatal. */
+std::unique_ptr<Router> makeRouter(const std::string &name,
+                                   double slo_ms_per_token = 10.0);
 
 /** Completed request: latency decomposition + the full report. */
 struct RequestResult
@@ -514,6 +551,18 @@ struct RequestResult
     bool deadlineMiss = false;
 
     std::size_t deviceIndex = 0; ///< replica that served the request
+                                 ///< (decode side after a handoff)
+
+    // --- Disaggregated prefill/decode accounting ------------------------
+    /** Replica that ran the prefill. Equal to deviceIndex except for
+     *  requests handed off prefill->decode in a role-typed pool. */
+    std::size_t prefillIndex = 0;
+    /** Wall ms the prefill->decode KV transfer took (0 when the
+     *  request never handed off, or over a zero-cost link). */
+    double kvTransferMs = 0.0;
+    /** KV tokens shipped over the link (the prompt's written cache; on
+     *  a prefix hit only the delta past the cached prefix). */
+    std::uint64_t kvTransferTokens = 0;
 
     /** Token-weighted mean batch occupancy over this request's
      *  generation steps; 1.0 when it was served alone. */
@@ -585,6 +634,9 @@ struct ServingReport
     bool preempt = false;           ///< token-boundary preemption on?
     KvOptions kv{};                 ///< KV-capacity knobs, echoed back
 
+    /** Replica roles, echoed back (empty = all unified). */
+    std::vector<ReplicaRole> roles;
+
     /** Sub-clusters this report was simulated as (1 = plain drain();
      *  > 1 = merged by drainSharded, see serve/sharded_drain.hh). */
     std::size_t shards = 1;
@@ -619,6 +671,15 @@ struct ServingReport
     std::uint64_t kvSpilledSegments = 0;
     /** Largest per-segment dilation factor applied (1.0 = no spill). */
     double kvMaxDilation = 1.0;
+
+    // --- Disaggregation accounting (role-typed pools only) ---------------
+    /** Prefill->decode KV handoffs completed. */
+    std::uint64_t kvTransfers = 0;
+    /** Wall ms spent on the KV link, summed over transfers. */
+    double kvTransferMs = 0.0;
+    /** Gigabytes shipped over the KV link, summed over transfers
+     *  (counted even when the link is zero-cost). */
+    double kvTransferGB = 0.0;
 
     // --- Prefix-cache accounting (session traces only) ------------------
     /** Resumable turns (turnIndex > 0) whose shared prefix was served
@@ -798,6 +859,31 @@ struct ServingOptions
      * engine bit for bit.
      */
     KvOptions kv{};
+
+    /**
+     * Per-replica lifecycle roles for disaggregated prefill/decode
+     * pools (see ReplicaRole). Empty — the default — types every
+     * replica Unified, which is the pre-disaggregation engine bit for
+     * bit; non-empty must match the replica count, keep at least one
+     * prefill-capable (Prefill or Unified) and one decode-capable
+     * (Decode or Unified) replica, and requires continuous batching
+     * off or on but never static (a handoff joins a running decode
+     * batch at a token boundary; a sealed batch admits no one). The
+     * DevicePool constructor seeds this from the pool's own roles when
+     * left empty.
+     */
+    std::vector<ReplicaRole> roles;
+
+    /**
+     * Prefill->decode KV link bandwidth in GB/s. 0 — the default —
+     * derives the honest host-mediated rate from the *source*
+     * replica's PCIe parameters (deriveKvLinkGBs: bytesPerTick x 1000
+     * x dmaEfficiency); a positive value models a dedicated
+     * interconnect at that rate; +infinity is the exact-zero-cost link
+     * (transfers take 0 ms but bytes are still counted). Only read on
+     * role-typed pools.
+     */
+    double kvLinkGBs = 0.0;
 
     /**
      * Per-replica prefix cache for multi-turn sessions: when a

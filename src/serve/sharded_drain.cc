@@ -22,6 +22,7 @@ struct ShardRun
     /** Global trace position of the shard's j-th submitted request
      *  (== the shard-local request id j the engine assigns). */
     std::vector<std::size_t> globalIndex;
+    std::vector<ReplicaRole> roles; ///< this shard's slice (may be empty)
     ServingReport report;
 };
 
@@ -40,6 +41,19 @@ drainSharded(const DevicePool &pool, const ServingOptions &opts,
         IANUS_FATAL("shard count must be in [1, ", R,
                     " replicas], got ", S);
 
+    // Role-typed pools shard by the same contiguous partition: shard s
+    // takes its replicas' roles with it, and every shard must stay
+    // independently viable — a slice of nothing but prefill (or
+    // decode) replicas has no peer to hand its KV to. Explicit roles
+    // on the options win; a typed pool with no explicit roles
+    // contributes its own, exactly as ServingEngine's pool ctor does.
+    std::vector<ReplicaRole> roles = opts.roles;
+    if (roles.empty() && pool.disaggregated())
+        roles = pool.roles();
+    if (!roles.empty() && roles.size() != R)
+        IANUS_FATAL("roles list has ", roles.size(), " entries for ", R,
+                    " replicas");
+
     // Partition: contiguous replica ranges, round-robin trace pre-pass.
     std::vector<ShardRun> runs(S);
     for (std::size_t s = 0; s < S; ++s) {
@@ -50,6 +64,23 @@ drainSharded(const DevicePool &pool, const ServingOptions &opts,
         for (std::size_t d = lo; d < hi; ++d)
             runs[s].replicas.push_back(&pool.replica(d));
         runs[s].globalIndex.reserve(trace.requests.size() / S + 1);
+        if (!roles.empty()) {
+            runs[s].roles.assign(roles.begin() + lo, roles.begin() + hi);
+            bool typed = false, prefill_capable = false,
+                 decode_capable = false;
+            for (ReplicaRole role : runs[s].roles) {
+                typed |= role != ReplicaRole::Unified;
+                prefill_capable |= role != ReplicaRole::Decode;
+                decode_capable |= role != ReplicaRole::Prefill;
+            }
+            if (typed && (!prefill_capable || !decode_capable))
+                IANUS_FATAL(
+                    "shard ", s, " owns replicas [", lo, ", ", hi,
+                    ") with no ",
+                    prefill_capable ? "decode" : "prefill",
+                    "-capable member: roles must partition cleanly "
+                    "across shards (a handoff never crosses a shard)");
+        }
     }
     // Whole sessions stay on one shard (a cross-shard turn could never
     // hit its prefix cache): a session's shard is fixed by the
@@ -79,7 +110,9 @@ drainSharded(const DevicePool &pool, const ServingOptions &opts,
     // on it.
     auto runShard = [&](std::size_t s) {
         ShardRun &r = runs[s];
-        ServingEngine engine(r.replicas, opts,
+        ServingOptions sopts = opts;
+        sopts.roles = r.roles;
+        ServingEngine engine(r.replicas, sopts,
                              policy ? policy() : nullptr,
                              router ? router() : nullptr);
         for (std::size_t g : r.globalIndex)
@@ -127,6 +160,7 @@ drainSharded(const DevicePool &pool, const ServingOptions &opts,
     out.preempt = echo.preempt;
     out.kv = echo.kv;
     out.sloMsPerToken = echo.sloMsPerToken;
+    out.roles = roles;
     out.shards = S;
     out.replicas.assign(R, ReplicaUtilization{});
 
@@ -162,6 +196,7 @@ drainSharded(const DevicePool &pool, const ServingOptions &opts,
                         "-request slice");
         res.id = r.globalIndex[static_cast<std::size_t>(res.id)];
         res.deviceIndex += r.replicaBase;
+        res.prefillIndex += r.replicaBase;
         out.results.push_back(std::move(res));
     }
 
@@ -182,6 +217,9 @@ drainSharded(const DevicePool &pool, const ServingOptions &opts,
         out.prefixHits += rep.prefixHits;
         out.prefixMisses += rep.prefixMisses;
         out.prefillTokensSaved += rep.prefillTokensSaved;
+        out.kvTransfers += rep.kvTransfers;
+        out.kvTransferMs += rep.kvTransferMs;
+        out.kvTransferGB += rep.kvTransferGB;
         out.kvPeakPressure =
             std::max(out.kvPeakPressure, rep.kvPeakPressure);
         out.kvMaxDilation = std::max(out.kvMaxDilation, rep.kvMaxDilation);

@@ -85,6 +85,13 @@ generatePoissonTrace(const TraceOptions &opts)
     if (opts.startMs < 0.0)
         IANUS_FATAL("trace start must be non-negative, got ",
                     opts.startMs, " ms");
+    if (!(opts.longFraction >= 0.0 && opts.longFraction <= 1.0))
+        IANUS_FATAL("long-request fraction must be in [0, 1], got ",
+                    opts.longFraction);
+    if (opts.longFraction > 0.0 && (opts.longInputTokenChoices.empty() ||
+                                    opts.longOutputTokenChoices.empty()))
+        IANUS_FATAL("a non-zero long-request fraction needs non-empty "
+                    "long input and output token choice lists");
 
     // Fold the whole 64-bit seed in; plain mt19937(seed) would silently
     // truncate to 32 bits. seed_seq is fully specified by the standard,
@@ -97,8 +104,18 @@ generatePoissonTrace(const TraceOptions &opts)
     double clock = opts.startMs;
     for (std::size_t i = 0; i < opts.requests; ++i) {
         TimedRequest t;
-        t.request.inputTokens = pick(rng, opts.inputTokenChoices);
-        t.request.outputTokens = pick(rng, opts.outputTokenChoices);
+        // The long-traffic coin is drawn only when the knob is on:
+        // longFraction == 0 consumes no RNG state, keeping the default
+        // stream — and every trace built on it — bit-identical.
+        const bool long_req =
+            opts.longFraction > 0.0 &&
+            canonical53(rng) < opts.longFraction;
+        t.request.inputTokens =
+            pick(rng, long_req ? opts.longInputTokenChoices
+                               : opts.inputTokenChoices);
+        t.request.outputTokens =
+            pick(rng, long_req ? opts.longOutputTokenChoices
+                               : opts.outputTokenChoices);
         clock += expGapMs(rng, opts.arrivalsPerSec);
         t.arrivalMs = clock;
         trace.requests.push_back(t);

@@ -72,6 +72,19 @@ struct TraceOptions
      *  evaluation ranges by default; keep in sync with llm_serving). */
     std::vector<std::uint64_t> inputTokenChoices = {128, 256, 512};
     std::vector<std::uint64_t> outputTokenChoices = {8, 16, 64, 128};
+
+    /** Mixed context-length traffic: with this probability a request
+     *  draws its shape from the long choice lists below instead (one
+     *  extra seeded coin per request). 0 — the default — draws no coin
+     *  at all, so the RNG stream and therefore the whole trace stay
+     *  bit-identical to the knob-less generator. Must be in [0, 1]. */
+    double longFraction = 0.0;
+
+    /** Shape choices for the long-context fraction. Long prompts may
+     *  need chunked prefill (--prefill-chunk) to fit the stock models'
+     *  activation scratchpads; see SessionOptions::maxContextTokens. */
+    std::vector<std::uint64_t> longInputTokenChoices = {768, 1024};
+    std::vector<std::uint64_t> longOutputTokenChoices = {8, 16};
 };
 
 /** A generated trace: requests in non-decreasing arrival order. */

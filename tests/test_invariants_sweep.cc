@@ -547,4 +547,124 @@ TEST(ServingInvariantSweep, SessionConservationAcrossCells)
             }
 }
 
+// Disaggregated conservation: the same laws on a role-typed
+// 2-prefill + 2-decode pool across (router x policy x kv x preempt)
+// cells, extended with the handoff ledger — every request completes
+// exactly once; dispatches sum to admissions + re-dispatches +
+// handoff arrivals (a transfer lands its member on the decode replica
+// as one extra dispatch); every multi-token request prefills on a
+// prefill replica and decodes on a decode replica with a non-empty
+// transfer; and both roles drain back to zero resident KV with no
+// leaked blocks — the decode side reserved exactly what the prefill
+// side released.
+TEST(ServingInvariantSweep, DisaggregatedConservationAcrossCells)
+{
+    using namespace serve;
+    workloads::ModelConfig model = workloads::gpt2("m");
+
+    // Heterogeneous on both sides of the split, so estimate-driven
+    // routers see skewed prefill signals and the transfer targets
+    // differ in speed.
+    DevicePool pool;
+    pool.addReplica(std::make_unique<CompiledModel>(
+                        SystemConfig::ianusDefault(), model),
+                    ReplicaRole::Prefill);
+    pool.addReplica(
+        std::make_unique<CompiledModel>(SystemConfig::npuMem(), model),
+        ReplicaRole::Prefill);
+    pool.addReplica(std::make_unique<CompiledModel>(
+                        SystemConfig::ianusDefault(), model),
+                    ReplicaRole::Decode);
+    pool.addReplica(
+        std::make_unique<CompiledModel>(SystemConfig::npuMem(), model),
+        ReplicaRole::Decode);
+
+    TraceOptions topts;
+    topts.seed = 5;
+    topts.requests = 8;
+    topts.arrivalsPerSec = 400.0;
+    topts.inputTokenChoices = {64, 128};
+    topts.outputTokenChoices = {2, 16, 48};
+    ArrivalTrace trace = generatePoissonTrace(topts);
+
+    const std::vector<std::string> routers = {
+        "round-robin", "least-loaded", "predicted-finish", "slo-budget"};
+    const std::vector<std::string> policies = {"fcfs", "sjf"};
+    for (const std::string &router : routers)
+        for (const std::string &policy : policies)
+            for (bool kv : {false, true})
+                for (bool preempt : {false, true}) {
+                    ServingOptions opts;
+                    opts.batching = BatchingMode::Continuous;
+                    opts.maxBatch = 4;
+                    opts.preempt = preempt;
+                    opts.tokenStride = 4;
+                    opts.kvLinkGBs = 16.0;
+                    if (kv) {
+                        opts.kv.capacityTokens = 1024;
+                        opts.kv.blockTokens = 16;
+                        opts.kv.admission = KvAdmission::Queue;
+                    }
+                    ServingEngine engine(pool, opts, makePolicy(policy),
+                                         makeRouter(router));
+                    submitAll(trace, engine);
+                    ServingReport rep = engine.drain();
+
+                    std::string cell = router + "/" + policy +
+                                       (kv ? "/kv" : "") +
+                                       (preempt ? "/preempt" : "");
+
+                    // Every submitted id completes exactly once.
+                    ASSERT_EQ(rep.requests(), trace.size()) << cell;
+                    std::set<std::uint64_t> ids;
+                    for (const auto &r : rep.results)
+                        ids.insert(r.id);
+                    EXPECT_EQ(ids.size(), trace.size()) << cell;
+
+                    // Handoff ledger: every output here is > 1, so
+                    // every request ships its KV exactly once —
+                    // preemption resumes in place and never re-ships.
+                    std::uint64_t transfers = 0;
+                    for (const auto &r : rep.results) {
+                        EXPECT_LT(r.prefillIndex, 2u)
+                            << cell << " id " << r.id;
+                        EXPECT_GE(r.deviceIndex, 2u)
+                            << cell << " id " << r.id;
+                        EXPECT_GT(r.kvTransferTokens, 0u)
+                            << cell << " id " << r.id;
+                        EXPECT_GT(r.kvTransferMs, 0.0)
+                            << cell << " id " << r.id;
+                        transfers += 1;
+                        if (!preempt)
+                            EXPECT_EQ(r.preemptions, 0u) << cell;
+                        EXPECT_DOUBLE_EQ(r.serviceMs,
+                                         r.finishMs - r.startMs -
+                                             r.suspendedMs)
+                            << cell << " id " << r.id;
+                    }
+                    EXPECT_EQ(rep.kvTransfers, trace.size()) << cell;
+                    EXPECT_EQ(transfers, rep.kvTransfers) << cell;
+                    EXPECT_GT(rep.kvTransferMs, 0.0) << cell;
+                    EXPECT_GT(rep.kvTransferGB, 0.0) << cell;
+
+                    // Dispatch conservation now counts the handoff
+                    // arrival on the decode side.
+                    std::uint64_t dispatched = 0;
+                    for (const auto &u : rep.replicas)
+                        dispatched += u.dispatched;
+                    EXPECT_EQ(dispatched, trace.size() +
+                                              rep.preemptions() +
+                                              rep.kvTransfers)
+                        << cell;
+
+                    // Zero-leak on both roles: the decode side
+                    // reserved exactly what the prefill side released.
+                    for (const auto &u : rep.replicas) {
+                        EXPECT_EQ(u.kvTokensEnd, 0u) << cell;
+                        EXPECT_EQ(u.kvBlocksLeaked, 0u) << cell;
+                    }
+                    EXPECT_EQ(rep.kvShed, 0u) << cell;
+                }
+}
+
 } // namespace

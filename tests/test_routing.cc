@@ -178,6 +178,103 @@ TEST(Routing, KvAffinityAllBusyIsFatal)
     EXPECT_THROW(router.route(fresh(), rs, 0.0), std::runtime_error);
 }
 
+// --- SLO-budget -------------------------------------------------------------
+// fresh() is a (64 in, 8 out) request arriving at 0; at 10 ms/token the
+// completion budget is 0 + 10 x 8 = 80 ms.
+
+TEST(Routing, SloBudgetSpendsTheCheapestFeasibleReplica)
+{
+    serve::SloBudgetRouter router(10.0);
+    std::vector<ReplicaStatus> rs = {status(0), status(1)};
+    // Fast replica finishes at 2 + 8 = 10, slow one at 20 + 30 = 50 —
+    // both inside the 80 ms budget, so the slow one takes the request
+    // and the fast one stays free for tighter budgets.
+    rs[0].estPrefillMs = 2.0;
+    rs[0].estGenMs = 8.0;
+    rs[1].estPrefillMs = 20.0;
+    rs[1].estGenMs = 30.0;
+    EXPECT_EQ(router.route(fresh(), rs, 0.0), 1u);
+}
+
+TEST(Routing, SloBudgetSkipsReplicasThatWouldMissTheDeadline)
+{
+    serve::SloBudgetRouter router(10.0);
+    std::vector<ReplicaStatus> rs = {status(0), status(1)};
+    rs[0].estPrefillMs = 2.0;
+    rs[0].estGenMs = 8.0;
+    // 40 + 50 = 90 > 80: infeasible, despite being the cheapest spend.
+    rs[1].estPrefillMs = 40.0;
+    rs[1].estGenMs = 50.0;
+    EXPECT_EQ(router.route(fresh(), rs, 0.0), 0u);
+
+    // A looser SLO re-admits it: deadline 20 x 8 = 160 >= 90.
+    serve::SloBudgetRouter loose(20.0);
+    EXPECT_EQ(loose.route(fresh(), rs, 0.0), 1u);
+}
+
+TEST(Routing, SloBudgetCountsQueueingAgainstTheBudget)
+{
+    serve::SloBudgetRouter router(10.0);
+    std::vector<ReplicaStatus> rs = {status(0), status(1)};
+    // Identical service estimates (5 + 10 = 15), but replica 1 frees
+    // at 70: 70 + 15 = 85 > 80 busts the budget on availability alone.
+    rs[0].estPrefillMs = rs[1].estPrefillMs = 5.0;
+    rs[0].estGenMs = rs[1].estGenMs = 10.0;
+    rs[1].freeAtMs = 70.0;
+    EXPECT_EQ(router.route(fresh(), rs, 0.0), 0u);
+}
+
+TEST(Routing, SloBudgetFallsBackToPredictedFinishWhenAllMiss)
+{
+    serve::SloBudgetRouter router(10.0);
+    serve::PredictedFinishRouter pf;
+    std::vector<ReplicaStatus> rs = {status(0), status(1)};
+    // 100 and 120: both blown — degrade to the least-bad lateness,
+    // exactly predicted-finish's choice.
+    rs[0].estPrefillMs = 40.0;
+    rs[0].estGenMs = 60.0;
+    rs[1].estPrefillMs = 50.0;
+    rs[1].estGenMs = 70.0;
+    EXPECT_EQ(router.route(fresh(), rs, 0.0),
+              pf.route(fresh(), rs, 0.0));
+    EXPECT_EQ(router.route(fresh(), rs, 0.0), 0u);
+}
+
+TEST(Routing, SloBudgetBreaksFeasibleTiesByLowestIndex)
+{
+    serve::SloBudgetRouter router(10.0);
+    std::vector<ReplicaStatus> rs = {status(0), status(1)};
+    rs[0].estPrefillMs = rs[1].estPrefillMs = 20.0;
+    rs[0].estGenMs = rs[1].estGenMs = 30.0;
+    EXPECT_EQ(router.route(fresh(), rs, 0.0), 0u);
+}
+
+TEST(Routing, SloBudgetIgnoresNonAcceptingReplicas)
+{
+    serve::SloBudgetRouter router(10.0);
+    std::vector<ReplicaStatus> rs = {status(0, false), status(1)};
+    // The busy replica would be the feasible-latest pick if it were
+    // accepting.
+    rs[0].estPrefillMs = 20.0;
+    rs[0].estGenMs = 30.0;
+    rs[1].estPrefillMs = 2.0;
+    rs[1].estGenMs = 8.0;
+    EXPECT_EQ(router.route(fresh(), rs, 0.0), 1u);
+}
+
+TEST(Routing, SloBudgetAllBusyIsFatal)
+{
+    serve::SloBudgetRouter router(10.0);
+    std::vector<ReplicaStatus> rs = {status(0, false), status(1, false)};
+    EXPECT_THROW(router.route(fresh(), rs, 0.0), std::runtime_error);
+}
+
+TEST(Routing, SloBudgetRejectsNonPositiveSlo)
+{
+    EXPECT_THROW(serve::SloBudgetRouter(0.0), std::runtime_error);
+    EXPECT_THROW(serve::SloBudgetRouter(-1.0), std::runtime_error);
+}
+
 // --- Factory and estimate plumbing ----------------------------------------
 
 TEST(Routing, FactoryKnowsTheNewRouters)
@@ -193,7 +290,16 @@ TEST(Routing, FactoryKnowsTheNewRouters)
               std::string("kv-affinity"));
     EXPECT_EQ(serve::makeRouter("kv")->name(),
               std::string("kv-affinity"));
+    EXPECT_EQ(serve::makeRouter("slo-budget")->name(),
+              std::string("slo-budget"));
+    EXPECT_EQ(serve::makeRouter("slo")->name(),
+              std::string("slo-budget"));
     EXPECT_THROW(serve::makeRouter("random"), std::runtime_error);
+    // The factory hands its SLO through to the router.
+    auto tight = serve::makeRouter("slo-budget", 2.5);
+    EXPECT_DOUBLE_EQ(
+        static_cast<serve::SloBudgetRouter &>(*tight).sloMsPerToken(),
+        2.5);
 }
 
 TEST(Routing, OnlyEstimateReadingRoutersDeclareNeedsEstimates)
@@ -203,6 +309,7 @@ TEST(Routing, OnlyEstimateReadingRoutersDeclareNeedsEstimates)
     EXPECT_FALSE(serve::makeRouter("queue-depth")->needsEstimates());
     EXPECT_TRUE(serve::makeRouter("predicted-finish")->needsEstimates());
     EXPECT_TRUE(serve::makeRouter("kv-affinity")->needsEstimates());
+    EXPECT_TRUE(serve::makeRouter("slo-budget")->needsEstimates());
 }
 
 TEST(Routing, EstimatesAreHonestAcrossHeterogeneousReplicas)

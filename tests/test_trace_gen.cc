@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "serve/serving_engine.hh"
 #include "serve/trace_gen.hh"
@@ -126,6 +127,101 @@ TEST(TraceGen, SubmitAllQueuesTheWholeTrace)
     ASSERT_EQ(ids.size(), trace.size());
     for (std::size_t i = 0; i < ids.size(); ++i)
         EXPECT_EQ(ids[i], i);
+}
+
+// --- Mixed context lengths --------------------------------------------------
+
+TEST(TraceGen, ZeroLongFractionIsTheKnoblessGeneratorBitForBit)
+{
+    TraceOptions plain;
+    plain.seed = 123;
+    plain.requests = 64;
+    TraceOptions mixed = plain;
+    mixed.longFraction = 0.0; // explicit zero: no extra coin drawn
+    mixed.longInputTokenChoices = {4096};
+    mixed.longOutputTokenChoices = {1};
+    EXPECT_EQ(serve::formatTrace(serve::generatePoissonTrace(plain)),
+              serve::formatTrace(serve::generatePoissonTrace(mixed)));
+}
+
+TEST(TraceGen, LongFractionMixesBothShapePopulations)
+{
+    TraceOptions opts;
+    opts.seed = 29;
+    opts.requests = 200;
+    opts.longFraction = 0.3;
+    ArrivalTrace trace = serve::generatePoissonTrace(opts);
+    std::size_t long_reqs = 0;
+    for (const auto &t : trace.requests) {
+        const bool is_long =
+            std::find(opts.longInputTokenChoices.begin(),
+                      opts.longInputTokenChoices.end(),
+                      t.request.inputTokens) !=
+            opts.longInputTokenChoices.end();
+        const bool is_short =
+            std::find(opts.inputTokenChoices.begin(),
+                      opts.inputTokenChoices.end(),
+                      t.request.inputTokens) !=
+            opts.inputTokenChoices.end();
+        EXPECT_TRUE(is_long || is_short) << t.request.inputTokens;
+        if (is_long) {
+            long_reqs += 1;
+            EXPECT_NE(std::find(opts.longOutputTokenChoices.begin(),
+                                opts.longOutputTokenChoices.end(),
+                                t.request.outputTokens),
+                      opts.longOutputTokenChoices.end());
+        }
+    }
+    // Around 30% of 200 — loose bounds, but both populations present.
+    EXPECT_GT(long_reqs, 20u);
+    EXPECT_LT(long_reqs, 120u);
+
+    // And the mix replays deterministically.
+    ArrivalTrace again = serve::generatePoissonTrace(opts);
+    EXPECT_EQ(serve::formatTrace(trace), serve::formatTrace(again));
+}
+
+TEST(TraceGen, FractionOneDrawsOnlyLongShapes)
+{
+    TraceOptions opts;
+    opts.requests = 32;
+    opts.longFraction = 1.0;
+    ArrivalTrace trace = serve::generatePoissonTrace(opts);
+    for (const auto &t : trace.requests)
+        EXPECT_NE(std::find(opts.longInputTokenChoices.begin(),
+                            opts.longInputTokenChoices.end(),
+                            t.request.inputTokens),
+                  opts.longInputTokenChoices.end())
+            << t.request.inputTokens;
+}
+
+TEST(TraceGen, RejectsBadLongFractionOptions)
+{
+    TraceOptions below;
+    below.longFraction = -0.1;
+    EXPECT_THROW(serve::generatePoissonTrace(below), std::runtime_error);
+    TraceOptions above;
+    above.longFraction = 1.5;
+    EXPECT_THROW(serve::generatePoissonTrace(above), std::runtime_error);
+    TraceOptions nan;
+    nan.longFraction = std::nan("");
+    EXPECT_THROW(serve::generatePoissonTrace(nan), std::runtime_error);
+    TraceOptions no_inputs;
+    no_inputs.longFraction = 0.5;
+    no_inputs.longInputTokenChoices.clear();
+    EXPECT_THROW(serve::generatePoissonTrace(no_inputs),
+                 std::runtime_error);
+    TraceOptions no_outputs;
+    no_outputs.longFraction = 0.5;
+    no_outputs.longOutputTokenChoices.clear();
+    EXPECT_THROW(serve::generatePoissonTrace(no_outputs),
+                 std::runtime_error);
+    // Empty long lists are fine while the fraction is 0: never drawn.
+    TraceOptions unused;
+    unused.longInputTokenChoices.clear();
+    unused.longOutputTokenChoices.clear();
+    unused.requests = 4;
+    EXPECT_EQ(serve::generatePoissonTrace(unused).size(), 4u);
 }
 
 } // namespace
