@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Diurnal-load microbenchmark: a fixed fleet under a non-stationary
+ * steps profile (off-peak / peak / off-peak), sliced per arrival
+ * window. The point is the shape production fleets are provisioned
+ * around: a fleet sized for the mean drowns at the peak, and the
+ * damage shows up as tail latency for requests that arrive during the
+ * busy window — not as a uniform slowdown.
+ *
+ * One seeded diurnal trace (trace_gen.hh Lewis-Shedler thinning over a
+ * steps profile) drains through a 2-replica pool; results are bucketed
+ * by which profile step their arrival landed in.
+ *
+ * Gates (exit 1 on violation): every request completes; the peak
+ * window realizes more arrivals than either off-peak window (the
+ * thinning actually modulates); peak-window p95 latency and p95 TTFT
+ * both exceed the pre-peak off-peak p95s (congestion is visible in
+ * the tail); the drain replays bit-identically; zero KV leaks. The
+ * post-peak window is reported but not gated against: its early
+ * arrivals queue behind the entire rush-hour backlog, so under deep
+ * overload its tail can exceed the peak window's own — hysteresis,
+ * not a bug.
+ *
+ *   ./micro_diurnal [--fast] [--csv]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/bench_common.hh"
+#include "serve/device_pool.hh"
+#include "serve/serving_engine.hh"
+#include "serve/trace_gen.hh"
+
+namespace
+{
+
+using namespace ianus;
+
+/** Nearest-rank percentile on an unsorted copy; 0 when empty. */
+double
+pct(std::vector<double> v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const std::size_t idx = static_cast<std::size_t>(
+        (p / 100.0) * static_cast<double>(v.size() - 1) + 0.5);
+    return v[std::min(idx, v.size() - 1)];
+}
+
+bool
+identicalResults(const serve::ServingReport &a,
+                 const serve::ServingReport &b)
+{
+    if (a.requests() != b.requests() || a.makespanMs != b.makespanMs)
+        return false;
+    for (std::size_t i = 0; i < a.requests(); ++i) {
+        const serve::RequestResult &x = a.results[i];
+        const serve::RequestResult &y = b.results[i];
+        if (x.id != y.id || x.startMs != y.startMs ||
+            x.finishMs != y.finishMs ||
+            x.firstTokenMs != y.firstTokenMs ||
+            x.deviceIndex != y.deviceIndex)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ianus;
+    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::banner("micro: diurnal load on a fixed fleet",
+                  "peak-window tail latency exceeds off-peak on a "
+                  "steps rate profile; thinning, replay, and KV "
+                  "accounting are gated");
+
+    bool ok = true;
+
+    // Three equal windows: calm / rush hour / calm. The peak offers
+    // ~4x what two replicas sustain comfortably, the shoulders ~1/4.
+    const double window_ms = opts.fast ? 4'000.0 : 10'000.0;
+    serve::DiurnalOptions dopts;
+    dopts.seed = 11;
+    dopts.profile.kind = serve::RateProfile::Kind::Steps;
+    dopts.profile.durationMs = 3.0 * window_ms;
+    dopts.profile.stepRates = {10.0, 60.0, 10.0};
+    serve::ArrivalTrace trace = serve::generateDiurnalTrace(dopts);
+
+    const workloads::ModelConfig model = workloads::gpt2("m");
+    serve::DevicePool pool;
+    for (int i = 0; i < 2; ++i)
+        pool.addReplica(std::make_unique<serve::CompiledModel>(
+            SystemConfig::ianusDefault(), model));
+
+    serve::ServingOptions sopts;
+    sopts.batching = serve::BatchingMode::Continuous;
+    sopts.maxBatch = 4;
+    sopts.tokenStride = 4;
+    sopts.sloMsPerToken = 12.0;
+    auto drainOnce = [&] {
+        serve::ServingEngine engine(pool, sopts,
+                                    serve::makePolicy("fcfs"),
+                                    serve::makeRouter("round-robin"));
+        serve::submitAll(trace, engine);
+        return engine.drain();
+    };
+    serve::ServingReport rep = drainOnce();
+    if (rep.requests() != trace.size()) {
+        std::printf("FAIL: completed %zu of %zu requests\n",
+                    rep.requests(), trace.size());
+        ok = false;
+    }
+    for (const serve::ReplicaUtilization &u : rep.replicas)
+        if (u.kvTokensEnd != 0 || u.kvBlocksLeaked != 0) {
+            std::printf("FAIL: KV leaked (%llu tokens resident at "
+                        "drain end)\n",
+                        (unsigned long long)u.kvTokensEnd);
+            ok = false;
+        }
+
+    // Bucket every completion by the profile step its arrival hit.
+    struct Window
+    {
+        std::size_t arrivals = 0;
+        std::vector<double> latencyMs;
+        std::vector<double> ttftMs;
+    };
+    std::vector<Window> win(3);
+    for (const serve::RequestResult &r : rep.results) {
+        std::size_t w = static_cast<std::size_t>(
+            r.arrivalMs / window_ms);
+        w = std::min(w, win.size() - 1);
+        win[w].arrivals += 1;
+        win[w].latencyMs.push_back(r.finishMs - r.arrivalMs);
+        win[w].ttftMs.push_back(r.firstTokenMs);
+    }
+
+    bench::Table table({"window", "rate_req_s", "arrivals",
+                        "p50_lat_ms", "p95_lat_ms", "p95_ttft_ms"});
+    const char *names[3] = {"off-peak-am", "peak", "off-peak-pm"};
+    for (std::size_t w = 0; w < 3; ++w)
+        table.addRow({names[w],
+                      bench::Table::num(dopts.profile.stepRates[w], 0),
+                      bench::Table::num(win[w].arrivals, 0),
+                      bench::Table::num(pct(win[w].latencyMs, 50), 1),
+                      bench::Table::num(pct(win[w].latencyMs, 95), 1),
+                      bench::Table::num(pct(win[w].ttftMs, 95), 1)});
+    table.print(opts);
+
+    if (!(win[1].arrivals > win[0].arrivals &&
+          win[1].arrivals > win[2].arrivals)) {
+        std::printf("FAIL: the peak window did not realize the most "
+                    "arrivals (%zu vs %zu / %zu)\n",
+                    win[1].arrivals, win[0].arrivals, win[2].arrivals);
+        ok = false;
+    }
+    // The pre-peak window is the clean off-peak baseline; the
+    // post-peak window rides the rush-hour backlog (see the header)
+    // and is reported above without a gate.
+    const double peak_p95 = pct(win[1].latencyMs, 95);
+    const double off_p95 = pct(win[0].latencyMs, 95);
+    if (!(peak_p95 > off_p95)) {
+        std::printf("FAIL: peak-hour p95 latency did not exceed "
+                    "off-peak (%.1f vs %.1f ms)\n",
+                    peak_p95, off_p95);
+        ok = false;
+    }
+    const double peak_ttft = pct(win[1].ttftMs, 95);
+    const double off_ttft = pct(win[0].ttftMs, 95);
+    if (!(peak_ttft > off_ttft)) {
+        std::printf("FAIL: peak-hour p95 TTFT did not exceed off-peak "
+                    "(%.1f vs %.1f ms)\n",
+                    peak_ttft, off_ttft);
+        ok = false;
+    }
+
+    serve::ServingReport again = drainOnce();
+    if (!identicalResults(rep, again)) {
+        std::printf("FAIL: the diurnal drain is not deterministic "
+                    "across replays\n");
+        ok = false;
+    }
+
+    std::printf("\ndiurnal sanity: %s\n",
+                ok ? "rush hour shows up where it should — in the "
+                     "peak window's tail, deterministically"
+                   : "VIOLATED — BUG");
+    return ok ? 0 : 1;
+}

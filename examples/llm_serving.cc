@@ -14,10 +14,13 @@
  * policy, router, and batching mode, reporting per-replica utilization
  * and batch occupancy alongside the fleet report. The workload is one
  * of: a generated Poisson arrival trace (default), a trace replayed
- * from file (--trace-in), or a closed-loop client fleet (--clients N,
- * think time --think-ms) whose arrivals follow completions; any of the
- * three can be recorded with --trace-out for later replay. See
- * docs/SERVING.md for the full option matrix.
+ * from file (--trace-in), an imported CSV request log (--trace-csv), a
+ * non-stationary diurnal day (--rate-profile) or bursty MMPP stream
+ * (--burst), or a closed-loop client fleet (--clients N, think time
+ * --think-ms) whose arrivals follow completions — optionally mixed
+ * over an open-loop batch trace (--background-trace) with per-source
+ * report slices; any of these can be recorded with --trace-out for
+ * later replay. See docs/SERVING.md for the full option matrix.
  *
  *   ./llm_serving [model] [requests] [slo_ms_per_token]
  *                 [--replicas N] [--policy fcfs|sjf|edf]
@@ -33,6 +36,9 @@
  *                 [--clients N] [--think-ms T]
  *                 [--sessions N] [--turns T] [--prefix-cache on|off]
  *                 [--trace-in path] [--trace-out path]
+ *                 [--trace-csv path] [--rate-profile SPEC]
+ *                 [--burst BASE:RATIO:ON_MS:OFF_MS:DUR_MS]
+ *                 [--background-trace path] [--slo MS_PER_TOKEN]
  *                 [--shards N]
  *
  * --shards N splits the cluster drain into N independent sub-cluster
@@ -102,6 +108,11 @@ struct Args
     std::string roles;    ///< comma list: unified|prefill|decode each
     double kvLinkGBs = 0.0; ///< KV handoff link; 0 = derive from PCIe
     bool kvLinkFlag = false; ///< --kv-link-gbs given explicitly
+    std::string traceCsv;   ///< import a CSV request log as the trace
+    std::string rateProfile; ///< diurnal rate-profile spec (trace_gen.hh)
+    std::string burst;       ///< bursty MMPP spec BASE:RATIO:ON:OFF:DUR
+    std::string backgroundTrace; ///< batch trace under --clients (mixed)
+    bool sloFlag = false;    ///< --slo given explicitly (router budget)
 };
 
 unsigned
@@ -273,6 +284,17 @@ parseArgs(int argc, char **argv)
                 v == "inf" ? std::numeric_limits<double>::infinity()
                            : parseNonNegative(a, v.c_str());
         }
+        else if (a == "--trace-csv")
+            args.traceCsv = next(), cluster_flag = true;
+        else if (a == "--rate-profile")
+            args.rateProfile = next(), cluster_flag = true;
+        else if (a == "--burst")
+            args.burst = next(), cluster_flag = true;
+        else if (a == "--background-trace")
+            args.backgroundTrace = next(), cluster_flag = true;
+        else if (a == "--slo")
+            args.slo = parsePositive(a, next()), cluster_flag = true,
+            args.sloFlag = true;
         else if (positional == 0)
             args.model = a, ++positional;
         else if (positional == 1)
@@ -293,8 +315,9 @@ parseArgs(int argc, char **argv)
                      "--kv-block/--kv-admission/--kv-layout/--rate/"
                      "--seed/--clients/--think-ms/--sessions/--turns/"
                      "--prefix-cache/--trace-in/--trace-out/"
-                     "--shards/--roles/--kv-link-gbs only apply to "
-                     "cluster mode; add --replicas N\n");
+                     "--shards/--roles/--kv-link-gbs/--trace-csv/"
+                     "--rate-profile/--burst/--background-trace/--slo "
+                     "only apply to cluster mode; add --replicas N\n");
         std::exit(2);
     }
     if (args.sessions > 0 && args.clients > 0) {
@@ -418,6 +441,61 @@ parseArgs(int argc, char **argv)
                              "B >= 2 (batch 1 is the unbatched path; "
                              "use --batching none)\n",
                      args.batching.c_str());
+        std::exit(2);
+    }
+    // At most one workload selector: each of these picks where the
+    // arrivals come from, so combining them would silently ignore one.
+    {
+        struct Selector
+        {
+            const char *flag;
+            bool set;
+        };
+        const Selector sel[] = {
+            {"--trace-in", !args.traceIn.empty()},
+            {"--trace-csv", !args.traceCsv.empty()},
+            {"--rate-profile", !args.rateProfile.empty()},
+            {"--burst", !args.burst.empty()},
+            {"--sessions", args.sessions > 0},
+            {"--clients", args.clients > 0},
+        };
+        const Selector *chosen = nullptr;
+        for (const Selector &s : sel) {
+            if (!s.set)
+                continue;
+            if (chosen) {
+                std::fprintf(stderr,
+                             "%s and %s each pick the workload; use "
+                             "one or the other\n",
+                             chosen->flag, s.flag);
+                std::exit(2);
+            }
+            chosen = &s;
+        }
+    }
+    if (args.rate > 0.0 &&
+        (!args.traceCsv.empty() || !args.rateProfile.empty() ||
+         !args.burst.empty())) {
+        std::fprintf(stderr,
+                     "--rate has no effect with --trace-csv/"
+                     "--rate-profile/--burst (they fix the arrival "
+                     "process)\n");
+        std::exit(2);
+    }
+    if (!args.backgroundTrace.empty() && args.clients == 0) {
+        std::fprintf(stderr,
+                     "--background-trace layers a batch trace under a "
+                     "closed-loop client fleet; add --clients N\n");
+        std::exit(2);
+    }
+    if (args.sloFlag && args.router != "slo-budget" &&
+        args.router != "slo") {
+        std::fprintf(stderr,
+                     "--slo sets the slo-budget router's deadline "
+                     "budget; router '%s' never reads it — use "
+                     "--router slo-budget, or set the report SLO via "
+                     "the slo_ms_per_token positional\n",
+                     args.router.c_str());
         std::exit(2);
     }
     return args;
@@ -614,7 +692,32 @@ clusterMode(const Args &args)
         rep = engine.drain();
     };
 
-    if (args.clients > 0) {
+    if (args.clients > 0 && !args.backgroundTrace.empty()) {
+        // Mixed drain: closed-loop interactive clients over an
+        // open-loop batch background trace, merged at the injection
+        // layer; the report slices per source below.
+        serve::ClosedLoopOptions copts;
+        copts.seed = args.seed;
+        copts.clients = args.clients;
+        copts.requestsPerClient =
+            (args.requests + args.clients - 1) / args.clients;
+        copts.meanThinkMs = args.thinkMs;
+        serve::ArrivalTrace background =
+            serve::loadTrace(args.backgroundTrace);
+        std::printf("mixed drain: %u interactive clients x %zu requests "
+                    "(mean think %.1f ms, seed %llu) over %zu batch "
+                    "background requests from %s\n\n",
+                    args.clients, copts.requestsPerClient, args.thinkMs,
+                    (unsigned long long)args.seed, background.size(),
+                    args.backgroundTrace.c_str());
+        serve::MixedResult res =
+            serve::runMixedDrain(engine, copts, background);
+        rep = std::move(res.report);
+        trace = std::move(res.realizedInteractive);
+        std::printf("realized interactive: %zu arrivals over %.1f "
+                    "ms\n\n",
+                    trace.size(), trace.horizonMs());
+    } else if (args.clients > 0) {
         // Closed loop: arrivals follow completions, so the offered
         // load throttles itself to what the pool sustains.
         serve::ClosedLoopOptions copts;
@@ -657,6 +760,50 @@ clusterMode(const Args &args)
                     trace.size(), args.traceIn.c_str(),
                     trace.hasSessions() ? " (session-tagged v2)" : "",
                     trace.horizonMs());
+        serveTrace();
+    } else if (!args.traceCsv.empty()) {
+        trace = serve::loadRequestLog(args.traceCsv);
+        std::printf("request log: %zu rows imported from %s%s, horizon "
+                    "%.1f ms\n\n",
+                    trace.size(), args.traceCsv.c_str(),
+                    trace.hasSessions() ? " (session-tagged)" : "",
+                    trace.horizonMs());
+        serveTrace();
+    } else if (!args.rateProfile.empty()) {
+        serve::DiurnalOptions dopts;
+        dopts.seed = args.seed;
+        dopts.profile = serve::parseRateProfile(args.rateProfile);
+        trace = serve::generateDiurnalTrace(dopts);
+        std::printf("diurnal trace: profile %s (peak %.1f req/s, seed "
+                    "%llu) -> %zu requests, horizon %.1f ms\n\n",
+                    args.rateProfile.c_str(), dopts.profile.peakRate(),
+                    (unsigned long long)args.seed, trace.size(),
+                    trace.horizonMs());
+        serveTrace();
+    } else if (!args.burst.empty()) {
+        serve::BurstyOptions bopts;
+        bopts.seed = args.seed;
+        double base = 0.0, ratio = 0.0, on = 0.0, off = 0.0, dur = 0.0;
+        char tail = '\0';
+        if (std::sscanf(args.burst.c_str(), "%lf:%lf:%lf:%lf:%lf%c",
+                        &base, &ratio, &on, &off, &dur, &tail) != 5) {
+            std::fprintf(stderr,
+                         "--burst wants BASE:RATIO:ON_MS:OFF_MS:DUR_MS "
+                         "(e.g. 20:5:2000:8000:60000), got '%s'\n",
+                         args.burst.c_str());
+            return 2;
+        }
+        bopts.baseRate = base;
+        bopts.burstRateRatio = ratio;
+        bopts.meanBurstMs = on;
+        bopts.meanGapMs = off;
+        bopts.durationMs = dur;
+        trace = serve::generateBurstyTrace(bopts);
+        std::printf("bursty trace: base %.1f req/s x%.1f bursts "
+                    "(mean on %.0f ms, off %.0f ms) over %.0f ms "
+                    "(seed %llu) -> %zu requests\n\n",
+                    base, ratio, on, off, dur,
+                    (unsigned long long)args.seed, trace.size());
         serveTrace();
     } else {
         // Auto rate: offer ~2x the pool's single-request service rate
@@ -738,6 +885,25 @@ clusterMode(const Args &args)
                     (unsigned long long)rep.prefillTokensSaved,
                     rep.sessionLatencyPercentile(50),
                     rep.sessionLatencyPercentile(95));
+    std::vector<serve::SourceSlice> slices = rep.sourceSlices();
+    if (slices.size() > 1) {
+        std::printf("\n%-12s %9s %10s %14s %14s %9s %9s\n", "source",
+                    "requests", "tokens", "ttft p50/p95", "lat p50/p95",
+                    "slo miss", "goodput");
+        for (const serve::SourceSlice &s : slices) {
+            const char *name =
+                s.source == serve::kInteractiveSource ? "interactive"
+                : s.source == serve::kBatchSource     ? "batch"
+                                                      : "untagged";
+            std::printf("%-12s %9zu %10llu %6.1f/%-7.1f %6.1f/%-7.1f "
+                        "%8.1f%% %9.1f\n",
+                        name, s.requests,
+                        (unsigned long long)s.generatedTokens,
+                        s.ttftP50Ms, s.ttftP95Ms, s.latencyP50Ms,
+                        s.latencyP95Ms, 100.0 * s.sloMissRate,
+                        s.goodputTokensPerSec);
+        }
+    }
     return 0;
 }
 

@@ -12,10 +12,13 @@
 # Flag check: every --flag token mentioned in the serving-facing docs
 # (docs/SERVING.md, docs/SCHEDULING.md, docs/ARCHITECTURE.md,
 # docs/PERFORMANCE.md) must be parsed somewhere in
-# examples/llm_serving.cc, the shared bench harness
-# (bench/common/bench_common.cc, for --fast/--csv), or the throughput
-# microbenchmark (bench/micro_serving_throughput.cc, for --floor) — a
-# doc referencing a flag the CLI dropped or never grew is as dead as a
+# examples/llm_serving.cc (this covers the workload flags --trace-csv,
+# --rate-profile, --burst, --background-trace, and --slo alongside the
+# older ones), the shared bench harness (bench/common/bench_common.cc,
+# for --fast/--csv), the throughput microbenchmark
+# (bench/micro_serving_throughput.cc, for --floor), or the workload
+# drivers (bench/micro_diurnal.cc, bench/sweep_fleet.cc) — a doc
+# referencing a flag the CLI dropped or never grew is as dead as a
 # broken link.
 set -u
 
@@ -48,7 +51,9 @@ done
 root=$(cd "$(dirname "$0")/.." && pwd)
 flag_srcs=("$root/examples/llm_serving.cc"
            "$root/bench/common/bench_common.cc"
-           "$root/bench/micro_serving_throughput.cc")
+           "$root/bench/micro_serving_throughput.cc"
+           "$root/bench/micro_diurnal.cc"
+           "$root/bench/sweep_fleet.cc")
 for doc in "$root/docs/SERVING.md" "$root/docs/SCHEDULING.md" \
            "$root/docs/ARCHITECTURE.md" "$root/docs/PERFORMANCE.md"; do
     [ -e "$doc" ] || continue

@@ -398,11 +398,19 @@ percentileSorted(const std::vector<double> &sorted, double p)
     return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
 }
 
-/** Sort @p values in place and read all of @p ps off the one sort. */
+/** Sort @p values in place and read all of @p ps off the one sort.
+ *  The percentile contract (see ServingReport::percentile): empty
+ *  values yield 0.0, p clamps to [0, 100], NaN p is fatal. */
 std::vector<double>
 percentilesInPlace(std::vector<double> &values,
                    const std::vector<double> &ps)
 {
+    // NaN names no rank: reject it even on an empty sample, so the
+    // caller's bug surfaces whatever the data happens to hold.
+    for (double p : ps)
+        if (std::isnan(p))
+            IANUS_FATAL("percentile p must be a number (NaN names no "
+                        "rank); p outside [0, 100] clamps");
     std::vector<double> out(ps.size(), 0.0);
     if (values.empty())
         return out;
@@ -627,6 +635,58 @@ ServingReport::sessionLatencyPercentile(double p) const
     return percentilesInPlace(lat, {p}).front();
 }
 
+std::vector<SourceSlice>
+ServingReport::sourceSlices() const
+{
+    // Bucket by source id; a map keeps ascending-source order whatever
+    // order the results completed in. The slices partition results
+    // exactly (every result lands in exactly one bucket), which is the
+    // conservation identity the mixed-drain invariant sweep checks.
+    std::map<std::uint32_t, std::vector<const RequestResult *>> buckets;
+    for (const RequestResult &r : results)
+        buckets[r.source].push_back(&r);
+
+    std::vector<SourceSlice> out;
+    out.reserve(buckets.size());
+    for (const auto &[source, rs] : buckets) {
+        SourceSlice s;
+        s.source = source;
+        s.requests = rs.size();
+        std::vector<double> ttft, lat;
+        ttft.reserve(rs.size());
+        lat.reserve(rs.size());
+        std::size_t slo_misses = 0, deadline_misses = 0;
+        std::uint64_t met_tokens = 0;
+        for (const RequestResult *r : rs) {
+            s.generatedTokens += r->request.outputTokens;
+            ttft.push_back(r->firstTokenMs);
+            lat.push_back(r->totalMs());
+            slo_misses += r->sloMiss ? 1 : 0;
+            deadline_misses += r->deadlineMiss ? 1 : 0;
+            if (!r->deadlineMiss)
+                met_tokens += r->request.outputTokens;
+        }
+        std::vector<double> tp = percentilesInPlace(ttft, {50.0, 95.0});
+        s.ttftP50Ms = tp[0];
+        s.ttftP95Ms = tp[1];
+        std::vector<double> lp = percentilesInPlace(lat, {50.0, 95.0});
+        s.latencyP50Ms = lp[0];
+        s.latencyP95Ms = lp[1];
+        const double n = static_cast<double>(rs.size());
+        s.sloMissRate = n > 0.0 ? static_cast<double>(slo_misses) / n : 0.0;
+        s.deadlineMissRate =
+            n > 0.0 ? static_cast<double>(deadline_misses) / n : 0.0;
+        // The fleet makespan, not a per-slice span: per-source goodputs
+        // must add up to the fleet's sloGoodputTokensPerSec().
+        s.goodputTokensPerSec =
+            makespanMs > 0.0
+                ? static_cast<double>(met_tokens) / (makespanMs / 1000.0)
+                : 0.0;
+        out.push_back(s);
+    }
+    return out;
+}
+
 double
 ServingReport::meanBatchOccupancy() const
 {
@@ -843,18 +903,19 @@ ServingEngine::setCompletionHook(CompletionHook hook)
 
 std::uint64_t
 ServingEngine::inject(const workloads::InferenceRequest &request,
-                      double arrival_ms)
+                      double arrival_ms, std::uint32_t source)
 {
     if (!injector_)
         IANUS_FATAL("inject() is only legal from inside a completion "
                     "hook during drain(); use submit() otherwise");
-    return injector_(request, arrival_ms);
+    return injector_(request, arrival_ms, source);
 }
 
 std::uint64_t
 ServingEngine::submit(const workloads::InferenceRequest &request,
                       double arrival_ms, std::uint64_t session_id,
-                      std::uint64_t turn_index, std::uint64_t prefix_tokens)
+                      std::uint64_t turn_index, std::uint64_t prefix_tokens,
+                      std::uint32_t source)
 {
     if (request.inputTokens == 0)
         IANUS_FATAL("inference request needs at least one input token");
@@ -887,6 +948,7 @@ ServingEngine::submit(const workloads::InferenceRequest &request,
     q.sessionId = session_id;
     q.turnIndex = turn_index;
     q.prefixTokens = prefix_tokens;
+    q.source = source;
     queue_.push_back(q);
     return q.id;
 }
@@ -1824,6 +1886,7 @@ ServingEngine::drain()
                     res.sessionId = q.sessionId;
                     res.turnIndex = q.turnIndex;
                     res.prefixTokens = q.prefixTokens;
+                    res.source = q.source;
                     res.prefilledTokens = q.request.inputTokens;
                     res.startMs = std::max(now, q.arrivalMs);
                     res.report =
@@ -1895,6 +1958,7 @@ ServingEngine::drain()
                     m.res.sessionId = q.sessionId;
                     m.res.turnIndex = q.turnIndex;
                     m.res.prefixTokens = q.prefixTokens;
+                    m.res.source = q.source;
                     m.res.startMs = std::max(now, q.arrivalMs);
                     m.res.deviceIndex = dev;
                     m.res.report.inputTokens = q.request.inputTokens;
@@ -2274,7 +2338,8 @@ ServingEngine::drain()
         ~InjectorGuard() { engine->injector_ = nullptr; }
     } injector_guard{this};
     injector_ = [&](const workloads::InferenceRequest &request,
-                    double arrival_ms) -> std::uint64_t {
+                    double arrival_ms,
+                    std::uint32_t source) -> std::uint64_t {
         if (request.inputTokens == 0)
             IANUS_FATAL("inference request needs at least one input "
                         "token");
@@ -2293,6 +2358,7 @@ ServingEngine::drain()
         q.id = nextId_++;
         q.request = request;
         q.arrivalMs = arrival_ms;
+        q.source = source;
         events.schedule(when, [&, q]() {
             readyPush(q);
             pump(q.arrivalMs);

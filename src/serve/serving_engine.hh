@@ -101,6 +101,15 @@ struct QueuedRequest
     std::uint64_t turnIndex = 0;    ///< 0-based turn within the session
     std::uint64_t prefixTokens = 0; ///< shared-prefix tokens of the input
 
+    /** Traffic source this request belongs to (0 = untagged, the
+     *  default every pre-mixed-drain submit carries). Mixed drains tag
+     *  interactive vs batch traffic so the report can slice per source
+     *  (see ServingReport::sourceSlices); the engine itself treats the
+     *  tag as opaque — scheduling, routing, and batching never read it,
+     *  so tagging a drain changes no timing bit. Off-limits to policy
+     *  urgency keys like the session tags above. */
+    std::uint32_t source = 0;
+
     /** Filled by the engine right before routing: the replica whose
      *  prefix cache still holds this session's prior-turn KV, or
      *  npos when no hit is possible (cold turn, evicted prefix, or
@@ -594,6 +603,11 @@ struct RequestResult
      *  minus prefixTokens on a hit). */
     std::uint64_t prefilledTokens = 0;
 
+    /** Traffic source echoed from the submit (0 = untagged; mixed
+     *  drains tag interactive vs batch — see
+     *  ServingReport::sourceSlices). */
+    std::uint32_t source = 0;
+
     /** Per-request attribution: the prefill is exclusive; each batched
      *  generation step contributes a 1/B share of its RunStats, so
      *  fleet aggregates stay additive (energy-model input). */
@@ -620,6 +634,31 @@ struct ReplicaUtilization
     /** KV block reservations never released by the end of the drain —
      *  must be 0 for the same reason. */
     std::uint64_t kvBlocksLeaked = 0;
+};
+
+/**
+ * One traffic source's slice of a drain's results (mixed drains tag
+ * interactive vs batch traffic; see trace_gen.hh's kInteractiveSource /
+ * kBatchSource). Slices partition the fleet's results exactly: summing
+ * requests and generatedTokens over a report's sourceSlices() equals
+ * the fleet totals, and every percentile is computed over the slice's
+ * own requests only. Rates that need a time base (goodput) use the
+ * *fleet* makespan, so per-source goodputs are additive too.
+ */
+struct SourceSlice
+{
+    std::uint32_t source = 0;
+    std::size_t requests = 0;
+    std::uint64_t generatedTokens = 0;
+    double ttftP50Ms = 0.0;
+    double ttftP95Ms = 0.0;
+    double latencyP50Ms = 0.0;
+    double latencyP95Ms = 0.0;
+    double sloMissRate = 0.0;
+    double deadlineMissRate = 0.0;
+    /** Generated tokens of this source's deadline-meeting requests per
+     *  second of the *fleet* makespan (additive across slices). */
+    double goodputTokensPerSec = 0.0;
 };
 
 /** Fleet-level aggregation over one drain(). */
@@ -702,7 +741,13 @@ struct ServingReport
     /**
      * Percentile with linear interpolation between closest ranks:
      * p in [0, 100] maps to rank p/100 * (n-1) of the sorted values.
-     * Empty input yields 0.
+     *
+     * Contract (one behavior, regression-tested): empty input yields
+     * 0.0 whatever p is; p outside [0, 100] clamps to the nearest
+     * bound (p <= 0 returns the minimum, p >= 100 the maximum); a NaN
+     * p is a caller bug and fatal — it names no rank, and the index
+     * arithmetic would otherwise read whatever static_cast<size_t> of
+     * NaN happens to produce.
      */
     static double percentile(std::vector<double> values, double p);
 
@@ -773,6 +818,12 @@ struct ServingReport
 
     /** Percentile over sessionLatenciesMs() (0 with no sessions). */
     double sessionLatencyPercentile(double p) const;
+
+    /** Per-source result slices, ascending source id — one entry per
+     *  distinct source among the results (a single untagged drain gets
+     *  one source-0 slice). See SourceSlice for the partition
+     *  guarantees. */
+    std::vector<SourceSlice> sourceSlices() const;
 
     /** One-line fleet summary. */
     std::string summary() const;
@@ -950,13 +1001,18 @@ class ServingEngine
      * shared conversation prefix (must be < input tokens; 0 for turn
      * 0). Tags feed the prefix cache and the session report fields;
      * defaulted, the request is an ordinary single-turn submit.
+     *
+     * @p source tags the request's traffic source (opaque to the
+     * engine — see QueuedRequest::source); 0, the default, is the
+     * untagged single-source drain every earlier PR ran.
      * @return the request id, echoed in its RequestResult.
      */
     std::uint64_t submit(const workloads::InferenceRequest &request,
                          double arrival_ms = 0.0,
                          std::uint64_t session_id = 0,
                          std::uint64_t turn_index = 0,
-                         std::uint64_t prefix_tokens = 0);
+                         std::uint64_t prefix_tokens = 0,
+                         std::uint32_t source = 0);
 
     /** Requests queued and not yet drained. */
     std::size_t pending() const { return queue_.size(); }
@@ -977,10 +1033,11 @@ class ServingEngine
      * completion time the surrounding hook observed). Only legal from
      * inside a completion hook; anywhere else it is fatal — outside a
      * drain there is no live event clock to schedule against, use
-     * submit(). @return the request id.
+     * submit(). @p source tags the injected traffic's source (see
+     * submit()). @return the request id.
      */
     std::uint64_t inject(const workloads::InferenceRequest &request,
-                         double arrival_ms);
+                         double arrival_ms, std::uint32_t source = 0);
 
     /** Serve everything queued; returns the fleet report. */
     ServingReport drain();
@@ -1005,7 +1062,7 @@ class ServingEngine
     /** Live only while drain() runs: schedules an injected arrival into
      *  the running event loop (see inject()). */
     std::function<std::uint64_t(const workloads::InferenceRequest &,
-                                double)>
+                                double, std::uint32_t)>
         injector_;
 
     void validateOptions() const;

@@ -120,7 +120,8 @@ drainSharded(const DevicePool &pool, const ServingOptions &opts,
                           trace.requests[g].arrivalMs,
                           trace.requests[g].sessionId,
                           trace.requests[g].turnIndex,
-                          trace.requests[g].prefixTokens);
+                          trace.requests[g].prefixTokens,
+                          trace.requests[g].source);
         r.report = engine.drain();
     };
 

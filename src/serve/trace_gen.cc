@@ -44,6 +44,42 @@ pick(std::mt19937 &rng, const std::vector<std::uint64_t> &choices)
     return choices[rng() % choices.size()];
 }
 
+/** strtoull that rejects a leading '-' (which strtoull would otherwise
+ *  silently wrap modulo 2^64 instead of failing). */
+unsigned long long
+parseUnsigned(const char *s, char **end, bool &ok)
+{
+    const char *p = s;
+    while (*p == ' ' || *p == '\t')
+        ++p;
+    if (*p == '-') {
+        *end = const_cast<char *>(s);
+        ok = false;
+        return 0;
+    }
+    unsigned long long v = std::strtoull(s, end, 10);
+    ok = ok && *end != s;
+    return v;
+}
+
+/** Next '\n'-terminated (or final) line of @p text from @p pos;
+ *  advances @p pos past the newline. Returns false at end of text. */
+bool
+nextLine(const std::string &text, std::size_t &pos, std::string &line)
+{
+    if (pos >= text.size())
+        return false;
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+        line = text.substr(pos);
+        pos = text.size();
+    } else {
+        line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+    }
+    return true;
+}
+
 } // namespace
 
 double
@@ -119,6 +155,592 @@ generatePoissonTrace(const TraceOptions &opts)
         clock += expGapMs(rng, opts.arrivalsPerSec);
         t.arrivalMs = clock;
         trace.requests.push_back(t);
+    }
+    return trace;
+}
+
+// --- Production request logs (CSV import) -----------------------------------
+
+namespace
+{
+
+/** Header-name normalization: lowercase with '_', '-', and spaces
+ *  dropped, so "ContextTokens", "context_tokens", and "Context Tokens"
+ *  all name the same column. */
+std::string
+normalizeColumn(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        if (c == '_' || c == '-' || c == ' ' || c == '\r')
+            continue;
+        out.push_back(static_cast<char>(
+            c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+    }
+    return out;
+}
+
+/** Split one CSV line on commas (the schema has no quoted fields);
+ *  a trailing '\r' (CRLF logs) is stripped from the last field. */
+std::vector<std::string>
+splitCsvRow(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    for (;;) {
+        std::size_t comma = line.find(',', pos);
+        if (comma == std::string::npos) {
+            fields.push_back(line.substr(pos));
+            break;
+        }
+        fields.push_back(line.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    if (!fields.empty() && !fields.back().empty() &&
+        fields.back().back() == '\r')
+        fields.back().pop_back();
+    return fields;
+}
+
+/** Days since 1970-01-01 of civil date y-m-d (proleptic Gregorian) —
+ *  the standard days_from_civil recipe, exact over the whole range a
+ *  request log could plausibly hold. */
+long long
+daysFromCivil(long long y, unsigned m, unsigned d)
+{
+    y -= m <= 2;
+    const long long era = (y >= 0 ? y : y - 399) / 400;
+    const unsigned yoe = static_cast<unsigned>(y - era * 400);
+    const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+    const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    return era * 146097 + static_cast<long long>(doe) - 719468;
+}
+
+/** Parse `YYYY-MM-DD hh:mm:ss[.frac]` (or with a 'T' separator and an
+ *  optional trailing 'Z') into absolute milliseconds since the epoch.
+ *  Returns false on anything else. */
+bool
+parseCalendarMs(const std::string &field, double &out_ms)
+{
+    int y = 0, mo = 0, d = 0, h = 0, mi = 0, n = 0;
+    double sec = 0.0;
+    char sep = 0;
+    if (std::sscanf(field.c_str(), "%d-%d-%d%c%d:%d:%lf%n", &y, &mo, &d,
+                    &sep, &h, &mi, &sec, &n) != 7)
+        return false;
+    const char *rest = field.c_str() + n;
+    if (*rest == 'Z')
+        ++rest;
+    if (*rest != '\0')
+        return false;
+    if ((sep != ' ' && sep != 'T') || mo < 1 || mo > 12 || d < 1 ||
+        d > 31 || h < 0 || h > 23 || mi < 0 || mi > 59 || sec < 0.0 ||
+        sec >= 61.0)
+        return false;
+    const double days = static_cast<double>(daysFromCivil(y, mo, d));
+    out_ms = ((days * 86400.0 + h * 3600.0 + mi * 60.0) + sec) * 1000.0;
+    return true;
+}
+
+/** Strict full-field double parse (finite; no trailing junk). */
+bool
+parseNumericMs(const std::string &field, double &out_ms)
+{
+    if (field.empty())
+        return false;
+    char *end = nullptr;
+    out_ms = std::strtod(field.c_str(), &end);
+    return end != field.c_str() && *end == '\0' && std::isfinite(out_ms);
+}
+
+} // namespace
+
+ArrivalTrace
+importRequestLog(const std::string &csv)
+{
+    std::size_t pos = 0;
+    std::string line;
+    if (!nextLine(csv, pos, line))
+        IANUS_FATAL("request log is empty (a CSV log needs a header "
+                    "row)");
+
+    // Header: locate the required and optional columns by normalized
+    // name; unknown columns ride along ignored.
+    std::vector<std::string> header = splitCsvRow(line);
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::size_t tsCol = npos, inCol = npos, outCol = npos, sessCol = npos;
+    for (std::size_t c = 0; c < header.size(); ++c) {
+        const std::string name = normalizeColumn(header[c]);
+        if (name == "timestamp" || name == "time" || name == "arrival" ||
+            name == "arrivalms")
+            tsCol = c;
+        else if (name == "contexttokens" || name == "prompttokens" ||
+                 name == "inputtokens")
+            inCol = c;
+        else if (name == "generatedtokens" || name == "outputtokens" ||
+                 name == "completiontokens")
+            outCol = c;
+        else if (name == "sessionid" || name == "conversationid")
+            sessCol = c;
+    }
+    if (tsCol == npos)
+        IANUS_FATAL("request log header '", line, "' names no timestamp "
+                    "column (timestamp / time / arrival / arrival_ms)");
+    if (inCol == npos)
+        IANUS_FATAL("request log header '", line, "' names no prompt "
+                    "column (context_tokens / prompt_tokens / "
+                    "input_tokens)");
+    if (outCol == npos)
+        IANUS_FATAL("request log header '", line, "' names no output "
+                    "column (generated_tokens / output_tokens / "
+                    "completion_tokens)");
+
+    struct LogRow
+    {
+        double stampMs = 0.0;
+        std::uint64_t input = 0;
+        std::uint64_t output = 0;
+        std::uint64_t sessionId = 0; ///< dense id, 0 = single-turn
+    };
+    std::vector<LogRow> rows;
+    std::map<std::string, std::uint64_t> sessionIds;
+    // One timestamp style per log: mixing raw milliseconds with
+    // calendar stamps would interleave two unrelated clocks.
+    enum class Style : std::uint8_t { Unknown, Numeric, Calendar };
+    Style style = Style::Unknown;
+
+    std::size_t rowNo = 1; // header was row 1
+    while (nextLine(csv, pos, line)) {
+        ++rowNo;
+        if (line.empty() || line == "\r")
+            continue; // blank (often a trailing newline)
+        std::vector<std::string> fields = splitCsvRow(line);
+        const std::size_t need =
+            std::max(std::max(tsCol, inCol),
+                     std::max(outCol, sessCol == npos ? 0 : sessCol));
+        if (fields.size() <= need)
+            IANUS_FATAL("request log row ", rowNo, " has ",
+                        fields.size(), " fields, fewer than the header's "
+                        "columns: '", line, "'");
+        LogRow r;
+        double ms = 0.0;
+        if (parseNumericMs(fields[tsCol], ms)) {
+            if (style == Style::Calendar)
+                IANUS_FATAL("request log row ", rowNo, " switches from "
+                            "calendar timestamps to a plain number: '",
+                            fields[tsCol], "'");
+            style = Style::Numeric;
+        } else if (parseCalendarMs(fields[tsCol], ms)) {
+            if (style == Style::Numeric)
+                IANUS_FATAL("request log row ", rowNo, " switches from "
+                            "numeric timestamps to a calendar stamp: '",
+                            fields[tsCol], "'");
+            style = Style::Calendar;
+        } else {
+            IANUS_FATAL("request log row ", rowNo, " has an unparsable "
+                        "timestamp '", fields[tsCol],
+                        "' (need a number of ms or "
+                        "YYYY-MM-DD hh:mm:ss[.frac])");
+        }
+        r.stampMs = ms;
+
+        char *end = nullptr;
+        bool ok = true;
+        r.input = parseUnsigned(fields[inCol].c_str(), &end, ok);
+        ok = ok && *end == '\0';
+        if (!ok || r.input == 0)
+            IANUS_FATAL("request log row ", rowNo, " needs a positive "
+                        "prompt token count, got '", fields[inCol], "'");
+        ok = true;
+        r.output = parseUnsigned(fields[outCol].c_str(), &end, ok);
+        ok = ok && *end == '\0';
+        if (!ok || r.output == 0)
+            IANUS_FATAL("request log row ", rowNo, " needs a positive "
+                        "output token count, got '", fields[outCol], "'");
+
+        if (sessCol != npos && !fields[sessCol].empty()) {
+            // Dense ids in first-appearance order: the mapping is a
+            // pure function of the file, so re-imports agree.
+            auto [it, fresh] = sessionIds.emplace(
+                fields[sessCol], sessionIds.size() + 1);
+            (void)fresh;
+            r.sessionId = it->second;
+        }
+        rows.push_back(r);
+    }
+    if (rows.empty())
+        IANUS_FATAL("request log has a header but no data rows");
+
+    // Stable sort by timestamp (ties keep file order), then rebase so
+    // the first arrival is 0 — the serving clock cares about offsets,
+    // not the log's epoch.
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const LogRow &a, const LogRow &b) {
+                         return a.stampMs < b.stampMs;
+                     });
+    const double base = rows.front().stampMs;
+
+    // Session turns count per session in sorted order; each turn's
+    // prefix is the conversation so far (prior input + output) when
+    // the log's own prompt length admits it, else 0 (a context reset).
+    struct SessionState
+    {
+        std::uint64_t turns = 0;
+        std::uint64_t prevInput = 0;
+        std::uint64_t prevOutput = 0;
+    };
+    std::map<std::uint64_t, SessionState> sessions;
+
+    ArrivalTrace trace;
+    trace.requests.reserve(rows.size());
+    for (const LogRow &r : rows) {
+        TimedRequest t;
+        t.arrivalMs = r.stampMs - base;
+        t.request.inputTokens = r.input;
+        t.request.outputTokens = r.output;
+        if (r.sessionId != 0) {
+            SessionState &s = sessions[r.sessionId];
+            t.sessionId = r.sessionId;
+            t.turnIndex = s.turns;
+            if (s.turns > 0) {
+                const std::uint64_t grown = s.prevInput + s.prevOutput;
+                t.prefixTokens = grown < r.input ? grown : 0;
+            }
+            s.turns += 1;
+            s.prevInput = r.input;
+            s.prevOutput = r.output;
+        }
+        trace.requests.push_back(t);
+    }
+    return trace;
+}
+
+ArrivalTrace
+loadRequestLog(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        IANUS_FATAL("cannot open request log '", path, "'");
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad)
+        IANUS_FATAL("read error loading request log '", path, "'");
+    return importRequestLog(text);
+}
+
+ArrivalTrace
+resampleTrace(const ArrivalTrace &log, std::size_t n, std::uint64_t seed)
+{
+    if (log.requests.empty())
+        IANUS_FATAL("cannot resample an empty request log");
+    if (n == 0)
+        IANUS_FATAL("resampleTrace needs a positive request count");
+
+    // The empirical distributions: observed inter-arrival gaps (a
+    // one-row log contributes the single gap 0), and whole (input,
+    // output) rows — joint draws preserve the log's prompt/output
+    // correlation, which independent marginals would destroy.
+    std::vector<double> gaps;
+    if (log.requests.size() == 1) {
+        gaps.push_back(0.0);
+    } else {
+        gaps.reserve(log.requests.size() - 1);
+        for (std::size_t i = 1; i < log.requests.size(); ++i)
+            gaps.push_back(log.requests[i].arrivalMs -
+                           log.requests[i - 1].arrivalMs);
+    }
+
+    std::seed_seq seq{static_cast<std::uint32_t>(seed),
+                      static_cast<std::uint32_t>(seed >> 32)};
+    std::mt19937 rng(seq);
+    ArrivalTrace trace;
+    trace.requests.reserve(n);
+    double clock = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        clock += gaps[rng() % gaps.size()];
+        const TimedRequest &row =
+            log.requests[rng() % log.requests.size()];
+        TimedRequest t;
+        t.arrivalMs = clock;
+        // Shapes only: session tags are dropped (resampled rows are
+        // independent draws — see the header contract).
+        t.request = row.request;
+        trace.requests.push_back(t);
+    }
+    return trace;
+}
+
+// --- Non-stationary open-loop generators ------------------------------------
+
+namespace
+{
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/** Strict full-field double parse for the rate-profile grammar. */
+double
+parseProfileField(const std::string &spec, const std::string &field,
+                  const char *what)
+{
+    char *end = nullptr;
+    double v = field.empty() ? 0.0 : std::strtod(field.c_str(), &end);
+    if (field.empty() || end == field.c_str() || *end != '\0' ||
+        !std::isfinite(v))
+        IANUS_FATAL("rate profile '", spec, "' has an unparsable ", what,
+                    " '", field, "'");
+    return v;
+}
+
+} // namespace
+
+double
+RateProfile::rateAt(double t_ms) const
+{
+    if (!(t_ms >= 0.0) || t_ms >= durationMs)
+        return 0.0;
+    switch (kind) {
+    case Kind::Constant:
+        return baseRate;
+    case Kind::Sinusoid:
+        return baseRate +
+               amplitudeRate * std::sin(kTwoPi * t_ms / periodMs);
+    case Kind::Steps: {
+        const std::size_t k = stepRates.size();
+        std::size_t idx = static_cast<std::size_t>(
+            t_ms / durationMs * static_cast<double>(k));
+        if (idx >= k)
+            idx = k - 1;
+        return stepRates[idx];
+    }
+    }
+    return 0.0;
+}
+
+double
+RateProfile::peakRate() const
+{
+    switch (kind) {
+    case Kind::Constant:
+        return baseRate;
+    case Kind::Sinusoid:
+        return baseRate + amplitudeRate;
+    case Kind::Steps: {
+        double peak = 0.0;
+        for (double r : stepRates)
+            peak = std::max(peak, r);
+        return peak;
+    }
+    }
+    return 0.0;
+}
+
+RateProfile
+parseRateProfile(const std::string &spec)
+{
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    for (;;) {
+        std::size_t colon = spec.find(':', pos);
+        if (colon == std::string::npos) {
+            fields.push_back(spec.substr(pos));
+            break;
+        }
+        fields.push_back(spec.substr(pos, colon - pos));
+        pos = colon + 1;
+    }
+
+    RateProfile p;
+    if (fields[0] == "const") {
+        if (fields.size() != 3)
+            IANUS_FATAL("rate profile '", spec,
+                        "' must be const:RATE:DURATION_MS");
+        p.kind = RateProfile::Kind::Constant;
+        p.baseRate = parseProfileField(spec, fields[1], "rate");
+        p.durationMs = parseProfileField(spec, fields[2], "duration");
+        if (p.baseRate <= 0.0)
+            IANUS_FATAL("rate profile '", spec,
+                        "' needs a positive rate, got ", p.baseRate);
+    } else if (fields[0] == "sin") {
+        if (fields.size() != 5)
+            IANUS_FATAL("rate profile '", spec, "' must be "
+                        "sin:BASE:AMPLITUDE:PERIOD_MS:DURATION_MS");
+        p.kind = RateProfile::Kind::Sinusoid;
+        p.baseRate = parseProfileField(spec, fields[1], "base rate");
+        p.amplitudeRate =
+            parseProfileField(spec, fields[2], "amplitude");
+        p.periodMs = parseProfileField(spec, fields[3], "period");
+        p.durationMs = parseProfileField(spec, fields[4], "duration");
+        if (p.baseRate <= 0.0)
+            IANUS_FATAL("rate profile '", spec,
+                        "' needs a positive base rate, got ", p.baseRate);
+        if (p.amplitudeRate < 0.0 || p.amplitudeRate > p.baseRate)
+            IANUS_FATAL("rate profile '", spec, "' amplitude ",
+                        p.amplitudeRate, " must be in [0, base rate ",
+                        p.baseRate, "] (the rate must stay "
+                        "non-negative)");
+        if (p.periodMs <= 0.0)
+            IANUS_FATAL("rate profile '", spec,
+                        "' needs a positive period, got ", p.periodMs);
+    } else if (fields[0] == "steps") {
+        if (fields.size() != 3)
+            IANUS_FATAL("rate profile '", spec,
+                        "' must be steps:DURATION_MS:R0,R1,...");
+        p.kind = RateProfile::Kind::Steps;
+        p.durationMs = parseProfileField(spec, fields[1], "duration");
+        std::size_t rp = 0;
+        const std::string &list = fields[2];
+        for (;;) {
+            std::size_t comma = list.find(',', rp);
+            const std::string field =
+                comma == std::string::npos
+                    ? list.substr(rp)
+                    : list.substr(rp, comma - rp);
+            double r = parseProfileField(spec, field, "step rate");
+            if (r < 0.0)
+                IANUS_FATAL("rate profile '", spec,
+                            "' step rates must be non-negative, got ",
+                            r);
+            p.stepRates.push_back(r);
+            if (comma == std::string::npos)
+                break;
+            rp = comma + 1;
+        }
+        if (p.peakRate() <= 0.0)
+            IANUS_FATAL("rate profile '", spec,
+                        "' needs at least one positive step rate");
+    } else {
+        IANUS_FATAL("rate profile '", spec, "' has unknown kind '",
+                    fields[0], "' (const, sin, or steps)");
+    }
+    if (p.durationMs <= 0.0)
+        IANUS_FATAL("rate profile '", spec,
+                    "' needs a positive duration, got ", p.durationMs);
+    return p;
+}
+
+ArrivalTrace
+generateDiurnalTrace(const DiurnalOptions &opts)
+{
+    if (!(opts.profile.durationMs > 0.0))
+        IANUS_FATAL("diurnal generation needs a profile with a positive "
+                    "duration, got ",
+                    opts.profile.durationMs, " ms");
+    const double peak = opts.profile.peakRate();
+    if (!(peak > 0.0))
+        IANUS_FATAL("diurnal generation needs a profile with a positive "
+                    "peak rate, got ",
+                    peak, " req/s");
+    if (opts.inputTokenChoices.empty() || opts.outputTokenChoices.empty())
+        IANUS_FATAL("trace generation needs non-empty input and output "
+                    "token choice lists");
+    if (opts.startMs < 0.0)
+        IANUS_FATAL("trace start must be non-negative, got ",
+                    opts.startMs, " ms");
+
+    std::seed_seq seq{static_cast<std::uint32_t>(opts.seed),
+                      static_cast<std::uint32_t>(opts.seed >> 32)};
+    std::mt19937 rng(seq);
+
+    // Lewis–Shedler thinning: candidates at the peak rate, each kept
+    // with probability rate(t)/peak. The draw order is fixed — gap,
+    // coin, then shapes only on acceptance — so the trace is a pure
+    // function of (seed, profile).
+    ArrivalTrace trace;
+    double t = 0.0; // profile-relative clock
+    for (;;) {
+        t += expGapMs(rng, peak);
+        if (t >= opts.profile.durationMs)
+            break;
+        const double u = canonical53(rng);
+        if (u * peak < opts.profile.rateAt(t)) {
+            TimedRequest req;
+            req.request.inputTokens = pick(rng, opts.inputTokenChoices);
+            req.request.outputTokens =
+                pick(rng, opts.outputTokenChoices);
+            req.arrivalMs = opts.startMs + t;
+            trace.requests.push_back(req);
+        }
+    }
+    return trace;
+}
+
+ArrivalTrace
+generateBurstyTrace(const BurstyOptions &opts)
+{
+    if (!(opts.durationMs > 0.0))
+        IANUS_FATAL("bursty generation needs a positive duration, got ",
+                    opts.durationMs, " ms");
+    if (!(opts.baseRate > 0.0))
+        IANUS_FATAL("bursty generation needs a positive base rate, got ",
+                    opts.baseRate, " req/s");
+    if (!(opts.burstRateRatio >= 1.0))
+        IANUS_FATAL("burst rate ratio must be >= 1 (bursts raise the "
+                    "rate), got ",
+                    opts.burstRateRatio);
+    if (!(opts.meanBurstMs > 0.0) || !(opts.meanGapMs > 0.0))
+        IANUS_FATAL("bursty generation needs positive mean burst and "
+                    "gap dwell times, got ",
+                    opts.meanBurstMs, " / ", opts.meanGapMs, " ms");
+    if (opts.inputTokenChoices.empty() || opts.outputTokenChoices.empty())
+        IANUS_FATAL("trace generation needs non-empty input and output "
+                    "token choice lists");
+    if (opts.startMs < 0.0)
+        IANUS_FATAL("trace start must be non-negative, got ",
+                    opts.startMs, " ms");
+
+    std::seed_seq seq{static_cast<std::uint32_t>(opts.seed),
+                      static_cast<std::uint32_t>(opts.seed >> 32)};
+    std::mt19937 rng(seq);
+
+    // The modulating chain first: alternating exponential dwells
+    // (starting calm), recorded as switch instants. Drawing the whole
+    // trajectory before the arrival stream keeps both streams pure
+    // functions of the seed.
+    std::vector<double> switches;
+    {
+        double t = 0.0;
+        bool burst = false;
+        while (t < opts.durationMs) {
+            const double mean =
+                burst ? opts.meanBurstMs : opts.meanGapMs;
+            const double u = canonical53(rng);
+            t += mean * -std::log1p(-u);
+            switches.push_back(t);
+            burst = !burst;
+        }
+    }
+
+    // Thin a candidate stream at the burst-state rate: calm arrivals
+    // survive with probability 1/ratio, burst arrivals always. A
+    // walking switch index keeps the state lookup O(1) amortized
+    // (candidates are increasing).
+    const double maxRate = opts.baseRate * opts.burstRateRatio;
+    ArrivalTrace trace;
+    double t = 0.0;
+    std::size_t sw = 0;
+    for (;;) {
+        t += expGapMs(rng, maxRate);
+        if (t >= opts.durationMs)
+            break;
+        while (sw < switches.size() && switches[sw] <= t)
+            ++sw;
+        const bool burst = (sw % 2) == 1; // odd switch count = burst
+        const double rate = burst ? maxRate : opts.baseRate;
+        const double u = canonical53(rng);
+        if (u * maxRate < rate) {
+            TimedRequest req;
+            req.request.inputTokens = pick(rng, opts.inputTokenChoices);
+            req.request.outputTokens =
+                pick(rng, opts.outputTokenChoices);
+            req.arrivalMs = opts.startMs + t;
+            trace.requests.push_back(req);
+        }
     }
     return trace;
 }
@@ -349,6 +971,146 @@ runClosedLoop(ServingEngine &engine, const ClosedLoopOptions &opts)
     return result;
 }
 
+// --- Mixed drains -----------------------------------------------------------
+
+MixedResult
+runMixedDrain(ServingEngine &engine, const ClosedLoopOptions &interactive,
+              const ArrivalTrace &background)
+{
+    if (interactive.clients == 0)
+        IANUS_FATAL("a mixed drain needs at least one interactive "
+                    "client");
+    if (interactive.requestsPerClient == 0)
+        IANUS_FATAL("mixed-drain clients must send at least one request "
+                    "each");
+    if (!(interactive.meanThinkMs >= 0.0))
+        IANUS_FATAL("mean think time must be a non-negative number of "
+                    "ms, got ",
+                    interactive.meanThinkMs);
+    if (interactive.inputTokenChoices.empty() ||
+        interactive.outputTokenChoices.empty())
+        IANUS_FATAL("mixed-drain generation needs non-empty input and "
+                    "output token choice lists");
+    if (engine.pending() != 0)
+        IANUS_FATAL("a mixed drain needs an engine with no pending "
+                    "requests (",
+                    engine.pending(), " queued)");
+
+    // The interactive side is runClosedLoop verbatim: per-client
+    // (seed, index) streams, so shape and think draws are independent
+    // of both completion order and the background traffic.
+    struct Client
+    {
+        std::mt19937 rng;
+        std::size_t sent = 0;
+    };
+    std::vector<Client> clients(interactive.clients);
+    for (std::size_t c = 0; c < interactive.clients; ++c) {
+        std::seed_seq seq{static_cast<std::uint32_t>(interactive.seed),
+                          static_cast<std::uint32_t>(
+                              interactive.seed >> 32),
+                          static_cast<std::uint32_t>(c)};
+        clients[c].rng.seed(seq);
+    }
+    auto drawShape = [&](Client &c) {
+        workloads::InferenceRequest req;
+        req.inputTokens = pick(c.rng, interactive.inputTokenChoices);
+        req.outputTokens = pick(c.rng, interactive.outputTokenChoices);
+        return req;
+    };
+    auto drawThinkMs = [&](Client &c) {
+        double u = canonical53(c.rng);
+        return interactive.meanThinkMs * -std::log1p(-u);
+    };
+
+    MixedResult result;
+    std::map<std::uint64_t, std::size_t> owner; // interactive ids only
+
+    struct FirstArrival
+    {
+        double arrivalMs;
+        std::size_t client;
+        workloads::InferenceRequest request;
+    };
+    std::vector<FirstArrival> first;
+    first.reserve(interactive.clients);
+    for (std::size_t c = 0; c < interactive.clients; ++c) {
+        workloads::InferenceRequest req = drawShape(clients[c]);
+        first.push_back({drawThinkMs(clients[c]), c, req});
+    }
+    std::sort(first.begin(), first.end(),
+              [](const FirstArrival &a, const FirstArrival &b) {
+                  return a.arrivalMs != b.arrivalMs
+                             ? a.arrivalMs < b.arrivalMs
+                             : a.client < b.client;
+              });
+
+    // Merge at the injection layer: background rows (already in
+    // non-decreasing order — the ArrivalTrace contract) and the
+    // clients' first arrivals submit as one non-decreasing stream.
+    // Ties put the background row first — a fixed, documented order,
+    // since submit() groups same-tick arrivals into one burst anyway.
+    std::size_t bi = 0, fi = 0;
+    while (bi < background.requests.size() || fi < first.size()) {
+        const bool takeBackground =
+            bi < background.requests.size() &&
+            (fi >= first.size() ||
+             background.requests[bi].arrivalMs <= first[fi].arrivalMs);
+        if (takeBackground) {
+            const TimedRequest &t = background.requests[bi++];
+            engine.submit(t.request, t.arrivalMs, t.sessionId,
+                          t.turnIndex, t.prefixTokens, kBatchSource);
+        } else {
+            const FirstArrival &f = first[fi++];
+            std::uint64_t id =
+                engine.submit(f.request, f.arrivalMs, 0, 0, 0,
+                              kInteractiveSource);
+            owner.emplace(id, f.client);
+            clients[f.client].sent = 1;
+            TimedRequest t;
+            t.request = f.request;
+            t.arrivalMs = f.arrivalMs;
+            t.source = kInteractiveSource;
+            result.realizedInteractive.requests.push_back(t);
+        }
+    }
+
+    // The interactive feedback edge, as runClosedLoop: background
+    // completions wake no one (owner holds interactive ids only).
+    struct HookGuard
+    {
+        ServingEngine *engine;
+        ~HookGuard() { engine->setCompletionHook(nullptr); }
+    } hook_guard{&engine};
+    engine.setCompletionHook([&](const RequestResult &r) {
+        auto it = owner.find(r.id);
+        if (it == owner.end())
+            return; // background (or foreign) traffic
+        Client &c = clients[it->second];
+        if (c.sent >= interactive.requestsPerClient)
+            return;
+        workloads::InferenceRequest req = drawShape(c);
+        double arrival = r.finishMs + drawThinkMs(c);
+        std::uint64_t id =
+            engine.inject(req, arrival, kInteractiveSource);
+        owner.emplace(id, it->second);
+        c.sent += 1;
+        TimedRequest t;
+        t.request = req;
+        t.arrivalMs = arrival;
+        t.source = kInteractiveSource;
+        result.realizedInteractive.requests.push_back(t);
+    });
+    result.report = engine.drain();
+
+    std::stable_sort(result.realizedInteractive.requests.begin(),
+                     result.realizedInteractive.requests.end(),
+                     [](const TimedRequest &a, const TimedRequest &b) {
+                         return a.arrivalMs < b.arrivalMs;
+                     });
+    return result;
+}
+
 // --- Versioned trace files --------------------------------------------------
 
 namespace
@@ -356,42 +1118,6 @@ namespace
 
 constexpr const char *traceMagic = "ianus-arrival-trace v1";
 constexpr const char *traceMagicV2 = "ianus-arrival-trace v2";
-
-/** strtoull that rejects a leading '-' (which strtoull would otherwise
- *  silently wrap modulo 2^64 instead of failing). */
-unsigned long long
-parseUnsigned(const char *s, char **end, bool &ok)
-{
-    const char *p = s;
-    while (*p == ' ' || *p == '\t')
-        ++p;
-    if (*p == '-') {
-        *end = const_cast<char *>(s);
-        ok = false;
-        return 0;
-    }
-    unsigned long long v = std::strtoull(s, end, 10);
-    ok = ok && *end != s;
-    return v;
-}
-
-/** Next '\n'-terminated (or final) line of @p text from @p pos;
- *  advances @p pos past the newline. Returns false at end of text. */
-bool
-nextLine(const std::string &text, std::size_t &pos, std::string &line)
-{
-    if (pos >= text.size())
-        return false;
-    std::size_t nl = text.find('\n', pos);
-    if (nl == std::string::npos) {
-        line = text.substr(pos);
-        pos = text.size();
-    } else {
-        line = text.substr(pos, nl - pos);
-        pos = nl + 1;
-    }
-    return true;
-}
 
 } // namespace
 

@@ -51,7 +51,19 @@ struct TimedRequest
     std::uint64_t sessionId = 0;
     std::uint64_t turnIndex = 0;
     std::uint64_t prefixTokens = 0;
+
+    /** Traffic source tag (0 = untagged), threaded through submit into
+     *  the RequestResult so mixed drains can slice the report per
+     *  source. An injection-layer concept: the on-disk trace format
+     *  does not carry it (saving a tagged trace drops the tags). */
+    std::uint32_t source = 0;
 };
+
+/** Source tags runMixedDrain assigns (see ServingReport::sourceSlices):
+ *  the closed-loop interactive clients and the open-loop batch
+ *  background trace. 0 stays the untagged single-source default. */
+inline constexpr std::uint32_t kInteractiveSource = 1;
+inline constexpr std::uint32_t kBatchSource = 2;
 
 /** Knobs of the synthetic arrival process. */
 struct TraceOptions
@@ -107,6 +119,186 @@ struct ArrivalTrace
 
 /** Generate a trace; rejects a non-positive rate or empty choice lists. */
 ArrivalTrace generatePoissonTrace(const TraceOptions &opts);
+
+// --- Production request logs (CSV import) -----------------------------------
+
+/**
+ * Parse a production request log in CSV form into an ArrivalTrace —
+ * the schema of the published Azure LLM inference traces (and any log
+ * shaped like them). The first row is a header naming the columns, in
+ * any order, matched case-insensitively with '_', '-', and spaces
+ * ignored:
+ *
+ *  - timestamp (alias: time, arrival, arrival_ms) — required. Either a
+ *    plain number of milliseconds, or a calendar timestamp
+ *    `YYYY-MM-DD hh:mm:ss[.frac]` (a 'T' separator and a trailing 'Z'
+ *    are accepted). All rows must use one style or the other.
+ *  - context_tokens (alias: prompt_tokens, input_tokens) — required,
+ *    positive integer.
+ *  - generated_tokens (alias: output_tokens, completion_tokens) —
+ *    required, positive integer.
+ *  - session_id (alias: conversation_id) — optional. Any non-empty
+ *    string; distinct values map to dense session ids 1, 2, ... in
+ *    first-appearance order (an empty cell means single-turn).
+ *
+ * Unknown columns are ignored. Rows are stably sorted by timestamp
+ * (equal stamps keep file order) and rebased so the first arrival is
+ * 0 ms. Session rows get their turn indices counted per session in
+ * sorted order, and each turn's prefixTokens is inferred as the prior
+ * turn's input + output when that fits under the turn's own input
+ * (the conversation grew); otherwise 0 (a context reset — the log
+ * recorded a shorter prompt than the history, so nothing is reusable).
+ * The result satisfies the same contract parseTrace enforces, so an
+ * imported log round-trips through the v1/v2 trace format.
+ *
+ * Fatal, with the 1-based row number, on: a missing required column,
+ * an unparsable timestamp or token count, zero tokens, or an empty
+ * log (no data rows).
+ */
+ArrivalTrace importRequestLog(const std::string &csv);
+
+/** importRequestLog() from a file; fatal if the file cannot be read. */
+ArrivalTrace loadRequestLog(const std::string &path);
+
+/**
+ * Stretch a short request log into an @p n -request trace by
+ * empirical-distribution resampling (the bootstrap): inter-arrival
+ * gaps are drawn uniformly from the log's observed gaps (a one-row
+ * log has the single gap 0), and request shapes are drawn as whole
+ * (input, output) rows — jointly, preserving the log's prompt/output
+ * correlation. Deterministic in @p seed on any platform. Session tags
+ * are dropped: resampled rows are independent draws, and a bootstrap
+ * of turns would fabricate conversations the log never recorded.
+ * Fatal on an empty @p log or n == 0.
+ */
+ArrivalTrace resampleTrace(const ArrivalTrace &log, std::size_t n,
+                           std::uint64_t seed);
+
+// --- Non-stationary open-loop generators ------------------------------------
+
+/**
+ * A deterministic arrival-rate profile over a bounded horizon — the
+ * intensity function the non-homogeneous generators thin against.
+ * Built directly or via parseRateProfile()'s grammar:
+ *
+ *   const:RATE:DURATION_MS
+ *   sin:BASE:AMPLITUDE:PERIOD_MS:DURATION_MS
+ *   steps:DURATION_MS:R0,R1,...,Rk
+ *
+ * `const` is a flat RATE req/s; `sin` oscillates BASE ± AMPLITUDE
+ * req/s with the given period (AMPLITUDE <= BASE keeps the rate
+ * non-negative); `steps` splits the duration into equal slices at the
+ * listed rates — the piecewise-constant diurnal day (e.g. a 24-entry
+ * list is one rate per simulated hour).
+ */
+struct RateProfile
+{
+    enum class Kind : std::uint8_t
+    {
+        Constant,
+        Sinusoid,
+        Steps
+    };
+
+    Kind kind = Kind::Constant;
+
+    /** Profile horizon; generation stops at this point. */
+    double durationMs = 0.0;
+
+    /** Constant rate, or the sinusoid midline (req/s). */
+    double baseRate = 0.0;
+
+    /** Sinusoid amplitude (req/s; <= baseRate). */
+    double amplitudeRate = 0.0;
+
+    /** Sinusoid period in ms. */
+    double periodMs = 0.0;
+
+    /** Piecewise-constant rates over equal duration/k slices. */
+    std::vector<double> stepRates;
+
+    /** Instantaneous rate at @p t_ms past the profile start (req/s);
+     *  0 outside [0, durationMs). */
+    double rateAt(double t_ms) const;
+
+    /** Supremum of rateAt over the horizon — the thinning envelope. */
+    double peakRate() const;
+};
+
+/** Parse the rate-profile grammar above; fatal, with the offending
+ *  spec echoed, on an unknown kind, a malformed field, a non-positive
+ *  duration or rate bound, or a sinusoid amplitude above its base. */
+RateProfile parseRateProfile(const std::string &spec);
+
+/** Knobs of the diurnal (non-homogeneous Poisson) generator. */
+struct DiurnalOptions
+{
+    std::uint64_t seed = 1;
+
+    /** The rate profile; must have a positive duration and peak. */
+    RateProfile profile;
+
+    /** Clock origin, as TraceOptions::startMs. */
+    double startMs = 0.0;
+
+    /** Shape choice lists, as TraceOptions. */
+    std::vector<std::uint64_t> inputTokenChoices = {128, 256, 512};
+    std::vector<std::uint64_t> outputTokenChoices = {8, 16, 64, 128};
+};
+
+/**
+ * Generate a non-homogeneous Poisson trace by Lewis–Shedler thinning:
+ * candidate arrivals come from a homogeneous Poisson stream at the
+ * profile's peak rate, and each survives with probability
+ * rate(t) / peak — so the accepted stream has exactly the profile's
+ * intensity. The draw order is fixed (gap, then the thinning coin,
+ * then shapes only on acceptance), which makes the trace a pure
+ * function of (seed, profile): bit-reproducible on any platform, like
+ * every other generator here. The request count is *not* a knob — it
+ * is whatever the day produced (mean = integral of the profile).
+ */
+ArrivalTrace generateDiurnalTrace(const DiurnalOptions &opts);
+
+/** Knobs of the bursty (Markov-modulated Poisson) generator. */
+struct BurstyOptions
+{
+    std::uint64_t seed = 1;
+
+    /** Trace horizon in ms. */
+    double durationMs = 60'000.0;
+
+    /** Arrival rate outside bursts (req/s, positive). */
+    double baseRate = 20.0;
+
+    /** Rate multiplier inside a burst (>= 1; 1 degenerates to a
+     *  homogeneous Poisson at baseRate). */
+    double burstRateRatio = 5.0;
+
+    /** Mean burst dwell time (exponential, positive ms). */
+    double meanBurstMs = 2'000.0;
+
+    /** Mean calm-gap dwell time between bursts (exponential, positive
+     *  ms; the process starts calm). */
+    double meanGapMs = 8'000.0;
+
+    /** Clock origin, as TraceOptions::startMs. */
+    double startMs = 0.0;
+
+    /** Shape choice lists, as TraceOptions. */
+    std::vector<std::uint64_t> inputTokenChoices = {128, 256, 512};
+    std::vector<std::uint64_t> outputTokenChoices = {8, 16, 64, 128};
+};
+
+/**
+ * Generate a two-state Markov-modulated Poisson trace: an on/off
+ * modulating chain (exponential dwells, starting off/calm) switches
+ * the arrival rate between baseRate and baseRate x burstRateRatio.
+ * Implemented by thinning at the burst rate against the chain's state,
+ * with the whole on/off trajectory drawn before the arrival stream —
+ * so, like the diurnal generator, the trace is a pure function of
+ * (seed, options) and bit-reproducible anywhere.
+ */
+ArrivalTrace generateBurstyTrace(const BurstyOptions &opts);
 
 // --- Multi-turn sessions ----------------------------------------------------
 
@@ -218,6 +410,46 @@ struct ClosedLoopResult
  */
 ClosedLoopResult runClosedLoop(ServingEngine &engine,
                                const ClosedLoopOptions &opts);
+
+// --- Mixed drains (interactive clients over a batch background) -------------
+
+/** What a mixed drain produced. */
+struct MixedResult
+{
+    /** The one fleet report covering both sources; slice it per
+     *  source with report.sourceSlices() (interactive =
+     *  kInteractiveSource, background = kBatchSource). */
+    ServingReport report;
+
+    /** The interactive clients' realized arrivals, sorted by arrival
+     *  time (the background trace is the caller's — it replayed
+     *  as-is). */
+    ArrivalTrace realizedInteractive;
+};
+
+/**
+ * Run a closed-loop interactive client population *over* an open-loop
+ * batch background trace in one ServingEngine::drain — the
+ * production mix of latency-sensitive chat traffic sharing a fleet
+ * with throughput-oriented batch jobs. The two workloads merge at the
+ * injection layer: background rows and the clients' first arrivals
+ * submit in one non-decreasing arrival order before the drain, and
+ * each client's follow-ups inject mid-drain one think time after its
+ * previous completion, exactly as runClosedLoop. Interactive requests
+ * are tagged kInteractiveSource, background rows kBatchSource, so the
+ * report slices per source (TTFT/goodput for each — the numbers an
+ * operator actually wants from a mixed fleet).
+ *
+ * The background trace may carry session tags (they work as in any
+ * open-loop drain) and may be empty (degenerates to a tagged
+ * closed-loop run). Deterministic end to end, with the same
+ * realized-trace caveats as runClosedLoop. The engine must have no
+ * pending requests; its completion hook is used during the run and
+ * cleared after.
+ */
+MixedResult runMixedDrain(ServingEngine &engine,
+                          const ClosedLoopOptions &interactive,
+                          const ArrivalTrace &background);
 
 // --- Versioned trace files --------------------------------------------------
 

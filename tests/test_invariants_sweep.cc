@@ -667,4 +667,130 @@ TEST(ServingInvariantSweep, DisaggregatedConservationAcrossCells)
                 }
 }
 
+/**
+ * Mixed-drain conservation sweep: closed-loop interactive clients over
+ * an open-loop batch background trace, for every
+ * {router x batching x preempt x kv} cell —
+ *
+ *  - both populations complete in full, every id exactly once, and
+ *    every result carries the source tag its injection used;
+ *  - the per-source slices partition the fleet totals (requests,
+ *    generated tokens) with nothing dropped or double-counted;
+ *  - slice goodputs share the fleet makespan base, so they sum to the
+ *    fleet's own SLO-goodput;
+ *  - KV drains back to zero on every replica.
+ */
+TEST(ServingInvariantSweep, MixedDrainConservationAcrossCells)
+{
+    using namespace serve;
+    workloads::ModelConfig model = workloads::gpt2("m");
+
+    DevicePool pool;
+    pool.addReplica(std::make_unique<CompiledModel>(
+        SystemConfig::ianusDefault(), model));
+    pool.addReplica(
+        std::make_unique<CompiledModel>(SystemConfig::npuMem(), model));
+
+    TraceOptions topts;
+    topts.seed = 5;
+    topts.requests = 8;
+    topts.arrivalsPerSec = 200.0;
+    topts.inputTokenChoices = {64, 128};
+    topts.outputTokenChoices = {2, 16, 48};
+    ArrivalTrace background = generatePoissonTrace(topts);
+
+    ClosedLoopOptions copts;
+    copts.seed = 3;
+    copts.clients = 3;
+    copts.requestsPerClient = 3;
+    copts.meanThinkMs = 5.0;
+    const std::size_t interactive =
+        copts.clients * copts.requestsPerClient;
+
+    const std::vector<std::string> routers = {
+        "round-robin", "least-loaded", "queue-depth",
+        "predicted-finish", "kv-affinity"};
+    struct BatchCell
+    {
+        BatchingMode mode;
+        std::size_t cap;
+    };
+    const std::vector<BatchCell> batchings = {
+        {BatchingMode::None, 1}, {BatchingMode::Continuous, 4}};
+
+    for (const std::string &router : routers)
+        for (const BatchCell &batching : batchings)
+            for (bool preempt : {false, true})
+                for (bool kv : {false, true}) {
+                    ServingOptions opts;
+                    opts.batching = batching.mode;
+                    opts.maxBatch = batching.cap;
+                    opts.preempt = preempt;
+                    opts.tokenStride = 4;
+                    opts.sloMsPerToken = 12.0;
+                    if (kv) {
+                        opts.kv.capacityTokens = 1024;
+                        opts.kv.blockTokens = 16;
+                        opts.kv.admission = KvAdmission::Queue;
+                    }
+                    ServingEngine engine(pool, opts,
+                                         makePolicy("fcfs"),
+                                         makeRouter(router));
+                    MixedResult res =
+                        runMixedDrain(engine, copts, background);
+                    const ServingReport &rep = res.report;
+
+                    std::string cell = router + "/" +
+                                       toString(batching.mode) +
+                                       (preempt ? "/preempt" : "") +
+                                       (kv ? "/kv" : "");
+
+                    // Both populations complete, each id once.
+                    ASSERT_EQ(rep.requests(),
+                              interactive + background.size())
+                        << cell;
+                    std::set<std::uint64_t> ids;
+                    std::size_t n_interactive = 0, n_batch = 0;
+                    for (const auto &r : rep.results) {
+                        EXPECT_TRUE(ids.insert(r.id).second)
+                            << cell << " id " << r.id;
+                        if (r.source == kInteractiveSource)
+                            n_interactive += 1;
+                        else if (r.source == kBatchSource)
+                            n_batch += 1;
+                        else
+                            ADD_FAILURE()
+                                << cell << " untagged id " << r.id;
+                    }
+                    EXPECT_EQ(n_interactive, interactive) << cell;
+                    EXPECT_EQ(n_batch, background.size()) << cell;
+
+                    // Slices partition the fleet totals.
+                    std::vector<SourceSlice> slices =
+                        rep.sourceSlices();
+                    ASSERT_EQ(slices.size(), 2u) << cell;
+                    std::size_t slice_requests = 0;
+                    std::uint64_t slice_tokens = 0;
+                    double slice_goodput = 0.0;
+                    for (const SourceSlice &s : slices) {
+                        slice_requests += s.requests;
+                        slice_tokens += s.generatedTokens;
+                        slice_goodput += s.goodputTokensPerSec;
+                    }
+                    EXPECT_EQ(slice_requests, rep.requests()) << cell;
+                    EXPECT_EQ(slice_tokens, rep.generatedTokens)
+                        << cell;
+                    EXPECT_NEAR(slice_goodput,
+                                rep.sloGoodputTokensPerSec(),
+                                1e-6 * (1.0 + slice_goodput))
+                        << cell;
+
+                    // KV hygiene on every replica, manager on or off.
+                    for (const auto &u : rep.replicas) {
+                        EXPECT_EQ(u.kvTokensEnd, 0u) << cell;
+                        EXPECT_EQ(u.kvBlocksLeaked, 0u) << cell;
+                    }
+                }
+}
+
 } // namespace

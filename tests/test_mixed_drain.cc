@@ -1,0 +1,280 @@
+/** @file Mixed drains: closed-loop interactive clients over an
+ *  open-loop batch background trace in one ServingEngine drain, with
+ *  per-source report slices. Conservation, completeness, KV hygiene,
+ *  and determinism. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "serve/device_pool.hh"
+#include "serve/kv_manager.hh"
+#include "serve/serving_engine.hh"
+#include "serve/trace_gen.hh"
+
+namespace
+{
+
+using namespace ianus;
+
+serve::DevicePool
+makePool(std::size_t replicas)
+{
+    serve::DevicePool pool;
+    for (std::size_t i = 0; i < replicas; ++i)
+        pool.addReplica(std::make_unique<serve::CompiledModel>(
+            SystemConfig::ianusDefault(), workloads::gpt2("m")));
+    return pool;
+}
+
+serve::ArrivalTrace
+backgroundTrace(std::size_t requests = 24, std::uint64_t seed = 17)
+{
+    serve::TraceOptions opts;
+    opts.seed = seed;
+    opts.requests = requests;
+    opts.arrivalsPerSec = 120.0;
+    return serve::generatePoissonTrace(opts);
+}
+
+serve::ClosedLoopOptions
+interactiveOptions()
+{
+    serve::ClosedLoopOptions opts;
+    opts.seed = 3;
+    opts.clients = 4;
+    opts.requestsPerClient = 5;
+    opts.meanThinkMs = 10.0;
+    return opts;
+}
+
+TEST(MixedDrain, EveryRequestCompletesExactlyOnceTaggedBySource)
+{
+    serve::DevicePool pool = makePool(2);
+    serve::ServingOptions opts;
+    serve::ServingEngine engine(pool, opts, serve::makePolicy("fcfs"),
+                                serve::makeRouter("round-robin"));
+    serve::ClosedLoopOptions copts = interactiveOptions();
+    serve::ArrivalTrace bg = backgroundTrace();
+    serve::MixedResult res = serve::runMixedDrain(engine, copts, bg);
+
+    const std::size_t interactive =
+        copts.clients * copts.requestsPerClient;
+    ASSERT_EQ(res.report.requests(), interactive + bg.size());
+    EXPECT_EQ(res.realizedInteractive.size(), interactive);
+
+    std::set<std::uint64_t> ids;
+    std::size_t by_source[3] = {0, 0, 0};
+    for (const serve::RequestResult &r : res.report.results) {
+        EXPECT_TRUE(ids.insert(r.id).second) << "duplicate id " << r.id;
+        ASSERT_LT(r.source, 3u);
+        by_source[r.source] += 1;
+    }
+    EXPECT_EQ(ids.size(), res.report.requests());
+    EXPECT_EQ(by_source[0], 0u); // everything is tagged
+    EXPECT_EQ(by_source[serve::kInteractiveSource], interactive);
+    EXPECT_EQ(by_source[serve::kBatchSource], bg.size());
+}
+
+TEST(MixedDrain, SourceSlicesSumToTheFleetTotals)
+{
+    serve::DevicePool pool = makePool(2);
+    serve::ServingOptions opts;
+    opts.batching = serve::BatchingMode::Continuous;
+    opts.maxBatch = 4;
+    opts.sloMsPerToken = 12.0;
+    serve::ServingEngine engine(pool, opts, serve::makePolicy("fcfs"),
+                                serve::makeRouter("round-robin"));
+    serve::ClosedLoopOptions copts = interactiveOptions();
+    serve::ArrivalTrace bg = backgroundTrace();
+    serve::MixedResult res = serve::runMixedDrain(engine, copts, bg);
+
+    std::vector<serve::SourceSlice> slices = res.report.sourceSlices();
+    ASSERT_EQ(slices.size(), 2u);
+    EXPECT_EQ(slices[0].source, serve::kInteractiveSource);
+    EXPECT_EQ(slices[1].source, serve::kBatchSource);
+
+    std::size_t requests = 0;
+    std::uint64_t tokens = 0;
+    for (const serve::SourceSlice &s : slices) {
+        requests += s.requests;
+        tokens += s.generatedTokens;
+        EXPECT_GT(s.requests, 0u);
+        EXPECT_GE(s.ttftP95Ms, s.ttftP50Ms);
+        EXPECT_GE(s.latencyP95Ms, s.latencyP50Ms);
+        EXPECT_GE(s.sloMissRate, 0.0);
+        EXPECT_LE(s.sloMissRate, 1.0);
+    }
+    EXPECT_EQ(requests, res.report.requests());
+    EXPECT_EQ(tokens, res.report.generatedTokens);
+
+    // Slice goodputs share the fleet makespan base, so they add up to
+    // (and never exceed) the fleet's own SLO-goodput.
+    double goodput = 0.0;
+    for (const serve::SourceSlice &s : slices)
+        goodput += s.goodputTokensPerSec;
+    EXPECT_NEAR(goodput, res.report.sloGoodputTokensPerSec(),
+                1e-6 * (1.0 + goodput));
+}
+
+TEST(MixedDrain, UntaggedDrainHasOneSliceMatchingTheFleet)
+{
+    serve::DevicePool pool = makePool(2);
+    serve::ServingOptions opts;
+    opts.sloMsPerToken = 12.0;
+    serve::ServingEngine engine(pool, opts, serve::makePolicy("fcfs"),
+                                serve::makeRouter("round-robin"));
+    serve::ArrivalTrace trace = backgroundTrace(12);
+    serve::submitAll(trace, engine);
+    serve::ServingReport rep = engine.drain();
+    std::vector<serve::SourceSlice> slices = rep.sourceSlices();
+    ASSERT_EQ(slices.size(), 1u);
+    EXPECT_EQ(slices[0].source, 0u);
+    EXPECT_EQ(slices[0].requests, rep.requests());
+    EXPECT_EQ(slices[0].generatedTokens, rep.generatedTokens);
+    EXPECT_EQ(slices[0].ttftP95Ms, rep.ttftPercentile(95.0));
+    EXPECT_EQ(slices[0].latencyP50Ms, rep.latencyPercentile(50.0));
+}
+
+TEST(MixedDrain, ZeroKvLeaksUnderPagedKvAndPreemption)
+{
+    serve::DevicePool pool = makePool(2);
+    serve::ServingOptions opts;
+    opts.batching = serve::BatchingMode::Continuous;
+    opts.maxBatch = 4;
+    opts.preempt = true;
+    opts.kv.capacityTokens = 4096;
+    opts.kv.blockTokens = 16;
+    opts.kv.admission = serve::KvAdmission::Queue;
+    serve::ServingEngine engine(pool, opts, serve::makePolicy("fcfs"),
+                                serve::makeRouter("least-loaded"));
+    serve::MixedResult res = serve::runMixedDrain(
+        engine, interactiveOptions(), backgroundTrace());
+    ASSERT_GT(res.report.requests(), 0u);
+    for (const serve::ReplicaUtilization &u : res.report.replicas) {
+        EXPECT_EQ(u.kvTokensEnd, 0u);
+        EXPECT_EQ(u.kvBlocksLeaked, 0u);
+    }
+}
+
+TEST(MixedDrain, ReplaysBitIdentically)
+{
+    serve::ClosedLoopOptions copts = interactiveOptions();
+    serve::ArrivalTrace bg = backgroundTrace();
+    auto run = [&] {
+        serve::DevicePool pool = makePool(2);
+        serve::ServingOptions opts;
+        opts.batching = serve::BatchingMode::Continuous;
+        opts.maxBatch = 4;
+        serve::ServingEngine engine(pool, opts,
+                                    serve::makePolicy("fcfs"),
+                                    serve::makeRouter("round-robin"));
+        return serve::runMixedDrain(engine, copts, bg);
+    };
+    serve::MixedResult a = run();
+    serve::MixedResult b = run();
+    ASSERT_EQ(a.report.requests(), b.report.requests());
+    for (std::size_t i = 0; i < a.report.requests(); ++i) {
+        const serve::RequestResult &x = a.report.results[i];
+        const serve::RequestResult &y = b.report.results[i];
+        EXPECT_EQ(x.id, y.id);
+        EXPECT_EQ(x.source, y.source);
+        EXPECT_EQ(x.startMs, y.startMs);
+        EXPECT_EQ(x.finishMs, y.finishMs);
+        EXPECT_EQ(x.firstTokenMs, y.firstTokenMs);
+        EXPECT_EQ(x.deviceIndex, y.deviceIndex);
+    }
+    EXPECT_EQ(serve::formatTrace(a.realizedInteractive),
+              serve::formatTrace(b.realizedInteractive));
+}
+
+TEST(MixedDrain, InteractiveSideMatchesPlainClosedLoopWhenBackgroundIsEmpty)
+{
+    serve::ClosedLoopOptions copts = interactiveOptions();
+    serve::ArrivalTrace empty;
+
+    serve::DevicePool pool_a = makePool(2);
+    serve::ServingOptions opts;
+    serve::ServingEngine ea(pool_a, opts, serve::makePolicy("fcfs"),
+                            serve::makeRouter("round-robin"));
+    serve::MixedResult mixed = serve::runMixedDrain(ea, copts, empty);
+
+    serve::DevicePool pool_b = makePool(2);
+    serve::ServingEngine eb(pool_b, opts, serve::makePolicy("fcfs"),
+                            serve::makeRouter("round-robin"));
+    serve::ClosedLoopResult plain = serve::runClosedLoop(eb, copts);
+
+    // Same client streams, same pool: the mixed drain with nothing to
+    // mix must realize the identical arrival process.
+    ASSERT_EQ(mixed.realizedInteractive.size(), plain.realized.size());
+    for (std::size_t i = 0; i < plain.realized.size(); ++i) {
+        EXPECT_EQ(mixed.realizedInteractive.requests[i].arrivalMs,
+                  plain.realized.requests[i].arrivalMs);
+        EXPECT_EQ(
+            mixed.realizedInteractive.requests[i].request.inputTokens,
+            plain.realized.requests[i].request.inputTokens);
+    }
+    ASSERT_EQ(mixed.report.requests(), plain.report.requests());
+    std::map<std::uint64_t, double> finish;
+    for (const serve::RequestResult &r : plain.report.results)
+        finish[r.id] = r.finishMs;
+    for (const serve::RequestResult &r : mixed.report.results)
+        EXPECT_EQ(finish.at(r.id), r.finishMs);
+}
+
+TEST(MixedDrain, BackgroundSessionTagsRideThrough)
+{
+    serve::SessionOptions sopts;
+    sopts.seed = 5;
+    sopts.sessions = 4;
+    sopts.meanTurns = 3.0;
+    sopts.meanThinkMs = 40.0;
+    sopts.sessionsPerSec = 50.0;
+    serve::ArrivalTrace bg = serve::generateSessionTrace(sopts);
+    ASSERT_TRUE(bg.hasSessions());
+
+    serve::DevicePool pool = makePool(2);
+    serve::ServingOptions opts;
+    opts.prefixCache = true;
+    serve::ServingEngine engine(pool, opts, serve::makePolicy("fcfs"),
+                                serve::makeRouter("kv-affinity"));
+    serve::MixedResult res =
+        serve::runMixedDrain(engine, interactiveOptions(), bg);
+    ASSERT_EQ(res.report.requests(),
+              bg.size() + 4u * 5u);
+    // Background turns kept their sessions: the prefix cache saw them.
+    EXPECT_GT(res.report.prefixHits + res.report.prefixMisses, 0u);
+    for (const serve::RequestResult &r : res.report.results)
+        if (r.sessionId != 0) {
+            EXPECT_EQ(r.source, serve::kBatchSource);
+        }
+}
+
+TEST(MixedDrain, ValidatesItsOptions)
+{
+    serve::DevicePool pool = makePool(1);
+    serve::ServingOptions opts;
+    serve::ServingEngine engine(pool, opts, serve::makePolicy("fcfs"),
+                                serve::makeRouter("round-robin"));
+    serve::ArrivalTrace bg = backgroundTrace(4);
+    serve::ClosedLoopOptions copts = interactiveOptions();
+    copts.clients = 0;
+    EXPECT_THROW(serve::runMixedDrain(engine, copts, bg),
+                 std::runtime_error);
+    copts = interactiveOptions();
+    copts.requestsPerClient = 0;
+    EXPECT_THROW(serve::runMixedDrain(engine, copts, bg),
+                 std::runtime_error);
+    copts = interactiveOptions();
+    copts.meanThinkMs = -1.0;
+    EXPECT_THROW(serve::runMixedDrain(engine, copts, bg),
+                 std::runtime_error);
+    copts = interactiveOptions();
+    copts.inputTokenChoices.clear();
+    EXPECT_THROW(serve::runMixedDrain(engine, copts, bg),
+                 std::runtime_error);
+}
+
+} // namespace

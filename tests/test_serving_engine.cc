@@ -163,6 +163,33 @@ TEST(ServingReport, PercentileMath)
     EXPECT_DOUBLE_EQ(ServingReport::percentile(ten, 99), 99.1);
 }
 
+TEST(ServingReport, PercentileContractAtTheEdges)
+{
+    // The documented contract (serving_engine.hh): empty input yields
+    // 0.0 whatever p is; p outside [0, 100] clamps to the nearest
+    // bound; a NaN p is fatal — even on empty input, since the caller
+    // bug does not depend on what the vector happens to hold.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DOUBLE_EQ(ServingReport::percentile({}, -50), 0.0);
+    EXPECT_DOUBLE_EQ(ServingReport::percentile({}, 250), 0.0);
+    std::vector<double> v = {40, 10, 20, 30};
+    EXPECT_DOUBLE_EQ(ServingReport::percentile(v, -1), 10.0);
+    EXPECT_DOUBLE_EQ(ServingReport::percentile(v, -1e9), 10.0);
+    EXPECT_DOUBLE_EQ(ServingReport::percentile(v, 101), 40.0);
+    EXPECT_DOUBLE_EQ(ServingReport::percentile(v, 1e9), 40.0);
+    EXPECT_THROW(ServingReport::percentile(v, nan), std::runtime_error);
+    EXPECT_THROW(ServingReport::percentile({}, nan), std::runtime_error);
+    EXPECT_THROW(ServingReport::percentiles(v, {50.0, nan}),
+                 std::runtime_error);
+    // Clamping holds through every derived percentile accessor.
+    serve::CompiledModel model(SystemConfig::ianusDefault(), m);
+    serve::ServingEngine engine(model, serve::ServingOptions{});
+    engine.submit({64, 4});
+    ServingReport rep = engine.drain();
+    EXPECT_DOUBLE_EQ(rep.latencyPercentile(-5), rep.latencyPercentile(0));
+    EXPECT_DOUBLE_EQ(rep.ttftPercentile(400), rep.ttftPercentile(100));
+}
+
 TEST(ServingReport, BatchPercentilesShareOneSort)
 {
     // percentiles() computes all ranks from one shared sort and must

@@ -350,4 +350,80 @@ TEST(ShardedDrain, UnevenPartitionCoversPool)
     }
 }
 
+// A non-stationary diurnal trace obeys the same contract as the
+// Poisson cells: shards == 1 matches the plain drain bit for bit, and
+// the merged report is thread-count independent at every shard count.
+// The peak window concentrates arrivals, so the round-robin pre-pass
+// hands shards bursty, uneven interleavings — exactly the case a
+// merge-ordering bug would hide in under uniform load.
+TEST(ShardedDrain, DiurnalTraceIsShardAndThreadCountInvariant)
+{
+    workloads::ModelConfig model = workloads::gpt2("m");
+    DevicePool pool = makePool(model, 4);
+
+    DiurnalOptions dopts;
+    dopts.seed = 19;
+    dopts.profile = parseRateProfile("steps:4000:40,160,40");
+    dopts.inputTokenChoices = {32, 64, 128};
+    dopts.outputTokenChoices = {2, 8, 24};
+    ArrivalTrace trace = generateDiurnalTrace(dopts);
+    ASSERT_GT(trace.size(), 20u);
+
+    ServingOptions opts;
+    opts.tokenStride = 4;
+    ServingEngine engine(pool, opts, makePolicy("fcfs"),
+                         makeRouter("round-robin"));
+    submitAll(trace, engine);
+    ServingReport plain = engine.drain();
+
+    ShardOptions one;
+    one.shards = 1;
+    expectReportsIdentical(
+        plain,
+        drainSharded(pool, opts, trace, one, "fcfs", "round-robin"),
+        "diurnal/S=1");
+
+    for (std::size_t shards : {2u, 4u}) {
+        ShardOptions serial;
+        serial.shards = shards;
+        serial.threads = 1;
+        ShardOptions parallel;
+        parallel.shards = shards;
+        parallel.threads = 0;
+        expectReportsIdentical(
+            drainSharded(pool, opts, trace, serial, "fcfs",
+                         "round-robin"),
+            drainSharded(pool, opts, trace, parallel, "fcfs",
+                         "round-robin"),
+            "diurnal/S=" + std::to_string(shards));
+    }
+}
+
+// Source tags ride through the shard partition and merge untouched:
+// every result keeps the tag its trace row carried in.
+TEST(ShardedDrain, SourceTagsSurviveTheMerge)
+{
+    workloads::ModelConfig model = workloads::gpt2("m");
+    DevicePool pool = makePool(model, 4);
+    ArrivalTrace trace = makeTrace(16);
+    for (std::size_t i = 0; i < trace.requests.size(); ++i)
+        trace.requests[i].source =
+            i % 3 == 0 ? kInteractiveSource : kBatchSource;
+
+    ServingOptions opts;
+    opts.tokenStride = 4;
+    ShardOptions sh;
+    sh.shards = 4;
+    ServingReport rep =
+        drainSharded(pool, opts, trace, sh, "fcfs", "round-robin");
+    ASSERT_EQ(rep.results.size(), trace.size());
+    for (const RequestResult &r : rep.results)
+        EXPECT_EQ(r.source, trace.requests[r.id].source)
+            << "request " << r.id;
+
+    std::vector<SourceSlice> slices = rep.sourceSlices();
+    ASSERT_EQ(slices.size(), 2u);
+    EXPECT_EQ(slices[0].requests + slices[1].requests, trace.size());
+}
+
 } // namespace

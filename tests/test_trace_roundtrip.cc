@@ -115,6 +115,19 @@ TEST(TraceRoundtrip, ParseRejectsMalformedTraces)
     EXPECT_THROW(serve::parseTrace(
                      "ianus-arrival-trace v1\n2\n5 64 8\n4 64 8\n"),
                  std::runtime_error);
+    // Non-finite arrivals: strtod happily parses the literals "nan"
+    // and "inf", but neither names an instant the serving clock can
+    // reach — and a NaN row would also defeat the ordering check
+    // (NaN < prev is false for every prev).
+    EXPECT_THROW(
+        serve::parseTrace("ianus-arrival-trace v1\n1\nnan 64 8\n"),
+        std::runtime_error);
+    EXPECT_THROW(
+        serve::parseTrace("ianus-arrival-trace v1\n1\ninf 64 8\n"),
+        std::runtime_error);
+    EXPECT_THROW(serve::parseTrace("ianus-arrival-trace v1\n2\n"
+                                   "1.5 64 8\nnan 64 8\n"),
+                 std::runtime_error);
     EXPECT_THROW(serve::loadTrace(tempPath("missing.trace")),
                  std::runtime_error);
 }
